@@ -1,0 +1,90 @@
+//! Cross-engine comparison (experiment E5's engines, exercised rather than
+//! classified): the four core operations of the common `StorageEngine` API
+//! on every Table 1 archetype plus the reference engine, on identical data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use htapg_core::engine::{StorageEngine, StorageEngineExt};
+use htapg_core::Value;
+use htapg_engines::{all_surveyed_engines, ReferenceEngine};
+use htapg_workload::driver::load_items;
+use htapg_workload::tpcc::{item_attr, Generator};
+
+const ROWS: u64 = 20_000;
+
+fn engines() -> Vec<Box<dyn StorageEngine>> {
+    let mut v = all_surveyed_engines();
+    v.push(Box::new(ReferenceEngine::new()));
+    v
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let gen = Generator::new(7);
+    let mut group = c.benchmark_group("engines_read_record");
+    group.sample_size(15);
+    for engine in engines() {
+        let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
+        engine.maintain().unwrap();
+        let mut i = 0u64;
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                i = (i + 7919) % ROWS;
+                engine.read_record(rel, i).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let gen = Generator::new(7);
+    let mut group = c.benchmark_group("engines_update_field");
+    group.sample_size(15);
+    for engine in engines() {
+        let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
+        let mut i = 0u64;
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                i = (i + 7919) % ROWS;
+                engine
+                    .update_field(rel, i, item_attr::I_PRICE, &Value::Float64(1.5))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let gen = Generator::new(7);
+    let mut group = c.benchmark_group("engines_sum_price_column");
+    group.sample_size(15);
+    for engine in engines() {
+        let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
+        engine.maintain().unwrap();
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let gen = Generator::new(7);
+    let mut group = c.benchmark_group("engines_insert");
+    group.sample_size(15);
+    for engine in engines() {
+        let rel = engine.create_relation(htapg_workload::tpcc::item_schema()).unwrap();
+        let mut i = 0u64;
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                let rec = gen.item(i);
+                i += 1;
+                engine.insert(rel, &rec).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engines_cmp, bench_point_reads, bench_updates, bench_scans, bench_inserts);
+criterion_main!(engines_cmp);

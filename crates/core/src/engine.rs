@@ -1,0 +1,258 @@
+//! The common storage-engine API.
+//!
+//! All ten surveyed archetypes in `htapg-engines`, plus the Section IV-C
+//! reference engine, implement [`StorageEngine`]. The execution layer
+//! (`htapg-exec`), the workload driver (`htapg-workload`), and every
+//! benchmark run against this trait, so engines are compared on identical
+//! terms — the methodological point of the paper's Table 1.
+
+use htapg_taxonomy::Classification;
+
+use crate::error::Result;
+use crate::schema::{AttrId, Record, RelationId, RowId, Schema};
+use crate::types::Value;
+
+/// Report returned by [`StorageEngine::maintain`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Layouts rewritten by responsive adaptation.
+    pub layouts_reorganized: usize,
+    /// Tail/base merges performed (L-Store), chunks compacted (HyPer), …
+    pub merges: usize,
+    /// Versions / tombstones garbage-collected.
+    pub versions_pruned: usize,
+    /// Fragments moved between locations (device placement etc.).
+    pub fragments_moved: usize,
+}
+
+impl MaintenanceReport {
+    pub fn did_anything(&self) -> bool {
+        self.layouts_reorganized + self.merges + self.versions_pruned + self.fragments_moved > 0
+    }
+}
+
+/// The uniform storage-engine interface.
+///
+/// Access-pattern vocabulary follows Section II: [`read_record`] is the
+/// record-centric extreme (Q1), [`scan_column`] the attribute-centric
+/// extreme (Q2).
+///
+/// [`read_record`]: StorageEngine::read_record
+/// [`scan_column`]: StorageEngine::scan_column
+pub trait StorageEngine: Send + Sync {
+    /// Engine name (matches Table 1 where applicable).
+    fn name(&self) -> &'static str;
+
+    /// Taxonomy classification — the engine's Table 1 row, derived from its
+    /// actual configuration.
+    fn classification(&self) -> Classification;
+
+    /// Create a relation; returns its id.
+    fn create_relation(&self, schema: Schema) -> Result<RelationId>;
+
+    /// Schema of a relation.
+    fn schema(&self, rel: RelationId) -> Result<Schema>;
+
+    /// Append a record; returns the assigned row id (dense, insertion
+    /// order).
+    fn insert(&self, rel: RelationId, record: &Record) -> Result<RowId>;
+
+    /// Record-centric read: materialize all fields of one row.
+    fn read_record(&self, rel: RelationId, row: RowId) -> Result<Record>;
+
+    /// Read one field.
+    fn read_field(&self, rel: RelationId, row: RowId, attr: AttrId) -> Result<Value>;
+
+    /// Update one field in place (engines with versioning append a new
+    /// version instead).
+    fn update_field(&self, rel: RelationId, row: RowId, attr: AttrId, value: &Value) -> Result<()>;
+
+    /// Attribute-centric scan: visit every value of `attr` in row order.
+    fn scan_column(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        visit: &mut dyn FnMut(RowId, &Value),
+    ) -> Result<()>;
+
+    /// Fast path: invoke `visit` once per *contiguous* raw block of the
+    /// column's fixed-width little-endian values, in row order. Returns
+    /// `Ok(false)` (without calling `visit`) when the engine cannot provide
+    /// contiguous blocks (e.g. NSM storage) — callers fall back to
+    /// [`scan_column`](StorageEngine::scan_column).
+    fn with_column_bytes(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        visit: &mut dyn FnMut(&[u8]),
+    ) -> Result<bool> {
+        let _ = (rel, attr, visit);
+        Ok(false)
+    }
+
+    /// Number of rows in a relation.
+    fn row_count(&self, rel: RelationId) -> Result<u64>;
+
+    /// Run background maintenance (adaptation, merges, compaction,
+    /// placement). Engines with nothing to do return a default report.
+    fn maintain(&self) -> Result<MaintenanceReport> {
+        Ok(MaintenanceReport::default())
+    }
+}
+
+/// Blanket helpers available on every engine.
+pub trait StorageEngineExt: StorageEngine {
+    /// Materialize several rows (the paper's "materialize 150 customers"
+    /// operation).
+    fn materialize(&self, rel: RelationId, rows: &[RowId]) -> Result<Vec<Record>> {
+        rows.iter().map(|&r| self.read_record(rel, r)).collect()
+    }
+
+    /// Sum a numeric column (the paper's "sum prices" operation), preferring
+    /// the contiguous fast path.
+    fn sum_column_f64(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        let ty = self.schema(rel)?.ty(attr)?;
+        let width = ty.width();
+        let mut sum = 0.0f64;
+        let used_fast = self.with_column_bytes(rel, attr, &mut |block| {
+            for chunk in block.chunks_exact(width) {
+                let v = Value::decode(ty, chunk);
+                if let Ok(x) = v.as_f64() {
+                    sum += x;
+                }
+            }
+        })?;
+        if used_fast {
+            return Ok(sum);
+        }
+        sum = 0.0;
+        self.scan_column(rel, attr, &mut |_, v| {
+            if let Ok(x) = v.as_f64() {
+                sum += x;
+            }
+        })?;
+        Ok(sum)
+    }
+}
+
+impl<T: StorageEngine + ?Sized> StorageEngineExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutTemplate;
+    use crate::relation::Relation;
+    use crate::types::DataType;
+    use htapg_taxonomy::{
+        DataLocality, DataLocation, FragmentLinearization, FragmentScheme, LayoutAdaptability,
+        LayoutFlexibility, LayoutHandling, ProcessorSupport, WorkloadSupport,
+    };
+    use parking_lot::RwLock;
+
+    /// Minimal engine over a single relation, used to test the blanket
+    /// helpers and as the simplest possible reference implementation.
+    struct Toy {
+        rel: RwLock<Option<Relation>>,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy { rel: RwLock::new(None) }
+        }
+    }
+
+    impl StorageEngine for Toy {
+        fn name(&self) -> &'static str {
+            "TOY"
+        }
+
+        fn classification(&self) -> Classification {
+            Classification {
+                name: "TOY",
+                layout_handling: LayoutHandling::Single,
+                layout_flexibility: LayoutFlexibility::Inflexible,
+                layout_adaptability: LayoutAdaptability::Static,
+                data_location: DataLocation::host_only(),
+                data_locality: DataLocality::Centralized,
+                fragment_linearization: FragmentLinearization::FatNsmFixed,
+                fragment_scheme: FragmentScheme::None,
+                processor_support: ProcessorSupport::Cpu,
+                workload_support: WorkloadSupport::Oltp,
+                year: 2017,
+            }
+        }
+
+        fn create_relation(&self, schema: Schema) -> Result<RelationId> {
+            let template = LayoutTemplate::nsm(&schema);
+            *self.rel.write() = Some(Relation::new(schema, template)?);
+            Ok(0)
+        }
+
+        fn schema(&self, _rel: RelationId) -> Result<Schema> {
+            Ok(self.rel.read().as_ref().unwrap().schema().clone())
+        }
+
+        fn insert(&self, _rel: RelationId, record: &Record) -> Result<RowId> {
+            self.rel.write().as_mut().unwrap().insert(record)
+        }
+
+        fn read_record(&self, _rel: RelationId, row: RowId) -> Result<Record> {
+            self.rel.read().as_ref().unwrap().read_record(row)
+        }
+
+        fn read_field(&self, _rel: RelationId, row: RowId, attr: AttrId) -> Result<Value> {
+            self.rel
+                .read()
+                .as_ref()
+                .unwrap()
+                .read_value(row, attr, crate::scheme::AccessHint::RecordCentric)
+        }
+
+        fn update_field(&self, _rel: RelationId, row: RowId, attr: AttrId, value: &Value) -> Result<()> {
+            self.rel.write().as_mut().unwrap().update_field(row, attr, value)
+        }
+
+        fn scan_column(
+            &self,
+            _rel: RelationId,
+            attr: AttrId,
+            visit: &mut dyn FnMut(RowId, &Value),
+        ) -> Result<()> {
+            let guard = self.rel.read();
+            let rel = guard.as_ref().unwrap();
+            let ty = rel.schema().ty(attr)?;
+            rel.for_each_field(attr, |row, bytes| visit(row, &Value::decode(ty, bytes)))
+        }
+
+        fn row_count(&self, _rel: RelationId) -> Result<u64> {
+            Ok(self.rel.read().as_ref().unwrap().row_count())
+        }
+    }
+
+    #[test]
+    fn blanket_helpers_work() {
+        let e = Toy::new();
+        let s = Schema::of(&[("k", DataType::Int64), ("price", DataType::Float64)]);
+        let rel = e.create_relation(s).unwrap();
+        for i in 0..100 {
+            e.insert(rel, &vec![Value::Int64(i), Value::Float64(i as f64 * 0.5)]).unwrap();
+        }
+        let sum = e.sum_column_f64(rel, 1).unwrap();
+        assert_eq!(sum, (0..100).map(|i| i as f64 * 0.5).sum::<f64>());
+        let recs = e.materialize(rel, &[3, 7]).unwrap();
+        assert_eq!(recs[0][0], Value::Int64(3));
+        assert_eq!(recs[1][1], Value::Float64(3.5));
+        assert_eq!(e.row_count(rel).unwrap(), 100);
+        assert!(!e.maintain().unwrap().did_anything());
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let e: Box<dyn StorageEngine> = Box::new(Toy::new());
+        let s = Schema::of(&[("x", DataType::Int64)]);
+        let rel = e.create_relation(s).unwrap();
+        e.insert(rel, &vec![Value::Int64(9)]).unwrap();
+        assert_eq!(e.read_field(rel, 0, 0).unwrap(), Value::Int64(9));
+        assert_eq!(e.classification().name, "TOY");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared across the `htapg` workspace.
+
+use std::fmt;
+
+/// Errors produced by storage engines and substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Referenced relation does not exist.
+    UnknownRelation(u32),
+    /// Referenced attribute is out of range for the relation's schema.
+    UnknownAttribute(u16),
+    /// Referenced row id does not exist (or is deleted / not visible).
+    UnknownRow(u64),
+    /// A value did not match the attribute's declared data type.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// A record had the wrong number of fields for the schema.
+    Arity { expected: usize, got: usize },
+    /// A fixed-width text value exceeded its declared length.
+    TextTooLong { max: usize, got: usize },
+    /// A layout failed validation (coverage / overlap / capacity rules).
+    InvalidLayout(String),
+    /// Device memory exhausted (the "all or nothing" placement wall).
+    DeviceOutOfMemory { requested: usize, free: usize },
+    /// Requested device does not exist.
+    UnknownDevice(u32),
+    /// A transaction conflicted and was aborted (first-updater-wins).
+    TxnConflict { txn: u64 },
+    /// Operation on a transaction that is no longer active.
+    TxnNotActive { txn: u64 },
+    /// Delegation policy has no authoritative layout for a region.
+    NoDelegate { row: u64, attr: u16 },
+    /// A uniqueness constraint (e.g. primary key) was violated.
+    DuplicateKey,
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation(id) => write!(f, "unknown relation {id}"),
+            Error::UnknownAttribute(id) => write!(f, "unknown attribute {id}"),
+            Error::UnknownRow(id) => write!(f, "unknown row {id}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::Arity { expected, got } => {
+                write!(f, "record arity mismatch: expected {expected} fields, got {got}")
+            }
+            Error::TextTooLong { max, got } => {
+                write!(f, "text value of {got} bytes exceeds fixed width {max}")
+            }
+            Error::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
+            Error::DeviceOutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, {free} B free")
+            }
+            Error::UnknownDevice(id) => write!(f, "unknown device {id}"),
+            Error::TxnConflict { txn } => write!(f, "transaction {txn} aborted on conflict"),
+            Error::TxnNotActive { txn } => write!(f, "transaction {txn} is not active"),
+            Error::NoDelegate { row, attr } => {
+                write!(f, "no authoritative layout delegated for row {row}, attribute {attr}")
+            }
+            Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

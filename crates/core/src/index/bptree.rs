@@ -1,0 +1,467 @@
+//! A B+-tree: ordered map with point lookups, ordered iteration, and range
+//! scans. Keys live in internal separator nodes; all values live in leaves.
+
+use std::ops::Bound;
+
+/// Maximum keys per node; a node splits when it exceeds this.
+const MAX_KEYS: usize = 32;
+/// Minimum keys per non-root node; a node borrows or merges below this.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf { keys: Vec<K>, vals: Vec<V> },
+    Internal { seps: Vec<K>, children: Vec<Node<K, V>> },
+}
+
+impl<K: Ord + Clone, V: Clone> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf { keys: Vec::new(), vals: Vec::new() }
+    }
+
+    fn n_keys(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { seps, .. } => seps.len(),
+        }
+    }
+
+    /// Smallest key in this subtree.
+    fn min_key(&self) -> &K {
+        match self {
+            Node::Leaf { keys, .. } => &keys[0],
+            Node::Internal { children, .. } => children[0].min_key(),
+        }
+    }
+
+}
+
+/// Child index for `key`: number of separators ≤ `key`
+/// (separator `i` is the minimum key of child `i + 1`).
+fn child_for<K: Ord>(seps: &[K], key: &K) -> usize {
+    seps.partition_point(|s| s <= key)
+}
+
+/// Result of a recursive insert: the replaced value (if the key existed)
+/// and the separator + right node of a split (if the child overflowed).
+type InsertOutcome<K, V> = (Option<V>, Option<(K, Node<K, V>)>);
+
+/// An ordered index mapping `K` to `V`.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    pub fn new() -> Self {
+        BPlusTree { root: Node::new_leaf(), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = Self::insert_rec(&mut self.root, key, value);
+        if let Some((sep, right)) = split {
+            let left = std::mem::replace(&mut self.root, Node::new_leaf());
+            self.root = Node::Internal { seps: vec![sep], children: vec![left, right] };
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> InsertOutcome<K, V> {
+        match node {
+            Node::Leaf { keys, vals } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => (Some(std::mem::replace(&mut vals[i], value)), None),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_vals = vals.split_off(mid);
+                            let sep = right_keys[0].clone();
+                            (None, Some((sep, Node::Leaf { keys: right_keys, vals: right_vals })))
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { seps, children } => {
+                let ci = child_for(seps, &key);
+                let (old, split) = Self::insert_rec(&mut children[ci], key, value);
+                if let Some((sep, right)) = split {
+                    seps.insert(ci, sep);
+                    children.insert(ci + 1, right);
+                    if seps.len() > MAX_KEYS {
+                        let mid = seps.len() / 2;
+                        let promote = seps[mid].clone();
+                        let right_seps = seps.split_off(mid + 1);
+                        seps.pop(); // the promoted separator
+                        let right_children = children.split_off(mid + 1);
+                        let right = Node::Internal { seps: right_seps, children: right_children };
+                        return (old, Some((promote, right)));
+                    }
+                }
+                (old, None)
+            }
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { seps, children } => {
+                    node = &children[child_for(seps, key)];
+                }
+            }
+        }
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove `key`; returns its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root that lost all separators.
+        if let Node::Internal { seps, children } = &mut self.root {
+            if seps.is_empty() {
+                debug_assert_eq!(children.len(), 1);
+                self.root = children.pop().unwrap();
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<K, V>, key: &K) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { seps, children } => {
+                let ci = child_for(seps, key);
+                let removed = Self::remove_rec(&mut children[ci], key);
+                if removed.is_some() && children[ci].n_keys() < MIN_KEYS {
+                    Self::rebalance(seps, children, ci);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Fix child `ci` after it underflowed: borrow from a sibling or merge.
+    fn rebalance(seps: &mut Vec<K>, children: &mut Vec<Node<K, V>>, ci: usize) {
+        // Try borrowing from the left sibling.
+        if ci > 0 && children[ci - 1].n_keys() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(ci);
+            let left = &mut left[ci - 1];
+            let right = &mut right[0];
+            match (left, right) {
+                (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
+                    rk.insert(0, lk.pop().unwrap());
+                    rv.insert(0, lv.pop().unwrap());
+                    seps[ci - 1] = rk[0].clone();
+                }
+                (
+                    Node::Internal { seps: ls, children: lc },
+                    Node::Internal { seps: rs, children: rc },
+                ) => {
+                    let moved_child = lc.pop().unwrap();
+                    let moved_sep = ls.pop().unwrap();
+                    rs.insert(0, std::mem::replace(&mut seps[ci - 1], moved_sep));
+                    rc.insert(0, moved_child);
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if ci + 1 < children.len() && children[ci + 1].n_keys() > MIN_KEYS {
+            let (left, right) = children.split_at_mut(ci + 1);
+            let left = &mut left[ci];
+            let right = &mut right[0];
+            match (left, right) {
+                (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
+                    lk.push(rk.remove(0));
+                    lv.push(rv.remove(0));
+                    seps[ci] = rk[0].clone();
+                }
+                (
+                    Node::Internal { seps: ls, children: lc },
+                    Node::Internal { seps: rs, children: rc },
+                ) => {
+                    let moved_child = rc.remove(0);
+                    let moved_sep = rs.remove(0);
+                    ls.push(std::mem::replace(&mut seps[ci], moved_sep));
+                    lc.push(moved_child);
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+        // Merge with a sibling (left if possible, else right).
+        let li = if ci > 0 { ci - 1 } else { ci };
+        let right = children.remove(li + 1);
+        let sep = seps.remove(li);
+        match (&mut children[li], right) {
+            (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
+                lk.extend(rk);
+                lv.extend(rv);
+            }
+            (
+                Node::Internal { seps: ls, children: lc },
+                Node::Internal { seps: rs, children: rc },
+            ) => {
+                ls.push(sep);
+                ls.extend(rs);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same depth"),
+        }
+    }
+
+    /// Visit `(key, value)` pairs with keys inside `(lo, hi)`, in order.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>, f: &mut dyn FnMut(&K, &V)) {
+        Self::range_rec(&self.root, lo, hi, f);
+    }
+
+    fn range_rec(node: &Node<K, V>, lo: Bound<&K>, hi: Bound<&K>, f: &mut dyn FnMut(&K, &V)) {
+        let above_lo = |k: &K| match lo {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k >= b,
+            Bound::Excluded(b) => k > b,
+        };
+        let below_hi = |k: &K| match hi {
+            Bound::Unbounded => true,
+            Bound::Included(b) => k <= b,
+            Bound::Excluded(b) => k < b,
+        };
+        match node {
+            Node::Leaf { keys, vals } => {
+                for (k, v) in keys.iter().zip(vals) {
+                    if above_lo(k) && below_hi(k) {
+                        f(k, v);
+                    }
+                }
+            }
+            Node::Internal { seps, children } => {
+                // children[i] holds keys in [seps[i-1], seps[i]).
+                for (i, child) in children.iter().enumerate() {
+                    // Skip children entirely above hi: every key of child i
+                    // is >= seps[i-1].
+                    if i > 0 && !below_hi(&seps[i - 1]) {
+                        continue;
+                    }
+                    // Skip children entirely below lo: every key of child i
+                    // is < seps[i], so if seps[i] <= lo no key qualifies.
+                    if i < seps.len() {
+                        let all_below_lo = match lo {
+                            Bound::Unbounded => false,
+                            Bound::Included(b) | Bound::Excluded(b) => &seps[i] <= b,
+                        };
+                        if all_below_lo {
+                            continue;
+                        }
+                    }
+                    Self::range_rec(child, lo, hi, f);
+                }
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` pair in key order.
+    pub fn for_each(&self, f: &mut dyn FnMut(&K, &V)) {
+        self.range(Bound::Unbounded, Bound::Unbounded, f);
+    }
+
+    /// Collect keys in `(lo, hi)` into a vector (convenience for tests and
+    /// small scans).
+    pub fn range_keys(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<K> {
+        let mut out = Vec::new();
+        self.range(lo, hi, &mut |k, _| out.push(k.clone()));
+        out
+    }
+
+    /// Depth of the tree (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+
+    /// Validate structural invariants; used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        Self::check_rec(&self.root, true, None, None);
+    }
+
+    fn check_rec(node: &Node<K, V>, is_root: bool, lo: Option<&K>, hi: Option<&K>) -> usize {
+        match node {
+            Node::Leaf { keys, vals } => {
+                assert_eq!(keys.len(), vals.len());
+                assert!(is_root || keys.len() >= MIN_KEYS, "leaf underflow");
+                assert!(keys.len() <= MAX_KEYS + 1, "leaf overflow");
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "unsorted leaf");
+                }
+                if let (Some(lo), Some(first)) = (lo, keys.first()) {
+                    assert!(first >= lo, "leaf key below subtree bound");
+                }
+                if let (Some(hi), Some(last)) = (hi, keys.last()) {
+                    assert!(last < hi, "leaf key above subtree bound");
+                }
+                1
+            }
+            Node::Internal { seps, children } => {
+                assert_eq!(children.len(), seps.len() + 1);
+                assert!(is_root || seps.len() >= MIN_KEYS, "internal underflow");
+                for w in seps.windows(2) {
+                    assert!(w[0] < w[1], "unsorted separators");
+                }
+                let mut depth = None;
+                for (i, child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                    let chi = if i == seps.len() { hi } else { Some(&seps[i]) };
+                    let d = Self::check_rec(child, false, clo, chi);
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) => assert_eq!(prev, d, "unbalanced depths"),
+                    }
+                    // Separator i is a lower bound of child i+1 (deletes may
+                    // leave it strictly below the child's current minimum).
+                    if i > 0 {
+                        assert!(child.min_key() >= &seps[i - 1], "separator above child min");
+                    }
+                }
+                depth.unwrap() + 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(3, "c"), None);
+        assert_eq!(t.get(&1), Some(&"a"));
+        assert_eq!(t.get(&2), Some(&"b"));
+        assert_eq!(t.get(&4), None);
+        assert_eq!(t.insert(2, "B"), Some("b"));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn grows_and_splits() {
+        let mut t = BPlusTree::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), n as usize);
+        assert!(t.depth() >= 3, "tree should have split: depth {}", t.depth());
+        for i in (0..n).step_by(97) {
+            assert_eq!(t.get(&i.wrapping_mul(0x9E3779B97F4A7C15)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let mut t = BPlusTree::new();
+        for i in (0..500).rev() {
+            t.insert(i, i * 2);
+        }
+        let mut keys = Vec::new();
+        t.for_each(&mut |k, v| {
+            assert_eq!(*v, *k * 2);
+            keys.push(*k);
+        });
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000 {
+            t.insert(i * 2, ()); // even keys
+        }
+        let keys = t.range_keys(Bound::Included(&100), Bound::Excluded(&120));
+        assert_eq!(keys, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118]);
+        let keys = t.range_keys(Bound::Excluded(&100), Bound::Included(&104));
+        assert_eq!(keys, vec![102, 104]);
+        let keys = t.range_keys(Bound::Included(&101), Bound::Included(&101));
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn remove_everything_in_mixed_order() {
+        let mut t = BPlusTree::new();
+        let n = 3000u32;
+        for i in 0..n {
+            t.insert(i, i);
+        }
+        // Remove evens ascending, odds descending.
+        for i in (0..n).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+            if i % 512 == 0 {
+                t.check_invariants();
+            }
+        }
+        for i in (0..n).rev().filter(|i| i % 2 == 1) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        t.check_invariants();
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.remove(&0), None);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = BPlusTree::new();
+        t.insert(1, 1);
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+}

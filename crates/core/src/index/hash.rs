@@ -1,0 +1,229 @@
+//! A chained hash index with a fast multiplicative hasher (FxHash-style),
+//! for O(1) point lookups on keys without useful order.
+
+use std::hash::{Hash, Hasher};
+
+/// FxHash-style hasher: multiply-rotate over input words. Not HashDoS-safe,
+/// which is fine for engine-internal keys (row ids, page ids, integer PKs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A chained hash map tuned for engine-internal lookups.
+#[derive(Debug, Clone)]
+pub struct HashIndex<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for HashIndex<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> HashIndex<K, V> {
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        let n = cap.next_power_of_two().max(16);
+        HashIndex { buckets: vec![Vec::new(); n], len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &K) -> usize {
+        (hash_of(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Insert `key → value`; returns the previous value if present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.len * 4 >= self.buckets.len() * 3 {
+            self.grow();
+        }
+        let b = self.bucket_of(&key);
+        for slot in &mut self.buckets[b] {
+            if slot.0 == key {
+                return Some(std::mem::replace(&mut slot.1, value));
+            }
+        }
+        self.buckets[b].push((key, value));
+        self.len += 1;
+        None
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let b = self.bucket_of(key);
+        self.buckets[b].iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let b = self.bucket_of(key);
+        self.buckets[b].iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|(k, _)| k == key)?;
+        self.len -= 1;
+        Some(self.buckets[b].swap_remove(pos).1)
+    }
+
+    fn grow(&mut self) {
+        let new_n = self.buckets.len() * 2;
+        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_n]);
+        for bucket in old {
+            for (k, v) in bucket {
+                let b = (hash_of(&k) as usize) & (new_n - 1);
+                self.buckets[b].push((k, v));
+            }
+        }
+    }
+
+    /// Visit every entry (unordered).
+    pub fn for_each(&self, f: &mut dyn FnMut(&K, &V)) {
+        for bucket in &self.buckets {
+            for (k, v) in bucket {
+                f(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_remove() {
+        let mut m = HashIndex::new();
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), None);
+        assert_eq!(m.insert("a", 10), Some(1));
+        assert_eq!(m.get(&"a"), Some(&10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&"a"), Some(10));
+        assert_eq!(m.remove(&"a"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut m = HashIndex::with_capacity(4);
+        let n = 10_000u64;
+        for i in 0..n {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut m = HashIndex::new();
+        m.insert(7u32, vec![1]);
+        m.get_mut(&7).unwrap().push(2);
+        assert_eq!(m.get(&7), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let mut m = HashIndex::new();
+        for i in 0..100u32 {
+            m.insert(i, ());
+        }
+        let mut seen = [false; 100];
+        m.for_each(&mut |k, _| seen[*k as usize] = true);
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        // Sequential integer keys should not collide into few buckets.
+        let mut m = HashIndex::with_capacity(1024);
+        for i in 0..768u64 {
+            m.insert(i, ());
+        }
+        let max_chain = m.buckets.iter().map(Vec::len).max().unwrap();
+        assert!(max_chain <= 8, "pathological chaining: {max_chain}");
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut m = HashIndex::new();
+        for i in 0..500 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in (0..500).step_by(17) {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+        assert_eq!(m.get(&"key-500".to_string()), None);
+    }
+}

@@ -1,0 +1,17 @@
+//! Index substrates for record-centric access.
+//!
+//! The paper's record-centric pattern (Q1: `SELECT * FROM R WHERE pk = c`)
+//! requires point access without scanning; ES² additionally manages
+//! *distributed secondary indexes* (Section IV-A4). This module provides the
+//! two classic structures engines build on:
+//!
+//! * [`bptree::BPlusTree`] — an ordered index with range scans (primary-key
+//!   indexes, ES² secondary indexes);
+//! * [`hash::HashIndex`] — an unordered index with O(1) point lookups
+//!   (L-Store page dictionary, GPUTx key lookup).
+
+pub mod bptree;
+pub mod hash;
+
+pub use bptree::BPlusTree;
+pub use hash::HashIndex;

@@ -1,0 +1,51 @@
+//! # htapg-core
+//!
+//! Core storage-engine primitives for the `htapg` workspace — a
+//! reproduction of *Pinnecke et al., "Are Databases Fit for Hybrid Workloads
+//! on GPUs? A Storage Engine's Perspective", ICDE 2017*.
+//!
+//! The paper's terminology (Section III, Figure 3) is realized directly:
+//!
+//! * [`types`] / [`schema`] — fixed-width typed values and relation schemas;
+//! * [`fragment`] — fat/thin fragments with NSM, DSM, and direct
+//!   linearization;
+//! * [`layout`] — layouts built from declarative templates (vertical groups
+//!   × horizontal chunks), with taxonomy classification derived from the
+//!   template;
+//! * [`scheme`] / [`relation`] — multi-layout relations with replication- or
+//!   delegation-based fragment schemes;
+//! * [`compress`] — column codecs (RLE, dictionary, frame-of-reference) for
+//!   cold/read-optimized fragments (L-Store base pages, HyPer compaction);
+//! * [`index`] — B+-tree and hash indexes for record-centric access;
+//! * [`txn`] — an MVCC transaction manager (snapshot isolation,
+//!   first-updater-wins) for the HTAP side;
+//! * [`costmodel`] — the cache-line cost model behind layout advice;
+//! * [`adapt`] — workload tracking and the layout advisor that makes engines
+//!   *responsive*;
+//! * [`wal`] — write-ahead logging (framed, checksummed, torn-tail-safe)
+//!   over in-memory or file storage;
+//! * [`engine`] — the common [`engine::StorageEngine`] API all surveyed
+//!   engine archetypes in `htapg-engines` implement.
+
+pub mod adapt;
+pub mod compress;
+pub mod costmodel;
+pub mod engine;
+pub mod error;
+pub mod fragment;
+pub mod index;
+pub mod layout;
+pub mod relation;
+pub mod schema;
+pub mod scheme;
+pub mod txn;
+pub mod types;
+pub mod wal;
+
+pub use error::{Error, Result};
+pub use fragment::{ColumnView, Fragment, FragmentSpec, Linearization, Location};
+pub use layout::{GroupOrder, Layout, LayoutTemplate, VerticalGroup};
+pub use relation::Relation;
+pub use schema::{AttrId, Attribute, Record, RelationId, RowId, Schema};
+pub use scheme::{AccessHint, DelegationPolicy, DelegationRule, Scheme};
+pub use types::{DataType, Value};

@@ -1,0 +1,372 @@
+//! Relations: schema + one or more layouts + a fragment scheme.
+//!
+//! A relation owns its layouts. Multi-layout relations route reads and
+//! writes through their [`Scheme`]: replication keeps all layouts current
+//! and picks the best layout per access pattern; delegation gives each
+//! region exactly one authoritative layout.
+//!
+//! Under delegation, inserts seed every layout (so row ids stay aligned
+//! across layouts, mirroring L-Store/Peloton's shared-tuplet references),
+//! but *updates* and *reads* only touch the authoritative layout — the
+//! non-authoritative copy of a delegated region is never consulted and may
+//! go stale, exactly the "restricted access" the paper describes.
+
+use crate::error::{Error, Result};
+use crate::layout::{Layout, LayoutTemplate};
+use crate::schema::{AttrId, Record, RowId, Schema};
+use crate::scheme::{AccessHint, Scheme};
+use crate::types::Value;
+use htapg_taxonomy::FragmentLinearization;
+
+/// A relation with one or more alternative layouts.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    layouts: Vec<Layout>,
+    scheme: Scheme,
+    rows: u64,
+}
+
+impl Relation {
+    /// Single-layout relation.
+    pub fn new(schema: Schema, template: LayoutTemplate) -> Result<Relation> {
+        let layout = Layout::new(&schema, template)?;
+        Ok(Relation { schema, layouts: vec![layout], scheme: Scheme::Single, rows: 0 })
+    }
+
+    /// Multi-layout relation with an explicit scheme.
+    pub fn with_layouts(
+        schema: Schema,
+        templates: Vec<LayoutTemplate>,
+        scheme: Scheme,
+    ) -> Result<Relation> {
+        if templates.is_empty() {
+            return Err(Error::InvalidLayout("relation needs at least one layout".into()));
+        }
+        if matches!(scheme, Scheme::Single) && templates.len() != 1 {
+            return Err(Error::InvalidLayout(
+                "single scheme requires exactly one layout".into(),
+            ));
+        }
+        let mut layouts = Vec::with_capacity(templates.len());
+        for t in templates {
+            layouts.push(Layout::new(&schema, t)?);
+        }
+        Ok(Relation { schema, layouts, scheme, rows: 0 })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Mutable access to the scheme — re-delegation installs a new policy
+    /// here. Callers are responsible for synchronizing data into the newly
+    /// authoritative layout first (see `htapg-engines`' reference engine).
+    pub fn scheme_mut(&mut self) -> &mut Scheme {
+        &mut self.scheme
+    }
+
+    pub fn layouts(&self) -> &[Layout] {
+        &self.layouts
+    }
+
+    pub fn layouts_mut(&mut self) -> &mut [Layout] {
+        &mut self.layouts
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// Append a record. Every layout receives the record so row ids stay
+    /// aligned; see the module docs for delegation semantics.
+    pub fn insert(&mut self, record: &Record) -> Result<RowId> {
+        self.schema.check_record(record)?;
+        let mut assigned = None;
+        for layout in &mut self.layouts {
+            let row = layout.append(&self.schema, record)?;
+            match assigned {
+                None => assigned = Some(row),
+                Some(prev) => debug_assert_eq!(prev, row, "layouts out of sync"),
+            }
+        }
+        self.rows += 1;
+        Ok(assigned.expect("at least one layout"))
+    }
+
+    /// Pick the replication read layout for an access pattern: record-centric
+    /// readers prefer row-structured layouts, attribute-centric readers
+    /// prefer column-structured ones.
+    fn pick_replica(&self, hint: AccessHint) -> usize {
+        let score = |class: FragmentLinearization| -> i32 {
+            let row_ish = matches!(
+                class,
+                FragmentLinearization::FatNsmFixed
+                    | FragmentLinearization::ThinNsmEmulated
+                    | FragmentLinearization::VariableNsmFixedPartiallyDsmEmulated
+            );
+            match hint {
+                AccessHint::RecordCentric => {
+                    if row_ish {
+                        2
+                    } else {
+                        0
+                    }
+                }
+                AccessHint::AttributeCentric => {
+                    if row_ish {
+                        0
+                    } else {
+                        2
+                    }
+                }
+            }
+        };
+        (0..self.layouts.len())
+            .max_by_key(|&i| score(self.layouts[i].template().linearization_class()))
+            .unwrap_or(0)
+    }
+
+    /// The layout index that must answer `(row, attr)` reads.
+    pub fn route_read(&self, row: RowId, attr: AttrId, hint: AccessHint) -> Result<usize> {
+        match &self.scheme {
+            Scheme::Single => Ok(0),
+            Scheme::Replication => Ok(self.pick_replica(hint)),
+            Scheme::Delegation(policy) => policy.route(row, attr),
+        }
+    }
+
+    pub fn read_value(&self, row: RowId, attr: AttrId, hint: AccessHint) -> Result<Value> {
+        let li = self.route_read(row, attr, hint)?;
+        self.layouts[li].read_value(&self.schema, row, attr)
+    }
+
+    pub fn read_record(&self, row: RowId) -> Result<Record> {
+        let mut out = Vec::with_capacity(self.schema.arity());
+        for a in self.schema.attr_ids() {
+            out.push(self.read_value(row, a, AccessHint::RecordCentric)?);
+        }
+        Ok(out)
+    }
+
+    /// Update one field. Replication updates every layout; delegation only
+    /// the authoritative one.
+    pub fn update_field(&mut self, row: RowId, attr: AttrId, v: &Value) -> Result<()> {
+        match &self.scheme {
+            Scheme::Single => self.layouts[0].write_value(&self.schema, row, attr, v),
+            Scheme::Replication => {
+                for layout in &mut self.layouts {
+                    layout.write_value(&self.schema, row, attr, v)?;
+                }
+                Ok(())
+            }
+            Scheme::Delegation(policy) => {
+                let li = policy.route(row, attr)?;
+                self.layouts[li].write_value(&self.schema, row, attr, v)
+            }
+        }
+    }
+
+    /// Visit the raw bytes of every field of `attr`, row order.
+    pub fn for_each_field(&self, attr: AttrId, mut f: impl FnMut(RowId, &[u8])) -> Result<()> {
+        match &self.scheme {
+            Scheme::Single => self.layouts[0].for_each_field(attr, f),
+            Scheme::Replication => {
+                let li = self.pick_replica(AccessHint::AttributeCentric);
+                self.layouts[li].for_each_field(attr, f)
+            }
+            Scheme::Delegation(policy) => {
+                // Fast path: one layout owns the whole column.
+                if let Ok(li) = policy.route(0, attr) {
+                    let uniform = (0..self.rows)
+                        .step_by(1.max(self.rows as usize / 16))
+                        .all(|r| policy.route(r, attr) == Ok(li))
+                        && policy.route(self.rows.saturating_sub(1), attr) == Ok(li);
+                    if uniform {
+                        return self.layouts[li].for_each_field(attr, f);
+                    }
+                }
+                // General path: route each row.
+                let mut buf = Vec::new();
+                for row in 0..self.rows {
+                    let li = policy.route(row, attr)?;
+                    let v = self.layouts[li].read_value(&self.schema, row, attr)?;
+                    buf.clear();
+                    let ty = self.schema.ty(attr)?;
+                    buf.resize(ty.width(), 0);
+                    v.encode_into(ty, &mut buf)?;
+                    f(row, &buf);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Contiguous-column fast path; `false` when strided or routed.
+    pub fn with_column_bytes(&self, attr: AttrId, f: &mut dyn FnMut(&[u8])) -> Result<bool> {
+        match &self.scheme {
+            Scheme::Single => self.layouts[0].with_column_bytes(attr, f),
+            Scheme::Replication => {
+                let li = self.pick_replica(AccessHint::AttributeCentric);
+                self.layouts[li].with_column_bytes(attr, f)
+            }
+            Scheme::Delegation(_) => Ok(false),
+        }
+    }
+
+    /// Replace layout `idx` with a rebuild under `template` (responsive
+    /// reorganization).
+    pub fn reorganize_layout(&mut self, idx: usize, template: LayoutTemplate) -> Result<()> {
+        let layout = self
+            .layouts
+            .get(idx)
+            .ok_or_else(|| Error::InvalidLayout(format!("no layout {idx}")))?;
+        let rebuilt = layout.rebuild(&self.schema, template)?;
+        self.layouts[idx] = rebuilt;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{GroupOrder, VerticalGroup};
+    use crate::scheme::{DelegationPolicy, DelegationRule};
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64), ("t", DataType::Text(6))])
+    }
+
+    fn rec(i: i64) -> Record {
+        vec![Value::Int64(i), Value::Int64(i * 7), Value::Text(format!("x{}", i % 10))]
+    }
+
+    #[test]
+    fn single_layout_crud() {
+        let s = schema();
+        let mut r = Relation::new(s.clone(), LayoutTemplate::nsm(&s)).unwrap();
+        for i in 0..20 {
+            assert_eq!(r.insert(&rec(i)).unwrap(), i as u64);
+        }
+        assert_eq!(r.read_record(5).unwrap(), rec(5));
+        r.update_field(5, 1, &Value::Int64(0)).unwrap();
+        assert_eq!(r.read_value(5, 1, AccessHint::RecordCentric).unwrap(), Value::Int64(0));
+    }
+
+    #[test]
+    fn replication_routes_by_hint() {
+        let s = schema();
+        let mut r = Relation::with_layouts(
+            s.clone(),
+            vec![LayoutTemplate::nsm(&s), LayoutTemplate::dsm_emulated(&s)],
+            Scheme::Replication,
+        )
+        .unwrap();
+        for i in 0..10 {
+            r.insert(&rec(i)).unwrap();
+        }
+        // Record-centric picks the NSM layout (index 0), attribute-centric
+        // the DSM-emulated one (index 1).
+        assert_eq!(r.route_read(0, 0, AccessHint::RecordCentric).unwrap(), 0);
+        assert_eq!(r.route_read(0, 0, AccessHint::AttributeCentric).unwrap(), 1);
+        // Both replicas answer identically.
+        assert_eq!(
+            r.read_value(3, 1, AccessHint::RecordCentric).unwrap(),
+            r.read_value(3, 1, AccessHint::AttributeCentric).unwrap()
+        );
+        // Updates reach both replicas.
+        r.update_field(3, 1, &Value::Int64(-5)).unwrap();
+        assert_eq!(r.read_value(3, 1, AccessHint::RecordCentric).unwrap(), Value::Int64(-5));
+        assert_eq!(r.read_value(3, 1, AccessHint::AttributeCentric).unwrap(), Value::Int64(-5));
+    }
+
+    #[test]
+    fn delegation_routes_and_isolates() {
+        let s = schema();
+        // Attribute 1 is owned by the column layout (1), the rest by the
+        // row layout (0).
+        let policy = DelegationPolicy::new(vec![
+            DelegationRule { attrs: Some(vec![1]), row_from: 0, row_to: RowId::MAX, layout: 1 },
+            DelegationRule { attrs: None, row_from: 0, row_to: RowId::MAX, layout: 0 },
+        ]);
+        let mut r = Relation::with_layouts(
+            s.clone(),
+            vec![LayoutTemplate::nsm(&s), LayoutTemplate::dsm_emulated(&s)],
+            Scheme::Delegation(policy),
+        )
+        .unwrap();
+        for i in 0..10 {
+            r.insert(&rec(i)).unwrap();
+        }
+        r.update_field(4, 1, &Value::Int64(123)).unwrap();
+        // The authoritative read sees the update…
+        assert_eq!(r.read_value(4, 1, AccessHint::RecordCentric).unwrap(), Value::Int64(123));
+        // …while the non-authoritative replica was intentionally not written
+        // (the delegated region is exclusive).
+        assert_eq!(
+            r.layouts()[0].read_value(r.schema(), 4, 1).unwrap(),
+            Value::Int64(28),
+            "stale non-authoritative copy is never consulted"
+        );
+        assert_eq!(r.read_record(4).unwrap()[1], Value::Int64(123));
+    }
+
+    #[test]
+    fn delegated_column_scan_fast_path() {
+        let s = schema();
+        let policy = DelegationPolicy::new(vec![
+            DelegationRule { attrs: Some(vec![1]), row_from: 0, row_to: RowId::MAX, layout: 1 },
+            DelegationRule { attrs: None, row_from: 0, row_to: RowId::MAX, layout: 0 },
+        ]);
+        let mut r = Relation::with_layouts(
+            s.clone(),
+            vec![LayoutTemplate::nsm(&s), LayoutTemplate::dsm_emulated(&s)],
+            Scheme::Delegation(policy),
+        )
+        .unwrap();
+        for i in 0..100 {
+            r.insert(&rec(i)).unwrap();
+        }
+        r.update_field(50, 1, &Value::Int64(0)).unwrap();
+        let mut sum = 0i64;
+        r.for_each_field(1, |_, b| sum += i64::from_le_bytes(b.try_into().unwrap())).unwrap();
+        let expected: i64 = (0..100).map(|i| i * 7).sum::<i64>() - 350;
+        assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn reorganize_layout_in_place() {
+        let s = schema();
+        let mut r = Relation::new(s.clone(), LayoutTemplate::nsm(&s)).unwrap();
+        for i in 0..30 {
+            r.insert(&rec(i)).unwrap();
+        }
+        r.reorganize_layout(0, LayoutTemplate::dsm_emulated(&s)).unwrap();
+        assert_eq!(r.read_record(29).unwrap(), rec(29));
+        let mut blocks = 0;
+        assert!(r.with_column_bytes(1, &mut |_| blocks += 1).unwrap());
+        assert!(blocks >= 1);
+    }
+
+    #[test]
+    fn mixed_group_relation() {
+        let s = schema();
+        let t = LayoutTemplate::grouped(
+            vec![
+                VerticalGroup::new(vec![0, 2], GroupOrder::Nsm),
+                VerticalGroup::new(vec![1], GroupOrder::ThinPerAttr),
+            ],
+            Some(8),
+        );
+        let mut r = Relation::new(s.clone(), t).unwrap();
+        for i in 0..20 {
+            r.insert(&rec(i)).unwrap();
+        }
+        assert_eq!(r.read_record(19).unwrap(), rec(19));
+    }
+}

@@ -1,0 +1,589 @@
+//! MVCC transactions: snapshot isolation with first-updater-wins conflicts
+//! and as-of (historic) reads.
+//!
+//! HTAP engines "detach analytic query execution from mission-critical
+//! transactional data" (Section I, challenge b.iii): long OLAP scans read a
+//! consistent snapshot while short OLTP transactions commit concurrently.
+//! L-Store additionally supports *historic querying* (Section IV-B4), which
+//! falls out of version chains naturally via [`MvStore::get_as_of`].
+//!
+//! Model: a global timestamp clock issues begin and commit timestamps.
+//! Versions carry `[begin, end)` stamp ranges; a pending stamp encodes the
+//! writing transaction until commit. Writers conflict eagerly
+//! (first-updater-wins): updating a key whose newest version is pending by
+//! another transaction, or committed after the updater's snapshot, aborts.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+/// Logical commit timestamp.
+pub type Timestamp = u64;
+
+const PENDING_BIT: u64 = 1 << 63;
+const INF: u64 = !PENDING_BIT;
+
+#[inline]
+fn pending(txn: TxnId) -> u64 {
+    txn | PENDING_BIT
+}
+
+#[inline]
+fn is_pending(stamp: u64) -> bool {
+    stamp & PENDING_BIT != 0
+}
+
+#[inline]
+fn pending_txn(stamp: u64) -> TxnId {
+    stamp & !PENDING_BIT
+}
+
+/// A handle to an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Txn {
+    pub id: TxnId,
+    /// Snapshot timestamp: this transaction sees versions committed at or
+    /// before `start_ts`.
+    pub start_ts: Timestamp,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnStatus {
+    /// Active, with its snapshot timestamp (for the GC horizon).
+    Active(Timestamp),
+    Committed(Timestamp),
+    Aborted,
+}
+
+/// Issues transaction ids / timestamps and tracks transaction outcomes.
+#[derive(Debug)]
+pub struct TxnManager {
+    clock: AtomicU64,
+    next_txn: AtomicU64,
+    states: RwLock<HashMap<TxnId, TxnStatus>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    pub fn new() -> Self {
+        TxnManager {
+            clock: AtomicU64::new(1),
+            next_txn: AtomicU64::new(1),
+            states: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Start a transaction with a snapshot at the current time.
+    pub fn begin(&self) -> Txn {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let start_ts = self.clock.load(Ordering::SeqCst);
+        self.states.write().insert(id, TxnStatus::Active(start_ts));
+        Txn { id, start_ts }
+    }
+
+    /// Current logical time — a read-only snapshot timestamp.
+    pub fn now(&self) -> Timestamp {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn check_active(&self, txn: &Txn) -> Result<()> {
+        match self.states.read().get(&txn.id) {
+            Some(TxnStatus::Active(_)) => Ok(()),
+            _ => Err(Error::TxnNotActive { txn: txn.id }),
+        }
+    }
+
+    /// Snapshot timestamp of the oldest still-active transaction — the
+    /// garbage-collection horizon: versions only older readers could see
+    /// are reclaimable once this passes them.
+    pub fn oldest_active_start(&self) -> Option<Timestamp> {
+        self.states
+            .read()
+            .values()
+            .filter_map(|s| match s {
+                TxnStatus::Active(ts) => Some(*ts),
+                _ => None,
+            })
+            .min()
+    }
+
+    fn finish(&self, txn: &Txn, commit: bool) -> Result<Option<Timestamp>> {
+        let mut states = self.states.write();
+        match states.get(&txn.id) {
+            Some(TxnStatus::Active(_)) => {}
+            _ => return Err(Error::TxnNotActive { txn: txn.id }),
+        }
+        if commit {
+            let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+            states.insert(txn.id, TxnStatus::Committed(ts));
+            Ok(Some(ts))
+        } else {
+            states.insert(txn.id, TxnStatus::Aborted);
+            Ok(None)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Version<V> {
+    /// `None` is a tombstone (deleted).
+    value: Option<V>,
+    begin: u64,
+    end: u64,
+}
+
+/// A multi-versioned key-value store bound to a [`TxnManager`].
+#[derive(Debug)]
+pub struct MvStore<K, V> {
+    mgr: Arc<TxnManager>,
+    chains: RwLock<HashMap<K, Vec<Version<V>>>>,
+    write_sets: Mutex<HashMap<TxnId, Vec<K>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
+    pub fn new(mgr: Arc<TxnManager>) -> Self {
+        MvStore { mgr, chains: RwLock::new(HashMap::new()), write_sets: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn manager(&self) -> &Arc<TxnManager> {
+        &self.mgr
+    }
+
+    /// Write `key → value` within `txn`.
+    pub fn put(&self, txn: &Txn, key: K, value: V) -> Result<()> {
+        self.write(txn, key, Some(value))
+    }
+
+    /// Delete `key` within `txn` (tombstone).
+    pub fn delete(&self, txn: &Txn, key: K) -> Result<()> {
+        self.write(txn, key, None)
+    }
+
+    fn write(&self, txn: &Txn, key: K, value: Option<V>) -> Result<()> {
+        self.mgr.check_active(txn)?;
+        let mut chains = self.chains.write();
+        let chain = chains.entry(key.clone()).or_default();
+        if let Some(last) = chain.last_mut() {
+            if is_pending(last.begin) {
+                if pending_txn(last.begin) == txn.id {
+                    // Overwrite our own uncommitted write in place.
+                    last.value = value;
+                    return Ok(());
+                }
+                return Err(Error::TxnConflict { txn: txn.id });
+            }
+            // Newest committed version: first-updater-wins against anything
+            // committed after our snapshot.
+            if last.begin > txn.start_ts {
+                return Err(Error::TxnConflict { txn: txn.id });
+            }
+            if is_pending(last.end) {
+                // Someone else already superseded this version.
+                return Err(Error::TxnConflict { txn: txn.id });
+            }
+            debug_assert_eq!(last.end, INF, "newest version must be open-ended");
+            last.end = pending(txn.id);
+        }
+        chain.push(Version { value, begin: pending(txn.id), end: INF });
+        self.write_sets.lock().entry(txn.id).or_default().push(key);
+        Ok(())
+    }
+
+    /// Read `key` as seen by `txn` (own writes included).
+    pub fn get(&self, txn: &Txn, key: &K) -> Option<V> {
+        let chains = self.chains.read();
+        let chain = chains.get(key)?;
+        for v in chain.iter().rev() {
+            if self.version_visible(v, txn.id, txn.start_ts) {
+                return v.value.clone();
+            }
+        }
+        None
+    }
+
+    /// Read `key` as of commit timestamp `ts` (historic query; no
+    /// transaction needed).
+    pub fn get_as_of(&self, ts: Timestamp, key: &K) -> Option<V> {
+        let chains = self.chains.read();
+        let chain = chains.get(key)?;
+        for v in chain.iter().rev() {
+            if self.version_visible(v, TxnId::MAX, ts) {
+                return v.value.clone();
+            }
+        }
+        None
+    }
+
+    fn version_visible(&self, v: &Version<V>, reader: TxnId, ts: Timestamp) -> bool {
+        let begin_ok = if is_pending(v.begin) {
+            pending_txn(v.begin) == reader
+        } else {
+            v.begin <= ts
+        };
+        if !begin_ok {
+            return false;
+        }
+        if is_pending(v.end) {
+            // The superseding write is uncommitted: still visible to others,
+            // invisible to the superseder itself.
+            pending_txn(v.end) != reader
+        } else {
+            v.end > ts
+        }
+    }
+
+    /// Commit `txn`'s writes; returns the commit timestamp.
+    ///
+    /// The commit timestamp is issued and every stamp applied *under the
+    /// chains write lock*, so no reader can obtain a snapshot that lies
+    /// between "clock advanced" and "versions stamped" — the atomicity a
+    /// multi-key transaction needs against concurrent as-of scans.
+    pub fn commit(&self, txn: &Txn) -> Result<Timestamp> {
+        let keys = {
+            let mut sets = self.write_sets.lock();
+            sets.remove(&txn.id).unwrap_or_default()
+        };
+        let mut chains = self.chains.write();
+        let ts = match self.mgr.finish(txn, true) {
+            Ok(ts) => ts.expect("commit returns a timestamp"),
+            Err(e) => {
+                // Restore the write set so a later abort can clean up.
+                if !keys.is_empty() {
+                    self.write_sets.lock().insert(txn.id, keys);
+                }
+                return Err(e);
+            }
+        };
+        for key in keys {
+            if let Some(chain) = chains.get_mut(&key) {
+                for v in chain.iter_mut() {
+                    if is_pending(v.begin) && pending_txn(v.begin) == txn.id {
+                        v.begin = ts;
+                    }
+                    if is_pending(v.end) && pending_txn(v.end) == txn.id {
+                        v.end = ts;
+                    }
+                }
+            }
+        }
+        Ok(ts)
+    }
+
+    /// Abort `txn`, rolling back its pending versions.
+    pub fn abort(&self, txn: &Txn) -> Result<()> {
+        self.mgr.finish(txn, false)?;
+        let keys = self.write_sets.lock().remove(&txn.id).unwrap_or_default();
+        let mut chains = self.chains.write();
+        for key in keys {
+            if let Some(chain) = chains.get_mut(&key) {
+                chain.retain(|v| !(is_pending(v.begin) && pending_txn(v.begin) == txn.id));
+                for v in chain.iter_mut() {
+                    if is_pending(v.end) && pending_txn(v.end) == txn.id {
+                        v.end = INF;
+                    }
+                }
+                if chain.is_empty() {
+                    chains.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop versions no snapshot at or after `before_ts` can see. Returns
+    /// the number of versions pruned.
+    pub fn vacuum(&self, before_ts: Timestamp) -> usize {
+        let mut chains = self.chains.write();
+        let mut pruned = 0;
+        chains.retain(|_, chain| {
+            let before = chain.len();
+            chain.retain(|v| is_pending(v.end) || v.end == INF || v.end > before_ts);
+            pruned += before - chain.len();
+            !chain.is_empty()
+        });
+        pruned
+    }
+
+    /// Drop whole chains whose newest version is committed, open-ended,
+    /// and already merged into external base storage, provided no reader
+    /// with a snapshot at or after `horizon` could need any other version.
+    /// Returns the number of versions dropped.
+    ///
+    /// Callers must have copied the newest committed value of every dropped
+    /// chain into their base storage first (see the reference engine's
+    /// merge step).
+    pub fn prune_merged(&self, horizon: Timestamp) -> usize {
+        let mut chains = self.chains.write();
+        let mut dropped = 0;
+        chains.retain(|_, chain| {
+            let safe = chain.last().is_some_and(|newest| {
+                !is_pending(newest.begin)
+                    && newest.end == INF
+                    && newest.begin <= horizon
+                    && newest.value.is_some()
+            }) && chain[..chain.len() - 1]
+                .iter()
+                .all(|v| !is_pending(v.end) && v.end <= horizon);
+            if safe {
+                dropped += chain.len();
+            }
+            !safe
+        });
+        dropped
+    }
+
+    /// Number of live keys as of now (committed view).
+    pub fn len_committed(&self) -> usize {
+        let ts = self.mgr.now();
+        let chains = self.chains.read();
+        chains
+            .values()
+            .filter(|chain| {
+                chain
+                    .iter()
+                    .rev()
+                    .find(|v| self.version_visible(v, TxnId::MAX, ts))
+                    .map(|v| v.value.is_some())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Total stored versions (for merge/vacuum instrumentation).
+    pub fn version_count(&self) -> usize {
+        self.chains.read().values().map(Vec::len).sum()
+    }
+
+    /// Visit every key's committed-as-of-now value.
+    pub fn for_each_committed(&self, f: &mut dyn FnMut(&K, &V)) {
+        let ts = self.mgr.now();
+        let chains = self.chains.read();
+        for (k, chain) in chains.iter() {
+            if let Some(v) = chain.iter().rev().find(|v| self.version_visible(v, TxnId::MAX, ts)) {
+                if let Some(val) = &v.value {
+                    f(k, val);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<TxnManager>, MvStore<u64, String>) {
+        let mgr = Arc::new(TxnManager::new());
+        let store = MvStore::new(mgr.clone());
+        (mgr, store)
+    }
+
+    #[test]
+    fn commit_makes_writes_visible() {
+        let (mgr, store) = setup();
+        let t1 = mgr.begin();
+        store.put(&t1, 1, "a".into()).unwrap();
+        // Uncommitted: invisible to a new transaction.
+        let t2 = mgr.begin();
+        assert_eq!(store.get(&t2, &1), None);
+        // Visible to itself.
+        assert_eq!(store.get(&t1, &1), Some("a".into()));
+        store.commit(&t1).unwrap();
+        // Still invisible to t2 (snapshot taken before commit).
+        assert_eq!(store.get(&t2, &1), None);
+        let t3 = mgr.begin();
+        assert_eq!(store.get(&t3, &1), Some("a".into()));
+    }
+
+    #[test]
+    fn snapshot_isolation_for_long_readers() {
+        let (mgr, store) = setup();
+        let w0 = mgr.begin();
+        store.put(&w0, 1, "v0".into()).unwrap();
+        store.commit(&w0).unwrap();
+
+        let olap = mgr.begin(); // long-running analytic reader
+        for i in 1..=5 {
+            let w = mgr.begin();
+            store.put(&w, 1, format!("v{i}")).unwrap();
+            store.commit(&w).unwrap();
+        }
+        // The reader still sees its snapshot despite five later commits.
+        assert_eq!(store.get(&olap, &1), Some("v0".into()));
+        let fresh = mgr.begin();
+        assert_eq!(store.get(&fresh, &1), Some("v5".into()));
+    }
+
+    #[test]
+    fn first_updater_wins() {
+        let (mgr, store) = setup();
+        let init = mgr.begin();
+        store.put(&init, 1, "base".into()).unwrap();
+        store.commit(&init).unwrap();
+
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        store.put(&t1, 1, "t1".into()).unwrap();
+        assert_eq!(store.put(&t2, 1, "t2".into()), Err(Error::TxnConflict { txn: t2.id }));
+        store.commit(&t1).unwrap();
+    }
+
+    #[test]
+    fn conflict_with_commit_after_snapshot() {
+        let (mgr, store) = setup();
+        let init = mgr.begin();
+        store.put(&init, 1, "base".into()).unwrap();
+        store.commit(&init).unwrap();
+
+        let t1 = mgr.begin(); // snapshot now
+        let t2 = mgr.begin();
+        store.put(&t2, 1, "t2".into()).unwrap();
+        store.commit(&t2).unwrap();
+        // t1's snapshot predates t2's commit: write must conflict.
+        assert_eq!(store.put(&t1, 1, "t1".into()), Err(Error::TxnConflict { txn: t1.id }));
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let (mgr, store) = setup();
+        let init = mgr.begin();
+        store.put(&init, 1, "base".into()).unwrap();
+        store.commit(&init).unwrap();
+
+        let t = mgr.begin();
+        store.put(&t, 1, "oops".into()).unwrap();
+        store.put(&t, 2, "new".into()).unwrap();
+        store.abort(&t).unwrap();
+
+        let r = mgr.begin();
+        assert_eq!(store.get(&r, &1), Some("base".into()));
+        assert_eq!(store.get(&r, &2), None);
+        // The key can be written again after the abort.
+        let w = mgr.begin();
+        store.put(&w, 1, "after".into()).unwrap();
+        store.commit(&w).unwrap();
+    }
+
+    #[test]
+    fn delete_and_tombstone_visibility() {
+        let (mgr, store) = setup();
+        let w = mgr.begin();
+        store.put(&w, 1, "x".into()).unwrap();
+        store.commit(&w).unwrap();
+
+        let before_delete = mgr.now();
+        let d = mgr.begin();
+        store.delete(&d, 1).unwrap();
+        store.commit(&d).unwrap();
+
+        let r = mgr.begin();
+        assert_eq!(store.get(&r, &1), None);
+        // Historic read before the delete still sees the value.
+        assert_eq!(store.get_as_of(before_delete, &1), Some("x".into()));
+    }
+
+    #[test]
+    fn historic_queries_walk_versions() {
+        let (mgr, store) = setup();
+        let mut stamps = Vec::new();
+        for i in 0..4 {
+            let w = mgr.begin();
+            store.put(&w, 7, format!("v{i}")).unwrap();
+            stamps.push(store.commit(&w).unwrap());
+        }
+        for (i, ts) in stamps.iter().enumerate() {
+            assert_eq!(store.get_as_of(*ts, &7), Some(format!("v{i}")));
+        }
+        assert_eq!(store.get_as_of(stamps[0] - 1, &7), None);
+    }
+
+    #[test]
+    fn vacuum_prunes_dead_versions_only() {
+        let (mgr, store) = setup();
+        for i in 0..5 {
+            let w = mgr.begin();
+            store.put(&w, 1, format!("v{i}")).unwrap();
+            store.commit(&w).unwrap();
+        }
+        assert_eq!(store.version_count(), 5);
+        let pruned = store.vacuum(mgr.now());
+        assert_eq!(pruned, 4);
+        let r = mgr.begin();
+        assert_eq!(store.get(&r, &1), Some("v4".into()));
+    }
+
+    #[test]
+    fn operations_on_finished_txn_fail() {
+        let (mgr, store) = setup();
+        let t = mgr.begin();
+        store.commit(&t).unwrap();
+        assert_eq!(store.put(&t, 1, "x".into()), Err(Error::TxnNotActive { txn: t.id }));
+        assert!(store.commit(&t).is_err());
+        assert!(store.abort(&t).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_keys() {
+        let (mgr, store) = setup();
+        let store = Arc::new(store);
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let mgr = mgr.clone();
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let t = mgr.begin();
+                    store.put(&t, w * 1000 + i, format!("{w}:{i}")).unwrap();
+                    store.commit(&t).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len_committed(), 8 * 200);
+    }
+
+    #[test]
+    fn concurrent_writers_same_key_exactly_one_wins_per_round() {
+        let (mgr, store) = setup();
+        let store = Arc::new(store);
+        let successes = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mgr = mgr.clone();
+            let store = store.clone();
+            let successes = successes.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let t = mgr.begin();
+                    match store.put(&t, 42, "x".into()) {
+                        Ok(()) => {
+                            store.commit(&t).unwrap();
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(Error::TxnConflict { .. }) => store.abort(&t).unwrap(),
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(successes.load(Ordering::Relaxed) >= 1);
+        let r = mgr.begin();
+        assert_eq!(store.get(&r, &42), Some("x".into()));
+    }
+}

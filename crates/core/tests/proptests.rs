@@ -1,0 +1,340 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use htapg_core::compress::{self, Codec, Dictionary, ForBitPack, Rle};
+use htapg_core::index::{BPlusTree, HashIndex};
+use htapg_core::txn::{MvStore, TxnManager};
+use htapg_core::{
+    DataType, GroupOrder, Layout, LayoutTemplate, Linearization, Schema, Value, VerticalGroup,
+};
+
+// ---------------------------------------------------------------------
+// Values: encode/decode identity for every type.
+// ---------------------------------------------------------------------
+
+fn arb_value_and_type() -> impl Strategy<Value = (Value, DataType)> {
+    prop_oneof![
+        any::<bool>().prop_map(|b| (Value::Bool(b), DataType::Bool)),
+        any::<i32>().prop_map(|v| (Value::Int32(v), DataType::Int32)),
+        any::<i64>().prop_map(|v| (Value::Int64(v), DataType::Int64)),
+        any::<f64>().prop_filter("NaN breaks PartialEq", |v| !v.is_nan())
+            .prop_map(|v| (Value::Float64(v), DataType::Float64)),
+        any::<i32>().prop_map(|v| (Value::Date(v), DataType::Date)),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| {
+            let trimmed = s.trim_end().to_string();
+            (Value::Text(trimmed), DataType::Text(12))
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_roundtrip((v, ty) in arb_value_and_type()) {
+        let mut buf = vec![0u8; ty.width()];
+        v.encode_into(ty, &mut buf).unwrap();
+        prop_assert_eq!(Value::decode(ty, &buf), v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layouts: every template stores and retrieves identically.
+// ---------------------------------------------------------------------
+
+fn test_schema() -> Schema {
+    Schema::of(&[
+        ("a", DataType::Int64),
+        ("b", DataType::Int32),
+        ("c", DataType::Float64),
+        ("d", DataType::Text(6)),
+    ])
+}
+
+fn arb_template() -> impl Strategy<Value = LayoutTemplate> {
+    let s = test_schema();
+    let chunk = prop_oneof![Just(None), (2u64..64).prop_map(Some)];
+    // A selection of valid group partitions of {a,b,c,d}.
+    let groups = prop_oneof![
+        Just(vec![VerticalGroup::new(vec![0, 1, 2, 3], GroupOrder::Nsm)]),
+        Just(vec![VerticalGroup::new(vec![0, 1, 2, 3], GroupOrder::Dsm)]),
+        Just(vec![VerticalGroup::new(vec![0, 1, 2, 3], GroupOrder::ThinPerAttr)]),
+        Just(vec![
+            VerticalGroup::new(vec![0, 3], GroupOrder::Nsm),
+            VerticalGroup::new(vec![1, 2], GroupOrder::Dsm),
+        ]),
+        Just(vec![
+            VerticalGroup::new(vec![2], GroupOrder::ThinPerAttr),
+            VerticalGroup::new(vec![0, 1, 3], GroupOrder::Nsm),
+        ]),
+    ];
+    let _ = s;
+    (groups, chunk).prop_map(|(g, c)| LayoutTemplate::grouped(g, c))
+}
+
+fn arb_record() -> impl Strategy<Value = Vec<Value>> {
+    (
+        any::<i64>(),
+        any::<i32>(),
+        any::<f64>().prop_filter("NaN", |v| !v.is_nan()),
+        "[a-z]{0,6}",
+    )
+        .prop_map(|(a, b, c, d)| {
+            vec![Value::Int64(a), Value::Int32(b), Value::Float64(c), Value::Text(d)]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_layout_roundtrips_records(
+        template in arb_template(),
+        records in vec(arb_record(), 1..120),
+    ) {
+        let s = test_schema();
+        template.validate(&s).unwrap();
+        let mut layout = Layout::new(&s, template).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            let row = layout.append(&s, rec).unwrap();
+            prop_assert_eq!(row, i as u64);
+        }
+        for (i, rec) in records.iter().enumerate() {
+            prop_assert_eq!(&layout.read_record(&s, i as u64).unwrap(), rec);
+        }
+        // Column iteration covers every row once, in order.
+        let mut rows = Vec::new();
+        layout.for_each_field(0, |row, _| rows.push(row)).unwrap();
+        prop_assert_eq!(rows, (0..records.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebuild_to_any_template_preserves_content(
+        from in arb_template(),
+        to in arb_template(),
+        records in vec(arb_record(), 1..60),
+    ) {
+        let s = test_schema();
+        let mut layout = Layout::new(&s, from).unwrap();
+        for rec in &records {
+            layout.append(&s, rec).unwrap();
+        }
+        let rebuilt = layout.rebuild(&s, to).unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            prop_assert_eq!(&rebuilt.read_record(&s, i as u64).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn relinearize_is_lossless(
+        records in vec(arb_record(), 2..50),
+        to_dsm in any::<bool>(),
+    ) {
+        let s = test_schema();
+        let order = if to_dsm { Linearization::Dsm } else { Linearization::Nsm };
+        let other = if to_dsm { Linearization::Nsm } else { Linearization::Dsm };
+        let mut frag = htapg_core::Fragment::new(
+            &s,
+            htapg_core::FragmentSpec {
+                first_row: 0,
+                capacity: records.len() as u64,
+                attrs: vec![0, 1, 2, 3],
+                order,
+            },
+        )
+        .unwrap();
+        for rec in &records {
+            frag.append(&s, rec).unwrap();
+        }
+        let re = frag.relinearize(&s, other).unwrap();
+        for i in 0..records.len() as u64 {
+            prop_assert_eq!(frag.read_tuplet(&s, i).unwrap(), re.read_tuplet(&s, i).unwrap());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compression: decode(encode(x)) == x for every codec.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codecs_roundtrip(values in vec(any::<u64>(), 0..400)) {
+        for codec in [&Rle as &dyn Codec, &Dictionary, &ForBitPack] {
+            let block = codec.encode(&values);
+            prop_assert_eq!(&codec.decode(&block).unwrap(), &values);
+        }
+        let auto = compress::auto_encode(&values);
+        prop_assert_eq!(&compress::decode(&auto).unwrap(), &values);
+    }
+
+    #[test]
+    fn codecs_roundtrip_skewed(raw in vec((0u64..8, 1u64..50), 0..60)) {
+        // Runs of low-cardinality values: the shapes codecs exploit.
+        let values: Vec<u64> = raw.iter().flat_map(|&(v, n)| std::iter::repeat_n(v, n as usize)).collect();
+        for codec in [&Rle as &dyn Codec, &Dictionary, &ForBitPack] {
+            let block = codec.encode(&values);
+            prop_assert_eq!(&codec.decode(&block).unwrap(), &values);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// B+-tree: model-based equivalence with BTreeMap.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        any::<u16>().prop_map(TreeOp::Remove),
+        any::<u16>().prop_map(TreeOp::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bptree_matches_btreemap(ops in vec(arb_tree_op(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                }
+                TreeOp::Range(lo, hi) => {
+                    let got = tree.range_keys(Bound::Included(&lo), Bound::Excluded(&hi));
+                    let want: Vec<u16> = model.range(lo..hi).map(|(k, _)| *k).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        // Full ordered iteration agrees.
+        let mut got = Vec::new();
+        tree.for_each(&mut |k, v| got.push((*k, *v)));
+        let want: Vec<(u16, u32)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hash_index_matches_model(ops in vec(arb_tree_op(), 1..300)) {
+        let mut index = HashIndex::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    prop_assert_eq!(index.insert(k, v), model.insert(k, v));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(index.remove(&k), model.remove(&k));
+                }
+                TreeOp::Get(k) | TreeOp::Range(k, _) => {
+                    prop_assert_eq!(index.get(&k), model.get(&k));
+                }
+            }
+        }
+        prop_assert_eq!(index.len(), model.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// MVCC: serial history equivalence — committed transactions applied in
+// commit order produce the same final state as a sequential map; aborted
+// transactions leave no trace; snapshots are stable.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mvcc_committed_history_matches_model(
+        steps in vec((0u8..4, any::<u8>(), any::<u16>()), 1..150),
+    ) {
+        let mgr = Arc::new(TxnManager::new());
+        let store: MvStore<u8, u16> = MvStore::new(mgr.clone());
+        let mut model: BTreeMap<u8, u16> = BTreeMap::new();
+        for (kind, key, value) in steps {
+            let txn = mgr.begin();
+            match kind {
+                0 => {
+                    // put + commit
+                    if store.put(&txn, key, value).is_ok() {
+                        store.commit(&txn).unwrap();
+                        model.insert(key, value);
+                    } else {
+                        store.abort(&txn).unwrap();
+                    }
+                }
+                1 => {
+                    // put + abort: no trace (aborted whether or not the
+                    // put itself conflicted)
+                    let _ = store.put(&txn, key, value);
+                    store.abort(&txn).unwrap();
+                }
+                2 => {
+                    // delete + commit
+                    if store.delete(&txn, key).is_ok() {
+                        store.commit(&txn).unwrap();
+                        model.remove(&key);
+                    } else {
+                        store.abort(&txn).unwrap();
+                    }
+                }
+                _ => {
+                    // read must match the model
+                    prop_assert_eq!(store.get(&txn, &key), model.get(&key).copied());
+                    store.abort(&txn).unwrap();
+                }
+            }
+        }
+        // Final committed view equals the model.
+        let reader = mgr.begin();
+        for k in 0u8..4 {
+            prop_assert_eq!(store.get(&reader, &k), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn mvcc_snapshots_are_immutable(writes in vec((0u8..3, any::<u16>()), 1..60)) {
+        let mgr = Arc::new(TxnManager::new());
+        let store: MvStore<u8, u16> = MvStore::new(mgr.clone());
+        // Commit an initial state, snapshot it, then mutate heavily.
+        let init = mgr.begin();
+        store.put(&init, 0, 111).unwrap();
+        store.commit(&init).unwrap();
+        let snapshot = mgr.begin();
+        let frozen = store.get(&snapshot, &0);
+        for (key, value) in writes {
+            let t = mgr.begin();
+            if store.put(&t, key, value).is_ok() {
+                store.commit(&t).unwrap();
+            } else {
+                store.abort(&t).unwrap();
+            }
+            prop_assert_eq!(store.get(&snapshot, &0), frozen, "snapshot drifted");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Device kernels: real computation, modeled time.
+//!
+//! [`reduce_sum_f64`] reproduces the paper's experiment kernel: "an
+//! optimized parallel reduction kernel to calculate the sum of price fields
+//! ... configured to run with at least 1024 blocks (each having 512
+//! threads). The final reduction was performed with 1 block and 1024
+//! threads" (Section II-B, after Mark Harris' classic reduction).
+//!
+//! Reductions use a fixed pairwise tree order, so results are
+//! bit-deterministic and independent of the launch geometry — the property
+//! tests rely on this.
+
+use htapg_core::{Error, Result};
+
+use crate::memory::{BufferId, SimDevice};
+use crate::simt::{Executor, KernelCost, LaunchConfig};
+
+/// The paper's reduction geometry.
+pub const REDUCE_GRID: u32 = 1024;
+pub const REDUCE_BLOCK: u32 = 512;
+pub const FINAL_BLOCK: u32 = 1024;
+
+/// Pairwise (tree) summation of a slice — the deterministic order a
+/// shared-memory tree reduction produces.
+pub fn tree_sum(values: &[f64]) -> f64 {
+    match values.len() {
+        0 => 0.0,
+        1 => values[0],
+        n => {
+            let mid = n / 2;
+            tree_sum(&values[..mid]) + tree_sum(&values[mid..])
+        }
+    }
+}
+
+fn as_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(Error::Internal("buffer is not a packed f64 column".into()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Sum a device-resident packed `f64` column with the two-pass Harris-style
+/// reduction. Returns the sum; charges two kernel launches (partials +
+/// final) to the device ledger.
+pub fn reduce_sum_f64(device: &SimDevice, buf: BufferId) -> Result<f64> {
+    let ex = Executor::new(device);
+    let values = device.with_buffer(buf, as_f64s)??;
+    let n = values.len();
+    if n == 0 {
+        // Even an empty reduction launches.
+        ex.charge_launch(
+            LaunchConfig::new(1, FINAL_BLOCK),
+            KernelCost { work_items: 1, cycles_per_item: 1.0, bytes: 0 },
+        )?;
+        return Ok(0.0);
+    }
+    // Pass 1: REDUCE_GRID blocks × REDUCE_BLOCK threads; each block reduces
+    // a contiguous segment into one partial.
+    let segments = REDUCE_GRID as usize;
+    let seg_len = n.div_ceil(segments);
+    let mut partials = Vec::with_capacity(segments);
+    for seg in values.chunks(seg_len.max(1)) {
+        partials.push(tree_sum(seg));
+    }
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID, REDUCE_BLOCK),
+        KernelCost { work_items: n as u64, cycles_per_item: 4.0, bytes: (n * 8) as u64 },
+    )?;
+    // Pass 2: final reduction with 1 block × FINAL_BLOCK threads.
+    let total = tree_sum(&partials);
+    ex.charge_launch(
+        LaunchConfig::new(1, FINAL_BLOCK),
+        KernelCost {
+            work_items: partials.len() as u64,
+            cycles_per_item: 4.0,
+            bytes: (partials.len() * 8) as u64,
+        },
+    )?;
+    Ok(total)
+}
+
+/// Sum a packed little-endian `i64` column on the device (same geometry).
+pub fn reduce_sum_i64(device: &SimDevice, buf: BufferId) -> Result<i64> {
+    let ex = Executor::new(device);
+    let sum = device.with_buffer(buf, |bytes| {
+        if bytes.len() % 8 != 0 {
+            return Err(Error::Internal("buffer is not a packed i64 column".into()));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .fold(0i64, i64::wrapping_add))
+    })??;
+    let n = device.buffer_len(buf)? / 8;
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID, REDUCE_BLOCK),
+        KernelCost { work_items: n as u64, cycles_per_item: 4.0, bytes: (n * 8) as u64 },
+    )?;
+    ex.charge_launch(
+        LaunchConfig::new(1, FINAL_BLOCK),
+        KernelCost { work_items: REDUCE_GRID as u64, cycles_per_item: 4.0, bytes: REDUCE_GRID as u64 * 8 },
+    )?;
+    Ok(sum)
+}
+
+/// Min and max of a device-resident packed `f64` column (same reduction
+/// geometry as the sum).
+pub fn reduce_min_max_f64(device: &SimDevice, buf: BufferId) -> Result<(f64, f64)> {
+    let ex = Executor::new(device);
+    let (min, max, n) = device.with_buffer(buf, |bytes| {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut n = 0u64;
+        for c in bytes.chunks_exact(8) {
+            let v = f64::from_le_bytes(c.try_into().unwrap());
+            min = min.min(v);
+            max = max.max(v);
+            n += 1;
+        }
+        (min, max, n)
+    })?;
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID, REDUCE_BLOCK),
+        KernelCost { work_items: n.max(1), cycles_per_item: 4.0, bytes: n * 8 },
+    )?;
+    ex.charge_launch(
+        LaunchConfig::new(1, FINAL_BLOCK),
+        KernelCost { work_items: REDUCE_GRID as u64, cycles_per_item: 4.0, bytes: REDUCE_GRID as u64 * 8 },
+    )?;
+    Ok((min, max))
+}
+
+/// Elementwise map over a packed `f64` column, in place (e.g. price scaling
+/// in bulk transactions).
+pub fn map_f64(device: &SimDevice, buf: BufferId, f: impl Fn(f64) -> f64) -> Result<()> {
+    let ex = Executor::new(device);
+    let n = device.buffer_len(buf)? / 8;
+    device.with_buffer_mut(buf, |bytes| {
+        for chunk in bytes.chunks_exact_mut(8) {
+            let v = f64::from_le_bytes(chunk.try_into().unwrap());
+            chunk.copy_from_slice(&f(v).to_le_bytes());
+        }
+    })?;
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID, REDUCE_BLOCK),
+        KernelCost { work_items: n as u64, cycles_per_item: 6.0, bytes: (n * 16) as u64 },
+    )?;
+    Ok(())
+}
+
+/// Gather fixed-width elements at `positions` from a device column into a
+/// fresh device buffer (late materialization on the device).
+pub fn gather(device: &SimDevice, buf: BufferId, width: usize, positions: &[u64]) -> Result<BufferId> {
+    let ex = Executor::new(device);
+    let out_len = positions.len() * width;
+    let mut out = vec![0u8; out_len];
+    device.with_buffer(buf, |bytes| {
+        for (i, &p) in positions.iter().enumerate() {
+            let off = p as usize * width;
+            if off + width > bytes.len() {
+                return Err(Error::UnknownRow(p));
+            }
+            out[i * width..(i + 1) * width].copy_from_slice(&bytes[off..off + width]);
+        }
+        Ok(())
+    })??;
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID.min(positions.len().max(1) as u32), REDUCE_BLOCK),
+        KernelCost {
+            work_items: positions.len() as u64,
+            cycles_per_item: 8.0,
+            bytes: (out_len * 2) as u64,
+        },
+    )?;
+    let result = device.alloc(out_len)?;
+    // Device-to-device copy: charged as kernel memory traffic, not PCIe.
+    device.with_buffer_mut(result, |b| b.copy_from_slice(&out))?;
+    Ok(result)
+}
+
+/// Filter a packed `f64` column by a predicate, returning the qualifying
+/// positions (selection kernel with a host-side position list result).
+pub fn filter_f64(device: &SimDevice, buf: BufferId, pred: impl Fn(f64) -> bool) -> Result<Vec<u64>> {
+    let ex = Executor::new(device);
+    let positions = device.with_buffer(buf, |bytes| {
+        let mut out = Vec::new();
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            if pred(f64::from_le_bytes(chunk.try_into().unwrap())) {
+                out.push(i as u64);
+            }
+        }
+        out
+    })?;
+    let n = device.buffer_len(buf)? / 8;
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID, REDUCE_BLOCK),
+        KernelCost { work_items: n as u64, cycles_per_item: 5.0, bytes: (n * 8) as u64 },
+    )?;
+    Ok(positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upload_f64(device: &SimDevice, values: &[f64]) -> BufferId {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        device.upload(&bytes).unwrap()
+    }
+
+    #[test]
+    fn tree_sum_matches_sequential_for_ints() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        assert_eq!(tree_sum(&values), values.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn tree_sum_is_deterministic() {
+        let values: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        assert_eq!(tree_sum(&values).to_bits(), tree_sum(&values).to_bits());
+    }
+
+    #[test]
+    fn reduce_matches_tree_order_regardless_of_geometry() {
+        let d = SimDevice::with_defaults();
+        let values: Vec<f64> = (0..100_000).map(|i| (i % 1000) as f64 * 0.01).collect();
+        let buf = upload_f64(&d, &values);
+        let got = reduce_sum_f64(&d, buf).unwrap();
+        let expect: f64 = values.iter().sum();
+        assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn reduce_charges_two_launches() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[1.0, 2.0, 3.0]);
+        let before = d.ledger().snapshot();
+        let sum = reduce_sum_f64(&d, buf).unwrap();
+        assert_eq!(sum, 6.0);
+        let delta = d.ledger().snapshot().since(&before);
+        assert_eq!(delta.kernel_launches, 2);
+        assert!(delta.kernel_ns >= 2 * d.spec().kernel_launch_ns);
+        assert_eq!(delta.transfer_ns, 0, "reduction must not touch PCIe");
+    }
+
+    #[test]
+    fn reduce_empty_is_zero() {
+        let d = SimDevice::with_defaults();
+        let buf = d.alloc(0).unwrap();
+        assert_eq!(reduce_sum_f64(&d, buf).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reduce_i64() {
+        let d = SimDevice::with_defaults();
+        let values: Vec<i64> = (0..1000).map(|i| i * 3 - 500).collect();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = d.upload(&bytes).unwrap();
+        assert_eq!(reduce_sum_i64(&d, buf).unwrap(), values.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn min_max_reduction() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[3.0, -7.5, 10.0, 0.0]);
+        let before = d.ledger().snapshot();
+        let (min, max) = reduce_min_max_f64(&d, buf).unwrap();
+        assert_eq!((min, max), (-7.5, 10.0));
+        assert_eq!(d.ledger().snapshot().since(&before).kernel_launches, 2);
+    }
+
+    #[test]
+    fn map_scales_in_place() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[1.0, 2.0, 4.0]);
+        map_f64(&d, buf, |v| v * 2.0).unwrap();
+        assert_eq!(reduce_sum_f64(&d, buf).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn gather_collects_positions() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[10.0, 20.0, 30.0, 40.0]);
+        let out = gather(&d, buf, 8, &[3, 1]).unwrap();
+        let bytes = d.download(out).unwrap();
+        let vals: Vec<f64> =
+            bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(vals, vec![40.0, 20.0]);
+        assert!(gather(&d, buf, 8, &[9]).is_err());
+    }
+
+    #[test]
+    fn filter_returns_positions() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[5.0, -1.0, 7.0, 0.0]);
+        let pos = filter_f64(&d, buf, |v| v > 0.0).unwrap();
+        assert_eq!(pos, vec![0, 2]);
+    }
+}

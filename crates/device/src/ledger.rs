@@ -1,0 +1,157 @@
+//! Virtual-time accounting for simulated hardware.
+//!
+//! Every simulated operation charges nanoseconds to a ledger instead of
+//! sleeping. Figure 2's panels 3 and 4 differ only in whether transfer time
+//! is charged — the ledger keeps the categories separate so the harness can
+//! report either view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulated virtual costs, by category.
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    transfer_ns: AtomicU64,
+    kernel_ns: AtomicU64,
+    disk_ns: AtomicU64,
+    network_ns: AtomicU64,
+    transfers: AtomicU64,
+    kernel_launches: AtomicU64,
+    bytes_to_device: AtomicU64,
+    bytes_from_device: AtomicU64,
+}
+
+/// A snapshot of the ledger counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    pub transfer_ns: u64,
+    pub kernel_ns: u64,
+    pub disk_ns: u64,
+    pub network_ns: u64,
+    pub transfers: u64,
+    pub kernel_launches: u64,
+    pub bytes_to_device: u64,
+    pub bytes_from_device: u64,
+}
+
+impl CostSnapshot {
+    /// Total virtual nanoseconds across all categories.
+    pub fn total_ns(&self) -> u64 {
+        self.transfer_ns + self.kernel_ns + self.disk_ns + self.network_ns
+    }
+
+    /// Device time excluding host↔device transfers (the Figure 2 panel 4
+    /// view: "transfer costs to device excluded").
+    pub fn compute_only_ns(&self) -> u64 {
+        self.kernel_ns
+    }
+
+    /// Costs accrued between `earlier` and `self`.
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            transfer_ns: self.transfer_ns - earlier.transfer_ns,
+            kernel_ns: self.kernel_ns - earlier.kernel_ns,
+            disk_ns: self.disk_ns - earlier.disk_ns,
+            network_ns: self.network_ns - earlier.network_ns,
+            transfers: self.transfers - earlier.transfers,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            bytes_to_device: self.bytes_to_device - earlier.bytes_to_device,
+            bytes_from_device: self.bytes_from_device - earlier.bytes_from_device,
+        }
+    }
+}
+
+impl CostLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn charge_transfer(&self, ns: u64, bytes_to_device: u64, bytes_from_device: u64) {
+        self.transfer_ns.fetch_add(ns, Ordering::Relaxed);
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.bytes_to_device.fetch_add(bytes_to_device, Ordering::Relaxed);
+        self.bytes_from_device.fetch_add(bytes_from_device, Ordering::Relaxed);
+    }
+
+    pub fn charge_kernel(&self, ns: u64) {
+        self.kernel_ns.fetch_add(ns, Ordering::Relaxed);
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn charge_disk(&self, ns: u64) {
+        self.disk_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn charge_network(&self, ns: u64) {
+        self.network_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            transfer_ns: self.transfer_ns.load(Ordering::Relaxed),
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+            disk_ns: self.disk_ns.load(Ordering::Relaxed),
+            network_ns: self.network_ns.load(Ordering::Relaxed),
+            transfers: self.transfers.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            bytes_to_device: self.bytes_to_device.load(Ordering::Relaxed),
+            bytes_from_device: self.bytes_from_device.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.transfer_ns.store(0, Ordering::Relaxed);
+        self.kernel_ns.store(0, Ordering::Relaxed);
+        self.disk_ns.store(0, Ordering::Relaxed);
+        self.network_ns.store(0, Ordering::Relaxed);
+        self.transfers.store(0, Ordering::Relaxed);
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.bytes_to_device.store(0, Ordering::Relaxed);
+        self.bytes_from_device.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_category() {
+        let l = CostLedger::new();
+        l.charge_transfer(100, 64, 0);
+        l.charge_transfer(50, 0, 32);
+        l.charge_kernel(30);
+        l.charge_disk(7);
+        l.charge_network(3);
+        let s = l.snapshot();
+        assert_eq!(s.transfer_ns, 150);
+        assert_eq!(s.kernel_ns, 30);
+        assert_eq!(s.total_ns(), 190);
+        assert_eq!(s.compute_only_ns(), 30);
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.bytes_to_device, 64);
+        assert_eq!(s.bytes_from_device, 32);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let l = CostLedger::new();
+        l.charge_kernel(10);
+        let a = l.snapshot();
+        l.charge_kernel(25);
+        l.charge_transfer(5, 1, 0);
+        let b = l.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.kernel_ns, 25);
+        assert_eq!(d.transfer_ns, 5);
+        assert_eq!(d.kernel_launches, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = CostLedger::new();
+        l.charge_kernel(10);
+        l.reset();
+        assert_eq!(l.snapshot(), CostSnapshot::default());
+    }
+}

@@ -1,0 +1,35 @@
+//! # htapg-device
+//!
+//! Simulated hardware substrates for the `htapg` workspace.
+//!
+//! The paper's experiments (Section II-B, Figure 2) and three of its
+//! surveyed engines (GPUTx, CoGaDB, ES²) depend on hardware we substitute
+//! per DESIGN.md: a CUDA GPU, a multi-disk array, and a shared-nothing
+//! cluster. This crate provides deterministic software stand-ins that
+//! preserve the *mechanisms* the paper argues from:
+//!
+//! * [`SimDevice`] — a SIMT co-processor with a capacity-limited global
+//!   memory ([`memory`]), an explicit host↔device transfer engine with a
+//!   PCIe cost model, a grid/block kernel executor ([`simt`]) whose virtual
+//!   time reflects parallel lanes and memory bandwidth, and real
+//!   (bit-deterministic) kernels ([`kernels`]);
+//! * [`disk::SimDisk`] — a block store with seek/bandwidth accounting
+//!   (PAX, Fractured Mirrors);
+//! * [`cluster::SimCluster`] — in-process shared-nothing nodes with an
+//!   interconnect cost model (ES²).
+//!
+//! All simulated time is *virtual*: it accumulates in [`ledger::CostLedger`]
+//! and never sleeps. Data operations are always executed for real, so
+//! results are exact; only durations are modeled.
+
+pub mod cluster;
+pub mod disk;
+pub mod kernels;
+pub mod ledger;
+pub mod memory;
+pub mod simt;
+pub mod spec;
+
+pub use ledger::CostLedger;
+pub use memory::{BufferId, SimDevice};
+pub use spec::DeviceSpec;

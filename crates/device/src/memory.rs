@@ -1,0 +1,287 @@
+//! Simulated device global memory and the host↔device transfer engine.
+//!
+//! The allocator enforces the device's capacity — the wall behind CoGaDB's
+//! "all or nothing" column placement (Section IV-B3): either the whole
+//! column fits in device memory, or placement fails with
+//! [`Error::DeviceOutOfMemory`] and the caller falls back to the host.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use htapg_core::{Error, Result};
+
+use crate::ledger::CostLedger;
+use crate::spec::DeviceSpec;
+
+/// Handle to a device-resident buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+#[derive(Debug, Default)]
+struct MemState {
+    buffers: HashMap<u64, Vec<u8>>,
+    used: usize,
+    next_id: u64,
+    peak: usize,
+}
+
+/// A simulated SIMT device: spec + global memory + cost ledger.
+#[derive(Debug)]
+pub struct SimDevice {
+    id: u32,
+    spec: DeviceSpec,
+    ledger: Arc<CostLedger>,
+    mem: Mutex<MemState>,
+}
+
+impl SimDevice {
+    pub fn new(id: u32, spec: DeviceSpec) -> Self {
+        SimDevice { id, spec, ledger: Arc::new(CostLedger::new()), mem: Mutex::new(MemState::default()) }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(0, DeviceSpec::default())
+    }
+
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn ledger(&self) -> &Arc<CostLedger> {
+        &self.ledger
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.mem.lock().used
+    }
+
+    /// High-water mark of allocation.
+    pub fn peak_bytes(&self) -> usize {
+        self.mem.lock().peak
+    }
+
+    /// Bytes still allocatable.
+    pub fn free_bytes(&self) -> usize {
+        self.spec.global_mem_bytes - self.used_bytes()
+    }
+
+    /// Allocate an uninitialized (zeroed) buffer of `len` bytes.
+    ///
+    /// Fails with [`Error::DeviceOutOfMemory`] when the capacity would be
+    /// exceeded — allocation is all-or-nothing, never partial.
+    pub fn alloc(&self, len: usize) -> Result<BufferId> {
+        let mut mem = self.mem.lock();
+        if mem.used + len > self.spec.global_mem_bytes {
+            return Err(Error::DeviceOutOfMemory {
+                requested: len,
+                free: self.spec.global_mem_bytes - mem.used,
+            });
+        }
+        let id = mem.next_id;
+        mem.next_id += 1;
+        mem.used += len;
+        mem.peak = mem.peak.max(mem.used);
+        mem.buffers.insert(id, vec![0u8; len]);
+        Ok(BufferId(id))
+    }
+
+    /// Release a buffer.
+    pub fn free(&self, buf: BufferId) -> Result<()> {
+        let mut mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .remove(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("double free of device buffer {:?}", buf)))?;
+        mem.used -= data.len();
+        Ok(())
+    }
+
+    /// Allocate and upload host bytes, charging PCIe transfer time.
+    pub fn upload(&self, bytes: &[u8]) -> Result<BufferId> {
+        let buf = self.alloc(bytes.len())?;
+        self.write(buf, 0, bytes)?;
+        Ok(buf)
+    }
+
+    /// Copy host bytes into an existing buffer at `offset`, charging PCIe
+    /// transfer time.
+    pub fn write(&self, buf: BufferId, offset: usize, bytes: &[u8]) -> Result<()> {
+        let mut mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .get_mut(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?;
+        let end = offset
+            .checked_add(bytes.len())
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| Error::Internal("device buffer overrun".into()))?;
+        data[offset..end].copy_from_slice(bytes);
+        drop(mem);
+        self.ledger
+            .charge_transfer(self.spec.transfer_ns(bytes.len()), bytes.len() as u64, 0);
+        Ok(())
+    }
+
+    /// Copy a buffer back to the host, charging PCIe transfer time.
+    pub fn download(&self, buf: BufferId) -> Result<Vec<u8>> {
+        let mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .get(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?
+            .clone();
+        drop(mem);
+        self.ledger
+            .charge_transfer(self.spec.transfer_ns(data.len()), 0, data.len() as u64);
+        Ok(data)
+    }
+
+    /// Copy `len` bytes of a buffer back to the host, charging only that
+    /// transfer (not the whole buffer).
+    pub fn read_at(&self, buf: BufferId, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .get(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| Error::Internal("device buffer overrun".into()))?;
+        let out = data[offset..end].to_vec();
+        drop(mem);
+        self.ledger.charge_transfer(self.spec.transfer_ns(len), 0, len as u64);
+        Ok(out)
+    }
+
+    /// Device-to-device copy of `src`'s populated prefix into `dst`
+    /// (buffer growth, compaction). Charged as device memory traffic, not
+    /// PCIe.
+    pub fn device_copy(&self, src: BufferId, dst: BufferId) -> Result<usize> {
+        let mut mem = self.mem.lock();
+        let src_data = mem
+            .buffers
+            .get(&src.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", src)))?
+            .clone();
+        let dst_data = mem
+            .buffers
+            .get_mut(&dst.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", dst)))?;
+        let n = src_data.len().min(dst_data.len());
+        dst_data[..n].copy_from_slice(&src_data[..n]);
+        drop(mem);
+        // Read + write at device bandwidth.
+        let ns = (2.0 * n as f64 / self.spec.mem_bandwidth * 1e9) as u64;
+        self.ledger.charge_kernel(ns);
+        Ok(n)
+    }
+
+    /// Run `f` over a buffer's bytes *on the device* (no transfer charge;
+    /// kernel charging is the caller's responsibility via
+    /// [`crate::simt::Executor`]).
+    pub fn with_buffer<R>(&self, buf: BufferId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .get(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?;
+        Ok(f(data))
+    }
+
+    /// Mutable device-side access (for kernels that write in place).
+    pub fn with_buffer_mut<R>(&self, buf: BufferId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut mem = self.mem.lock();
+        let data = mem
+            .buffers
+            .get_mut(&buf.0)
+            .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?;
+        Ok(f(data))
+    }
+
+    /// Length of a buffer in bytes.
+    pub fn buffer_len(&self, buf: BufferId) -> Result<usize> {
+        self.with_buffer(buf, |b| b.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let d = SimDevice::new(0, DeviceSpec::tiny());
+        let a = d.alloc(1000).unwrap();
+        let b = d.alloc(2000).unwrap();
+        assert_eq!(d.used_bytes(), 3000);
+        d.free(a).unwrap();
+        assert_eq!(d.used_bytes(), 2000);
+        assert_eq!(d.peak_bytes(), 3000);
+        d.free(b).unwrap();
+        assert_eq!(d.used_bytes(), 0);
+    }
+
+    #[test]
+    fn all_or_nothing_capacity() {
+        let d = SimDevice::new(0, DeviceSpec::tiny()); // 1 MB
+        let _half = d.alloc(700 * 1024).unwrap();
+        let err = d.alloc(700 * 1024).unwrap_err();
+        match err {
+            Error::DeviceOutOfMemory { requested, free } => {
+                assert_eq!(requested, 700 * 1024);
+                assert_eq!(free, 1024 * 1024 - 700 * 1024);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        // A smaller allocation still fits: no fragmentation in the model.
+        assert!(d.alloc(100 * 1024).is_ok());
+    }
+
+    #[test]
+    fn upload_download_roundtrip_and_charges() {
+        let d = SimDevice::with_defaults();
+        let payload: Vec<u8> = (0..=255).cycle().take(1 << 20).collect();
+        let buf = d.upload(&payload).unwrap();
+        let before = d.ledger().snapshot();
+        assert!(before.transfer_ns > 0);
+        assert_eq!(before.bytes_to_device, 1 << 20);
+        let back = d.download(buf).unwrap();
+        assert_eq!(back, payload);
+        let after = d.ledger().snapshot();
+        assert_eq!(after.bytes_from_device, 1 << 20);
+        assert!(after.transfer_ns > before.transfer_ns);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let d = SimDevice::with_defaults();
+        let b = d.alloc(10).unwrap();
+        d.free(b).unwrap();
+        assert!(d.free(b).is_err());
+    }
+
+    #[test]
+    fn write_bounds_checked() {
+        let d = SimDevice::with_defaults();
+        let b = d.alloc(10).unwrap();
+        assert!(d.write(b, 8, &[1, 2, 3]).is_err());
+        assert!(d.write(b, 7, &[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn device_side_access_is_free_of_transfer_charges() {
+        let d = SimDevice::with_defaults();
+        let b = d.upload(&[1u8; 64]).unwrap();
+        let before = d.ledger().snapshot();
+        let sum: u32 = d.with_buffer(b, |bytes| bytes.iter().map(|&x| x as u32).sum()).unwrap();
+        assert_eq!(sum, 64);
+        assert_eq!(d.ledger().snapshot().transfer_ns, before.transfer_ns);
+    }
+}

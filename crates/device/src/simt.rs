@@ -1,0 +1,164 @@
+//! The SIMT kernel executor: grid/block launches with a virtual-time model.
+//!
+//! A launch executes a Rust closure once per *logical thread* (organized as
+//! `grid_blocks × block_threads`, exactly like CUDA), then charges the cost
+//! ledger with the modeled duration from [`DeviceSpec::kernel_ns`](crate::spec::DeviceSpec::kernel_ns). Data is
+//! computed for real; time is virtual.
+
+use htapg_core::{Error, Result};
+
+use crate::memory::SimDevice;
+
+/// A CUDA-style launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub grid_blocks: u32,
+    pub block_threads: u32,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_blocks: u32, block_threads: u32) -> Self {
+        LaunchConfig { grid_blocks, block_threads }
+    }
+
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+}
+
+/// Identity of one logical thread within a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadIdx {
+    pub block: u32,
+    pub thread: u32,
+    pub block_dim: u32,
+}
+
+impl ThreadIdx {
+    /// Global linear thread index (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn global(&self) -> u64 {
+        self.block as u64 * self.block_dim as u64 + self.thread as u64
+    }
+}
+
+/// Resource accounting a kernel reports for the time model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCost {
+    /// Number of logical work items processed.
+    pub work_items: u64,
+    /// Approximate device cycles per work item.
+    pub cycles_per_item: f64,
+    /// Device-memory bytes read + written.
+    pub bytes: u64,
+}
+
+/// The kernel executor bound to a device.
+#[derive(Debug)]
+pub struct Executor<'d> {
+    device: &'d SimDevice,
+}
+
+impl<'d> Executor<'d> {
+    pub fn new(device: &'d SimDevice) -> Self {
+        Executor { device }
+    }
+
+    pub fn device(&self) -> &SimDevice {
+        self.device
+    }
+
+    /// Validate a launch configuration against device limits.
+    pub fn validate(&self, cfg: LaunchConfig) -> Result<()> {
+        if cfg.block_threads == 0 || cfg.grid_blocks == 0 {
+            return Err(Error::Internal("empty launch configuration".into()));
+        }
+        if cfg.block_threads > self.device.spec().max_threads_per_block {
+            return Err(Error::Internal(format!(
+                "block of {} threads exceeds device limit {}",
+                cfg.block_threads,
+                self.device.spec().max_threads_per_block
+            )));
+        }
+        Ok(())
+    }
+
+    /// Launch `kernel` once per logical thread and charge the modeled cost.
+    ///
+    /// Returns the modeled duration in virtual nanoseconds. The closure runs
+    /// sequentially on the host (blocks outer, threads inner) — determinism
+    /// is the point; parallel speed is *modeled*, not exploited.
+    pub fn launch<F>(&self, cfg: LaunchConfig, cost: KernelCost, mut kernel: F) -> Result<u64>
+    where
+        F: FnMut(ThreadIdx),
+    {
+        self.validate(cfg)?;
+        for block in 0..cfg.grid_blocks {
+            for thread in 0..cfg.block_threads {
+                kernel(ThreadIdx { block, thread, block_dim: cfg.block_threads });
+            }
+        }
+        let ns = self.device.spec().kernel_ns(
+            cfg.total_threads(),
+            cost.work_items.max(cfg.total_threads()),
+            cost.cycles_per_item,
+            cost.bytes,
+        );
+        self.device.ledger().charge_kernel(ns);
+        Ok(ns)
+    }
+
+    /// Charge a launch without running per-thread closures — used by
+    /// kernels that compute with bulk host operations for speed but want the
+    /// same time model (the hot path for large reductions).
+    pub fn charge_launch(&self, cfg: LaunchConfig, cost: KernelCost) -> Result<u64> {
+        self.validate(cfg)?;
+        let ns = self.device.spec().kernel_ns(
+            cfg.total_threads(),
+            cost.work_items.max(cfg.total_threads()),
+            cost.cycles_per_item,
+            cost.bytes,
+        );
+        self.device.ledger().charge_kernel(ns);
+        Ok(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn launch_runs_every_thread() {
+        let d = SimDevice::with_defaults();
+        let ex = Executor::new(&d);
+        let cfg = LaunchConfig::new(4, 8);
+        let mut seen = [false; 32];
+        ex.launch(cfg, KernelCost::default(), |t| {
+            seen[t.global() as usize] = true;
+        })
+        .unwrap();
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn launch_charges_ledger() {
+        let d = SimDevice::with_defaults();
+        let ex = Executor::new(&d);
+        let cost = KernelCost { work_items: 1_000_000, cycles_per_item: 10.0, bytes: 8_000_000 };
+        let ns = ex.charge_launch(LaunchConfig::new(1024, 512), cost).unwrap();
+        let snap = d.ledger().snapshot();
+        assert_eq!(snap.kernel_ns, ns);
+        assert_eq!(snap.kernel_launches, 1);
+        assert!(ns >= d.spec().kernel_launch_ns);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let d = SimDevice::new(0, DeviceSpec::default());
+        let ex = Executor::new(&d);
+        assert!(ex.validate(LaunchConfig::new(1, 2048)).is_err());
+        assert!(ex.validate(LaunchConfig::new(1, 1024)).is_ok());
+        assert!(ex.validate(LaunchConfig::new(0, 1)).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Device geometry and cost parameters.
+
+/// Specification of a simulated SIMT device.
+///
+/// Defaults model the GPU the paper evaluated on (footnote 4): CUDA
+/// capability 5.0, 4044 MB global memory, 5 multiprocessors × 128 cores,
+/// 2 MB L2, max 1024 threads per block, no host-shared memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: usize,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Cores (lanes) per multiprocessor.
+    pub cores_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Device-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Host↔device (PCIe) bandwidth in bytes/second.
+    pub pcie_bandwidth: f64,
+    /// Fixed latency per host↔device transfer, in nanoseconds.
+    pub pcie_latency_ns: u64,
+    /// Fixed overhead per kernel launch, in nanoseconds.
+    pub kernel_launch_ns: u64,
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec {
+            global_mem_bytes: 4044 * 1024 * 1024,
+            sms: 5,
+            cores_per_sm: 128,
+            max_threads_per_block: 1024,
+            clock_hz: 1.1e9,
+            // Maxwell-class mobile GPU: ~80 GB/s GDDR5.
+            mem_bandwidth: 80.0e9,
+            // PCIe 3.0 x16 with realistic pinned-memory efficiency.
+            pcie_bandwidth: 6.0e9,
+            pcie_latency_ns: 10_000,
+            kernel_launch_ns: 5_000,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// Total parallel lanes (cores) on the device.
+    pub fn lanes(&self) -> u32 {
+        self.sms * self.cores_per_sm
+    }
+
+    /// A tiny device for out-of-memory tests: 1 MB of global memory.
+    pub fn tiny() -> Self {
+        DeviceSpec { global_mem_bytes: 1024 * 1024, ..Default::default() }
+    }
+
+    /// A data-center-class device (V100-era): 16 GB HBM2 at ~900 GB/s,
+    /// 80 SMs, NVLink-class host interconnect.
+    pub fn datacenter() -> Self {
+        DeviceSpec {
+            global_mem_bytes: 16 * 1024 * 1024 * 1024,
+            sms: 80,
+            cores_per_sm: 64,
+            max_threads_per_block: 1024,
+            clock_hz: 1.4e9,
+            mem_bandwidth: 900.0e9,
+            pcie_bandwidth: 40.0e9, // NVLink-ish effective host link
+            pcie_latency_ns: 5_000,
+            kernel_launch_ns: 4_000,
+        }
+    }
+
+    /// Virtual nanoseconds to move `bytes` across PCIe (one transfer).
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        self.pcie_latency_ns + (bytes as f64 / self.pcie_bandwidth * 1e9) as u64
+    }
+
+    /// Virtual nanoseconds for a kernel that touches `bytes` of device
+    /// memory and performs `work_items` items of roughly `cycles_per_item`
+    /// cycles each across `threads` launched threads.
+    ///
+    /// The model is `launch + max(compute, memory)`:
+    /// compute = ceil(work / active_lanes) × cycles / clock;
+    /// memory = bytes / bandwidth. Under-filled launches (threads < lanes)
+    /// waste lanes — the GPUTx under-utilization effect.
+    pub fn kernel_ns(&self, threads: u64, work_items: u64, cycles_per_item: f64, bytes: u64) -> u64 {
+        let active = threads.min(self.lanes() as u64).max(1);
+        let waves = (work_items + active - 1) / active.max(1);
+        let compute_s = waves as f64 * cycles_per_item / self.clock_hz;
+        let memory_s = bytes as f64 / self.mem_bandwidth;
+        self.kernel_launch_ns + (compute_s.max(memory_s) * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let s = DeviceSpec::default();
+        assert_eq!(s.lanes(), 640);
+        assert_eq!(s.global_mem_bytes, 4044 * 1024 * 1024);
+        assert_eq!(s.max_threads_per_block, 1024);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let s = DeviceSpec::default();
+        let small = s.transfer_ns(1024);
+        let big = s.transfer_ns(32 * 1024 * 1024);
+        assert!(big > small * 10);
+        // 32 MB over 6 GB/s ≈ 5.3 ms.
+        assert!(big > 5_000_000 && big < 6_500_000, "got {big}");
+    }
+
+    #[test]
+    fn kernel_memory_bound_scan() {
+        let s = DeviceSpec::default();
+        // Summing 4M f64: 32 MB at 80 GB/s ≈ 0.4 ms; compute is cheap.
+        let ns = s.kernel_ns(640 * 512, 4_000_000, 4.0, 32_000_000);
+        assert!(ns > 300_000 && ns < 600_000, "got {ns}");
+    }
+
+    #[test]
+    fn underfilled_launch_is_slower_per_item() {
+        let s = DeviceSpec::default();
+        let work = 1_000_000u64;
+        let full = s.kernel_ns(640, work, 100.0, 0);
+        let one_thread = s.kernel_ns(1, work, 100.0, 0);
+        assert!(one_thread > full * 100, "full={full} one={one_thread}");
+    }
+
+    #[test]
+    fn datacenter_device_is_strictly_faster() {
+        let laptop = DeviceSpec::default();
+        let dc = DeviceSpec::datacenter();
+        let bytes = 32 * 1024 * 1024;
+        assert!(dc.transfer_ns(bytes) < laptop.transfer_ns(bytes) / 3);
+        assert!(
+            dc.kernel_ns(1 << 20, 4_000_000, 4.0, bytes as u64)
+                < laptop.kernel_ns(1 << 20, 4_000_000, 4.0, bytes as u64)
+        );
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let s = DeviceSpec::default();
+        assert!(s.kernel_ns(1, 1, 1.0, 8) >= s.kernel_launch_ns);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the simulated-hardware substrates.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use htapg_device::cluster::SimCluster;
+use htapg_device::disk::SimDisk;
+use htapg_device::kernels::{self, tree_sum};
+use htapg_device::{DeviceSpec, SimDevice};
+
+fn upload_f64(device: &SimDevice, values: &[f64]) -> htapg_device::BufferId {
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    device.upload(&bytes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduction_is_accurate_and_deterministic(values in vec(-1e6f64..1e6, 0..2000)) {
+        let device = SimDevice::with_defaults();
+        let buf = upload_f64(&device, &values);
+        let a = kernels::reduce_sum_f64(&device, buf).unwrap();
+        let b = kernels::reduce_sum_f64(&device, buf).unwrap();
+        prop_assert_eq!(a.to_bits(), b.to_bits(), "bit-determinism");
+        let reference: f64 = values.iter().sum();
+        prop_assert!((a - reference).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
+        // Tree order equals the kernel's result exactly for the same split.
+        prop_assert!((tree_sum(&values) - a).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
+    }
+
+    #[test]
+    fn gather_matches_model(
+        values in vec(any::<f64>().prop_filter("no NaN", |v| !v.is_nan()), 1..200),
+        picks in vec(any::<u16>(), 0..50),
+    ) {
+        let device = SimDevice::with_defaults();
+        let buf = upload_f64(&device, &values);
+        let positions: Vec<u64> =
+            picks.iter().map(|&p| p as u64 % values.len() as u64).collect();
+        let out = kernels::gather(&device, buf, 8, &positions).unwrap();
+        let bytes = device.download(out).unwrap();
+        let got: Vec<f64> =
+            bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
+        let want: Vec<f64> = positions.iter().map(|&p| values[p as usize]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_matches_model(
+        values in vec(-100f64..100.0, 0..300),
+        threshold in -100f64..100.0,
+    ) {
+        let device = SimDevice::with_defaults();
+        let buf = upload_f64(&device, &values);
+        let got = kernels::filter_f64(&device, buf, |v| v > threshold).unwrap();
+        let want: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn allocator_accounting_never_drifts(sizes in vec(1usize..64_000, 1..40)) {
+        let device = SimDevice::new(0, DeviceSpec::default());
+        let mut live = Vec::new();
+        let mut expected = 0usize;
+        for (i, &len) in sizes.iter().enumerate() {
+            let buf = device.alloc(len).unwrap();
+            expected += len;
+            live.push((buf, len));
+            prop_assert_eq!(device.used_bytes(), expected);
+            // Free every third allocation as we go.
+            if i % 3 == 2 {
+                let (b, l) = live.remove(0);
+                device.free(b).unwrap();
+                expected -= l;
+                prop_assert_eq!(device.used_bytes(), expected);
+            }
+        }
+        for (b, l) in live {
+            device.free(b).unwrap();
+            expected -= l;
+        }
+        prop_assert_eq!(device.used_bytes(), 0);
+        prop_assert_eq!(expected, 0);
+    }
+
+    #[test]
+    fn upload_download_identity(payload in vec(any::<u8>(), 0..8192)) {
+        let device = SimDevice::with_defaults();
+        let buf = device.upload(&payload).unwrap();
+        prop_assert_eq!(device.download(buf).unwrap(), payload);
+    }
+
+    #[test]
+    fn disk_pages_roundtrip(pages in vec((0u64..64, vec(any::<u8>(), 0..512)), 1..30)) {
+        let disk = SimDisk::with_defaults(0);
+        let mut model = std::collections::HashMap::new();
+        for (page, data) in &pages {
+            disk.write_page(*page, data).unwrap();
+            model.insert(*page, data.clone());
+        }
+        for (page, data) in &model {
+            prop_assert_eq!(&disk.read_page(*page).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn cluster_blobs_roundtrip_and_ship(
+        blobs in vec(("k[a-z]{1,6}", vec(any::<u8>(), 0..256)), 1..20),
+    ) {
+        let cluster = SimCluster::with_defaults(3);
+        let mut model = std::collections::HashMap::new();
+        for (key, data) in &blobs {
+            let home = cluster.place(key);
+            cluster.node(home).unwrap().put(key.clone(), data.clone());
+            model.insert(key.clone(), data.clone());
+        }
+        for (key, data) in &model {
+            let home = cluster.place(key);
+            // Fetch from the coordinator.
+            prop_assert_eq!(&cluster.fetch(0, home, key).unwrap(), data);
+            // Ship to another node and read it there.
+            let dest = (home + 1) % 3;
+            cluster.ship(home, key, dest).unwrap();
+            prop_assert_eq!(&cluster.node(dest).unwrap().get(key).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! CoGaDB (Breß et al.; surveyed 2016): "CoGaDB allows thin fragment
+//! sub-relations of a relation to be kept on host-memory, device-memory, or
+//! on both memory locations using a replication-based approach. ...
+//! CoGaDB follows an 'all or nothing' approach for moving a thin fragment
+//! ... either there is enough space for the column in the device memory, or
+//! not. ... CoGaDB features a self-adapting query optimizer (HYPE) that
+//! learns cost models and balances the workload between all compute
+//! devices." (Section IV-B3)
+//!
+//! Columns live on the host (thin vectors); [`StorageEngine::maintain`]
+//! replicates the most-scanned columns into simulated device memory with
+//! all-or-nothing placement. [`CogadbEngine::sum_column_placed`] is the
+//! HYPE-scheduled operator: a learned linear cost model per processor picks
+//! CPU or GPU, then observes the actual cost to refine itself.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use htapg_core::adapt::AccessStats;
+use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::{
+    AccessHint, AttrId, DataType, Error, LayoutTemplate, Record, Relation, RelationId, Result,
+    RowId, Schema, Value,
+};
+use htapg_device::kernels;
+use htapg_device::{BufferId, SimDevice};
+use htapg_taxonomy::{survey, Classification};
+
+use crate::common::Registry;
+
+/// Which processor executed (or would execute) an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    Cpu,
+    Gpu,
+}
+
+/// Simple least-squares linear cost model `t = a + b·n`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinModel {
+    n: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+impl LinModel {
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+
+    pub fn samples(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Predicted cost, or `None` until at least two samples exist.
+    pub fn predict(&self, x: f64) -> Option<f64> {
+        if self.n < 2.0 {
+            return None;
+        }
+        let denom = self.n * self.sum_xx - self.sum_x * self.sum_x;
+        if denom.abs() < f64::EPSILON {
+            return Some(self.sum_y / self.n);
+        }
+        let b = (self.n * self.sum_xy - self.sum_x * self.sum_y) / denom;
+        let a = (self.sum_y - b * self.sum_x) / self.n;
+        Some((a + b * x).max(0.0))
+    }
+}
+
+/// The HYPE-style learned scheduler for one operator class.
+#[derive(Debug, Default)]
+pub struct Hype {
+    pub cpu: LinModel,
+    pub gpu: LinModel,
+    /// Alternation counter for the training phase.
+    probe: u64,
+}
+
+impl Hype {
+    /// Decide a placement for input size `n`; `gpu_available` reflects
+    /// whether a fresh device replica exists.
+    pub fn decide(&mut self, n: u64, gpu_available: bool) -> Placement {
+        if !gpu_available {
+            return Placement::Cpu;
+        }
+        match (self.cpu.predict(n as f64), self.gpu.predict(n as f64)) {
+            (Some(c), Some(g)) => {
+                if g < c {
+                    Placement::Gpu
+                } else {
+                    Placement::Cpu
+                }
+            }
+            // Training: alternate to gather samples on both processors.
+            _ => {
+                self.probe += 1;
+                if self.probe.is_multiple_of(2) {
+                    Placement::Cpu
+                } else {
+                    Placement::Gpu
+                }
+            }
+        }
+    }
+
+    pub fn observe(&mut self, placement: Placement, n: u64, ns: f64) {
+        match placement {
+            Placement::Cpu => self.cpu.observe(n as f64, ns),
+            Placement::Gpu => self.gpu.observe(n as f64, ns),
+        }
+    }
+}
+
+struct Replica {
+    buf: BufferId,
+    stale: bool,
+}
+
+struct CogadbRelation {
+    relation: Relation,
+    replicas: HashMap<AttrId, Replica>,
+    stats: AccessStats,
+}
+
+/// The CoGaDB engine.
+pub struct CogadbEngine {
+    device: Arc<SimDevice>,
+    rels: Registry<CogadbRelation>,
+    hype: Mutex<Hype>,
+}
+
+impl Default for CogadbEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CogadbEngine {
+    pub fn new() -> Self {
+        Self::with_device(Arc::new(SimDevice::with_defaults()))
+    }
+
+    pub fn with_device(device: Arc<SimDevice>) -> Self {
+        CogadbEngine { device, rels: Registry::new(), hype: Mutex::new(Hype::default()) }
+    }
+
+    pub fn device(&self) -> &Arc<SimDevice> {
+        &self.device
+    }
+
+    /// Columns currently replicated on the device (fresh or stale).
+    pub fn device_resident(&self, rel: RelationId) -> Result<Vec<AttrId>> {
+        self.rels.read(rel, |r| {
+            let mut v: Vec<AttrId> = r.replicas.keys().copied().collect();
+            v.sort_unstable();
+            Ok(v)
+        })
+    }
+
+    /// Pack a host column into device-ready f64 bytes.
+    fn pack_column(r: &CogadbRelation, attr: AttrId) -> Result<(Vec<u8>, u64)> {
+        let ty = r.relation.schema().ty(attr)?;
+        match ty {
+            DataType::Text(_) | DataType::Bool => {
+                return Err(Error::TypeMismatch { expected: "numeric", got: ty.name() })
+            }
+            _ => {}
+        }
+        let mut out = Vec::new();
+        let mut rows = 0u64;
+        r.relation.for_each_field(attr, |_, bytes| {
+            let x = match ty {
+                DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
+                DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
+                DataType::Int32 | DataType::Date => {
+                    i32::from_le_bytes(bytes.try_into().unwrap()) as f64
+                }
+                _ => unreachable!(),
+            };
+            out.extend_from_slice(&x.to_le_bytes());
+            rows += 1;
+        })?;
+        Ok((out, rows))
+    }
+
+    /// Try to place `attr` on the device — all or nothing.
+    pub fn place_column(&self, rel: RelationId, attr: AttrId) -> Result<()> {
+        let device = self.device.clone();
+        self.rels.write(rel, |r| {
+            if let Some(rep) = r.replicas.get(&attr) {
+                if !rep.stale {
+                    return Ok(());
+                }
+            }
+            let (bytes, _rows) = Self::pack_column(r, attr)?;
+            // Free a stale replica before re-uploading.
+            if let Some(old) = r.replicas.remove(&attr) {
+                device.free(old.buf)?;
+            }
+            let buf = device.upload(&bytes)?; // may fail: all-or-nothing
+            r.replicas.insert(attr, Replica { buf, stale: false });
+            Ok(())
+        })
+    }
+
+    /// HYPE-scheduled column sum: decides CPU vs GPU, executes, observes.
+    pub fn sum_column_placed(&self, rel: RelationId, attr: AttrId) -> Result<(f64, Placement)> {
+        let device = self.device.clone();
+        let handle = self.rels.get(rel)?;
+        let r = handle.read();
+        r.stats.record_scan(attr);
+        let rows = r.relation.row_count();
+        let fresh = r.replicas.get(&attr).is_some_and(|rep| !rep.stale);
+        let placement = self.hype.lock().decide(rows, fresh);
+        match placement {
+            Placement::Gpu => {
+                let rep = r.replicas.get(&attr).expect("fresh replica checked");
+                let before = device.ledger().snapshot();
+                let sum = kernels::reduce_sum_f64(&device, rep.buf)?;
+                let ns = device.ledger().snapshot().since(&before).kernel_ns;
+                self.hype.lock().observe(Placement::Gpu, rows, ns as f64);
+                Ok((sum, Placement::Gpu))
+            }
+            Placement::Cpu => {
+                let ty = r.relation.schema().ty(attr)?;
+                let t = Instant::now();
+                let mut sum = 0.0f64;
+                r.relation.for_each_field(attr, |_, bytes| {
+                    sum += match ty {
+                        DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
+                        DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
+                        DataType::Int32 | DataType::Date => {
+                            i32::from_le_bytes(bytes.try_into().unwrap()) as f64
+                        }
+                        _ => 0.0,
+                    };
+                })?;
+                let ns = t.elapsed().as_nanos() as f64;
+                self.hype.lock().observe(Placement::Cpu, rows, ns);
+                Ok((sum, Placement::Cpu))
+            }
+        }
+    }
+}
+
+impl StorageEngine for CogadbEngine {
+    fn name(&self) -> &'static str {
+        "COGADB"
+    }
+
+    fn classification(&self) -> Classification {
+        survey::cogadb()
+    }
+
+    fn create_relation(&self, schema: Schema) -> Result<RelationId> {
+        let stats = AccessStats::new(schema.arity());
+        let template = LayoutTemplate::dsm_emulated(&schema);
+        Ok(self.rels.add(CogadbRelation {
+            relation: Relation::new(schema, template)?,
+            replicas: HashMap::new(),
+            stats,
+        }))
+    }
+
+    fn schema(&self, rel: RelationId) -> Result<Schema> {
+        self.rels.read(rel, |r| Ok(r.relation.schema().clone()))
+    }
+
+    fn insert(&self, rel: RelationId, record: &Record) -> Result<RowId> {
+        self.rels.write(rel, |r| {
+            let row = r.relation.insert(record)?;
+            // Device replicas no longer cover the new row.
+            for rep in r.replicas.values_mut() {
+                rep.stale = true;
+            }
+            Ok(row)
+        })
+    }
+
+    fn read_record(&self, rel: RelationId, row: RowId) -> Result<Record> {
+        self.rels.read(rel, |r| {
+            let attrs: Vec<AttrId> = r.relation.schema().attr_ids().collect();
+            r.stats.record_point_read(&attrs);
+            r.relation.read_record(row)
+        })
+    }
+
+    fn read_field(&self, rel: RelationId, row: RowId, attr: AttrId) -> Result<Value> {
+        self.rels.read(rel, |r| {
+            r.stats.record_point_read(&[attr]);
+            r.relation.read_value(row, attr, AccessHint::RecordCentric)
+        })
+    }
+
+    fn update_field(&self, rel: RelationId, row: RowId, attr: AttrId, value: &Value) -> Result<()> {
+        self.rels.write(rel, |r| {
+            r.stats.record_update(attr);
+            r.relation.update_field(row, attr, value)?;
+            if let Some(rep) = r.replicas.get_mut(&attr) {
+                rep.stale = true;
+            }
+            Ok(())
+        })
+    }
+
+    fn scan_column(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        visit: &mut dyn FnMut(RowId, &Value),
+    ) -> Result<()> {
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(attr);
+            let ty = r.relation.schema().ty(attr)?;
+            r.relation.for_each_field(attr, |row, bytes| visit(row, &Value::decode(ty, bytes)))
+        })
+    }
+
+    fn with_column_bytes(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        visit: &mut dyn FnMut(&[u8]),
+    ) -> Result<bool> {
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(attr);
+            r.relation.with_column_bytes(attr, visit)
+        })
+    }
+
+    fn row_count(&self, rel: RelationId) -> Result<u64> {
+        self.rels.read(rel, |r| Ok(r.relation.row_count()))
+    }
+
+    /// Placement pass: replicate the most-scanned numeric columns onto the
+    /// device until it is full; refresh stale replicas. (Layouts themselves
+    /// never change — CoGaDB's adaptability is *static* in Table 1.)
+    fn maintain(&self) -> Result<MaintenanceReport> {
+        let mut report = MaintenanceReport::default();
+        let device = self.device.clone();
+        for handle in self.rels.all() {
+            let mut r = handle.write();
+            let schema = r.relation.schema().clone();
+            let mut by_heat: Vec<(u64, AttrId)> = schema
+                .attr_ids()
+                .filter(|&a| {
+                    !matches!(
+                        schema.ty(a),
+                        Ok(DataType::Text(_)) | Ok(DataType::Bool) | Err(_)
+                    )
+                })
+                .map(|a| (r.stats.scans(a), a))
+                .collect();
+            by_heat.sort_unstable_by_key(|(heat, _)| std::cmp::Reverse(*heat));
+            for (heat, attr) in by_heat {
+                if heat == 0 {
+                    break;
+                }
+                let needs_placement =
+                    r.replicas.get(&attr).is_none_or(|rep| rep.stale);
+                if !needs_placement {
+                    continue;
+                }
+                let (bytes, _rows) = Self::pack_column(&r, attr)?;
+                if let Some(old) = r.replicas.remove(&attr) {
+                    device.free(old.buf)?;
+                }
+                match device.upload(&bytes) {
+                    Ok(buf) => {
+                        r.replicas.insert(attr, Replica { buf, stale: false });
+                        report.fragments_moved += 1;
+                    }
+                    Err(Error::DeviceOutOfMemory { .. }) => break, // all-or-nothing fallback
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::engine::StorageEngineExt;
+    use htapg_device::DeviceSpec;
+
+    fn schema() -> Schema {
+        Schema::of(&[("k", DataType::Int64), ("price", DataType::Float64), ("t", DataType::Text(4))])
+    }
+
+    fn rec(i: i64) -> Record {
+        vec![Value::Int64(i), Value::Float64(i as f64), Value::Text("c".into())]
+    }
+
+    fn loaded(e: &CogadbEngine, n: i64) -> RelationId {
+        let rel = e.create_relation(schema()).unwrap();
+        for i in 0..n {
+            e.insert(rel, &rec(i)).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn host_crud() {
+        let e = CogadbEngine::new();
+        let rel = loaded(&e, 100);
+        assert_eq!(e.read_record(rel, 9).unwrap(), rec(9));
+        e.update_field(rel, 9, 1, &Value::Float64(1.5)).unwrap();
+        assert_eq!(e.read_field(rel, 9, 1).unwrap(), Value::Float64(1.5));
+        assert_eq!(e.sum_column_f64(rel, 0).unwrap(), (0..100i64).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn maintain_places_hot_columns() {
+        let e = CogadbEngine::new();
+        let rel = loaded(&e, 1000);
+        for _ in 0..10 {
+            e.sum_column_f64(rel, 1).unwrap();
+        }
+        let report = e.maintain().unwrap();
+        assert!(report.fragments_moved >= 1);
+        assert!(e.device_resident(rel).unwrap().contains(&1));
+        assert!(e.device().used_bytes() >= 8000);
+    }
+
+    #[test]
+    fn all_or_nothing_falls_back_to_host() {
+        let e = CogadbEngine::with_device(Arc::new(SimDevice::new(0, DeviceSpec::tiny())));
+        let rel = loaded(&e, 200_000); // 1.6 MB column > 1 MB device
+        for _ in 0..5 {
+            e.sum_column_f64(rel, 1).unwrap();
+        }
+        let report = e.maintain().unwrap();
+        assert_eq!(report.fragments_moved, 0, "placement must fail wholesale");
+        assert!(e.device_resident(rel).unwrap().is_empty());
+        // Queries still answer from the host.
+        let (sum, placement) = e.sum_column_placed(rel, 1).unwrap();
+        assert_eq!(placement, Placement::Cpu);
+        assert_eq!(sum, (0..200_000i64).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn updates_staleify_and_maintain_refreshes() {
+        let e = CogadbEngine::new();
+        let rel = loaded(&e, 500);
+        for _ in 0..5 {
+            e.sum_column_f64(rel, 1).unwrap();
+        }
+        e.maintain().unwrap();
+        e.update_field(rel, 0, 1, &Value::Float64(1e6)).unwrap();
+        // Scheduler must not use the stale replica.
+        let (_, placement) = e.sum_column_placed(rel, 1).unwrap();
+        assert_eq!(placement, Placement::Cpu);
+        let moved = e.maintain().unwrap().fragments_moved;
+        assert_eq!(moved, 1, "stale replica refreshed");
+        // After refresh the device copy is usable again and correct.
+        e.place_column(rel, 1).unwrap();
+        let expect = (1..500).map(|i| i as f64).sum::<f64>() + 1e6;
+        for _ in 0..10 {
+            let (sum, _) = e.sum_column_placed(rel, 1).unwrap();
+            assert!((sum - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hype_learns_to_prefer_the_gpu_for_large_scans() {
+        let e = CogadbEngine::new();
+        let rel = loaded(&e, 20_000);
+        for _ in 0..3 {
+            e.sum_column_f64(rel, 1).unwrap();
+        }
+        e.maintain().unwrap();
+        // Train: alternating probes gather samples for both processors.
+        for _ in 0..8 {
+            e.sum_column_placed(rel, 1).unwrap();
+        }
+        // The GPU's virtual kernel time for 20k rows (~µs) beats a host
+        // scan through the dyn visitor; after training HYPE should pick it.
+        let (_, placement) = e.sum_column_placed(rel, 1).unwrap();
+        assert_eq!(placement, Placement::Gpu);
+    }
+
+    #[test]
+    fn lin_model_fits_a_line() {
+        let mut m = LinModel::default();
+        for x in [1.0f64, 2.0, 4.0, 8.0] {
+            m.observe(x, 3.0 * x + 10.0);
+        }
+        let p = m.predict(16.0).unwrap();
+        assert!((p - 58.0).abs() < 1e-6, "{p}");
+        assert_eq!(LinModel::default().predict(1.0), None);
+    }
+
+    #[test]
+    fn classification_matches_table1() {
+        assert_eq!(CogadbEngine::new().classification(), survey::cogadb());
+    }
+}

@@ -1,0 +1,191 @@
+//! The bulk (vector-at-a-time) processing model with late materialization.
+//!
+//! "DSM combined with a Bulk-style processing model is a good match for
+//! analytic processing in main-memory databases due to improved CPU data
+//! cache efficiency" (Section II-A). The paper's own experiments run
+//! "bulk-style processing ... with late materialization" (Section II-B).
+//!
+//! Operators exchange [`Batch`]es — column vectors for a contiguous run of
+//! rows — plus *position lists* for selections, so values are only
+//! materialized when the final operator needs them.
+
+use htapg_core::{DataType, Layout, Record, Result, RowId, Schema, Value};
+
+/// A batch: a run of rows, decomposed into per-attribute value vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Attribute ids, parallel to `columns`.
+    pub attrs: Vec<u16>,
+    /// `columns[i][r]` = value of `attrs[i]` in the batch's row `r`.
+    pub columns: Vec<Vec<Value>>,
+    /// Row id of each batch row.
+    pub rows: Vec<RowId>,
+}
+
+impl Batch {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_of(&self, attr: u16) -> Option<&[Value]> {
+        self.attrs.iter().position(|&a| a == attr).map(|i| self.columns[i].as_slice())
+    }
+}
+
+/// Stream a layout's rows as batches of `batch_rows`, reading only `attrs`
+/// (early projection).
+pub fn scan_batches(
+    layout: &Layout,
+    schema: &Schema,
+    attrs: &[u16],
+    batch_rows: usize,
+) -> Result<Vec<Batch>> {
+    let n = layout.row_count();
+    let mut batches = Vec::new();
+    let mut start = 0u64;
+    while start < n {
+        let end = (start + batch_rows as u64).min(n);
+        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            let ty = schema.ty(a)?;
+            let mut col = Vec::with_capacity((end - start) as usize);
+            // Column-wise fill straight from views: the cache-friendly walk.
+            let views = layout.column_views(a)?;
+            let mut base = 0u64;
+            for v in &views {
+                let lo = start.max(base);
+                let hi = end.min(base + v.rows);
+                for i in lo..hi {
+                    col.push(decode(v.field((i - base) as usize), ty));
+                }
+                base += v.rows;
+                if base >= end {
+                    break;
+                }
+            }
+            columns.push(col);
+        }
+        batches.push(Batch { attrs: attrs.to_vec(), columns, rows: (start..end).collect() });
+        start = end;
+    }
+    Ok(batches)
+}
+
+fn decode(bytes: &[u8], ty: DataType) -> Value {
+    Value::decode(ty, bytes)
+}
+
+/// Selection over batches: returns the position list of qualifying rows
+/// (late materialization — no values are copied).
+pub fn select(batches: &[Batch], attr: u16, pred: impl Fn(&Value) -> bool) -> Result<Vec<RowId>> {
+    let mut out = Vec::new();
+    for b in batches {
+        let col = b
+            .column_of(attr)
+            .ok_or(htapg_core::Error::UnknownAttribute(attr))?;
+        for (v, &row) in col.iter().zip(&b.rows) {
+            if pred(v) {
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate: sum an attribute across batches.
+pub fn sum_f64(batches: &[Batch], attr: u16) -> Result<f64> {
+    let mut acc = 0.0;
+    for b in batches {
+        let col = b
+            .column_of(attr)
+            .ok_or(htapg_core::Error::UnknownAttribute(attr))?;
+        for v in col {
+            acc += v.as_f64()?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Late materialization: turn a position list into full records.
+pub fn materialize_positions(
+    layout: &Layout,
+    schema: &Schema,
+    positions: &[RowId],
+) -> Result<Vec<Record>> {
+    positions.iter().map(|&r| layout.read_record(schema, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::LayoutTemplate;
+
+    fn setup(n: i64) -> (Schema, Layout) {
+        let s = Schema::of(&[
+            ("k", DataType::Int64),
+            ("price", DataType::Float64),
+            ("tag", DataType::Text(4)),
+        ]);
+        let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+        for i in 0..n {
+            l.append(
+                &s,
+                &vec![Value::Int64(i), Value::Float64(i as f64), Value::Text("t".into())],
+            )
+            .unwrap();
+        }
+        (s, l)
+    }
+
+    #[test]
+    fn batches_cover_all_rows() {
+        let (s, l) = setup(250);
+        let batches = scan_batches(&l, &s, &[0, 1], 64).unwrap();
+        assert_eq!(batches.len(), 4); // 64+64+64+58
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 250);
+        assert_eq!(batches[3].len(), 58);
+        assert_eq!(batches[1].rows[0], 64);
+        assert_eq!(batches[1].columns[0][0], Value::Int64(64));
+    }
+
+    #[test]
+    fn select_then_materialize_late() {
+        let (s, l) = setup(100);
+        let batches = scan_batches(&l, &s, &[1], 32).unwrap();
+        let positions =
+            select(&batches, 1, |v| matches!(v, Value::Float64(x) if *x >= 95.0)).unwrap();
+        assert_eq!(positions, vec![95, 96, 97, 98, 99]);
+        let recs = materialize_positions(&l, &s, &positions).unwrap();
+        assert_eq!(recs[0][0], Value::Int64(95));
+        assert_eq!(recs[0][2], Value::Text("t".into()));
+    }
+
+    #[test]
+    fn bulk_sum_matches_volcano_sum() {
+        let (s, l) = setup(1000);
+        let batches = scan_batches(&l, &s, &[1], 128).unwrap();
+        let bulk = sum_f64(&batches, 1).unwrap();
+        let volcano = crate::volcano::sum_f64(crate::volcano::Scan::new(&l, &s), 1).unwrap();
+        assert_eq!(bulk, volcano);
+    }
+
+    #[test]
+    fn missing_attr_in_batch_errors() {
+        let (s, l) = setup(10);
+        let batches = scan_batches(&l, &s, &[0], 8).unwrap();
+        assert!(sum_f64(&batches, 1).is_err());
+        assert!(select(&batches, 1, |_| true).is_err());
+    }
+
+    #[test]
+    fn empty_layout_yields_no_batches() {
+        let s = Schema::of(&[("k", DataType::Int64)]);
+        let l = Layout::new(&s, LayoutTemplate::nsm(&s)).unwrap();
+        assert!(scan_batches(&l, &s, &[0], 16).unwrap().is_empty());
+    }
+}

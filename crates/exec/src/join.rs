@@ -1,0 +1,263 @@
+//! Join operators over layouts, producing the *sorted position lists* the
+//! paper's experiments consume ("we consider costs starting right after the
+//! output (i.e., sorted position lists) of the last directly preceding join
+//! operator is available" — Section II-B).
+//!
+//! Provided:
+//! * [`hash_join`] — build/probe equi-join on integer keys;
+//! * [`merge_join`] — sort-merge equi-join (for pre-sorted or index-ordered
+//!   inputs);
+//! * [`nested_loop_join`] — the O(n·m) oracle the others are tested
+//!   against;
+//! * [`group_sum_f64`] — hash group-by aggregation (the OLAP companion).
+
+use std::collections::HashMap;
+
+use htapg_core::{DataType, Error, Layout, Result, RowId};
+
+/// One join match: (left row id, right row id).
+pub type JoinPair = (RowId, RowId);
+
+fn int_key(bytes: &[u8], ty: DataType) -> Result<i64> {
+    match ty {
+        DataType::Int64 => Ok(i64::from_le_bytes(bytes.try_into().unwrap())),
+        DataType::Int32 | DataType::Date => {
+            Ok(i32::from_le_bytes(bytes.try_into().unwrap()) as i64)
+        }
+        other => Err(Error::TypeMismatch { expected: "integer key", got: other.name() }),
+    }
+}
+
+/// Collect `(key, row)` pairs of an integer column.
+fn key_column(layout: &Layout, attr: u16, ty: DataType) -> Result<Vec<(i64, RowId)>> {
+    let mut out = Vec::with_capacity(layout.row_count() as usize);
+    let mut err = None;
+    layout.for_each_field(attr, |row, bytes| {
+        if err.is_some() {
+            return;
+        }
+        match int_key(bytes, ty) {
+            Ok(k) => out.push((k, row)),
+            Err(e) => err = Some(e),
+        }
+    })?;
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Hash equi-join: build on the smaller side, probe with the larger.
+/// Output pairs are sorted by (left row, right row).
+pub fn hash_join(
+    left: &Layout,
+    left_attr: u16,
+    left_ty: DataType,
+    right: &Layout,
+    right_attr: u16,
+    right_ty: DataType,
+) -> Result<Vec<JoinPair>> {
+    let left_keys = key_column(left, left_attr, left_ty)?;
+    let right_keys = key_column(right, right_attr, right_ty)?;
+    let (build, probe, swapped) = if left_keys.len() <= right_keys.len() {
+        (&left_keys, &right_keys, false)
+    } else {
+        (&right_keys, &left_keys, true)
+    };
+    let mut table: HashMap<i64, Vec<RowId>> = HashMap::with_capacity(build.len());
+    for &(k, row) in build.iter() {
+        table.entry(k).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for &(k, probe_row) in probe.iter() {
+        if let Some(rows) = table.get(&k) {
+            for &build_row in rows {
+                out.push(if swapped { (probe_row, build_row) } else { (build_row, probe_row) });
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Sort-merge equi-join.
+pub fn merge_join(
+    left: &Layout,
+    left_attr: u16,
+    left_ty: DataType,
+    right: &Layout,
+    right_attr: u16,
+    right_ty: DataType,
+) -> Result<Vec<JoinPair>> {
+    let mut l = key_column(left, left_attr, left_ty)?;
+    let mut r = key_column(right, right_attr, right_ty)?;
+    l.sort_unstable();
+    r.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = l[i].0;
+                let i_end = l[i..].iter().take_while(|(k, _)| *k == key).count() + i;
+                let j_end = r[j..].iter().take_while(|(k, _)| *k == key).count() + j;
+                for &(_, lr) in &l[i..i_end] {
+                    for &(_, rr) in &r[j..j_end] {
+                        out.push((lr, rr));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Nested-loop equi-join — the correctness oracle.
+pub fn nested_loop_join(
+    left: &Layout,
+    left_attr: u16,
+    left_ty: DataType,
+    right: &Layout,
+    right_attr: u16,
+    right_ty: DataType,
+) -> Result<Vec<JoinPair>> {
+    let l = key_column(left, left_attr, left_ty)?;
+    let r = key_column(right, right_attr, right_ty)?;
+    let mut out = Vec::new();
+    for &(lk, lr) in &l {
+        for &(rk, rr) in &r {
+            if lk == rk {
+                out.push((lr, rr));
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Hash group-by: sum `value_attr` (as f64) grouped by the integer
+/// `key_attr`. Returns (key, sum, count) sorted by key.
+pub fn group_sum_f64(
+    layout: &Layout,
+    key_attr: u16,
+    key_ty: DataType,
+    value_attr: u16,
+    value_ty: DataType,
+) -> Result<Vec<(i64, f64, u64)>> {
+    let keys = key_column(layout, key_attr, key_ty)?;
+    let mut values = Vec::with_capacity(keys.len());
+    let mut err = None;
+    layout.for_each_field(value_attr, |_, bytes| {
+        if err.is_some() {
+            return;
+        }
+        let v = match value_ty {
+            DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
+            DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
+            DataType::Int32 | DataType::Date => {
+                i32::from_le_bytes(bytes.try_into().unwrap()) as f64
+            }
+            other => {
+                err = Some(Error::TypeMismatch { expected: "numeric", got: other.name() });
+                0.0
+            }
+        };
+        values.push(v);
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let mut groups: HashMap<i64, (f64, u64)> = HashMap::new();
+    for ((k, _), v) in keys.iter().zip(values) {
+        let slot = groups.entry(*k).or_insert((0.0, 0));
+        slot.0 += v;
+        slot.1 += 1;
+    }
+    let mut out: Vec<(i64, f64, u64)> =
+        groups.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+    out.sort_unstable_by_key(|(k, _, _)| *k);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::{LayoutTemplate, Schema, Value};
+
+    fn layout_with_keys(keys: &[i64]) -> (Schema, Layout) {
+        let s = Schema::of(&[("k", DataType::Int64), ("v", DataType::Float64)]);
+        let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            l.append(&s, &vec![Value::Int64(k), Value::Float64(i as f64)]).unwrap();
+        }
+        (s, l)
+    }
+
+    #[test]
+    fn joins_agree_with_nested_loop() {
+        let (_, left) = layout_with_keys(&[1, 2, 2, 3, 5, 7, 7, 7]);
+        let (_, right) = layout_with_keys(&[2, 2, 3, 4, 7, 9]);
+        let oracle = nested_loop_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
+        let hashed = hash_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
+        let merged = merge_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
+        assert_eq!(hashed, oracle);
+        assert_eq!(merged, oracle);
+        // 2 matches 2×2=4 pairs, 3 matches 1, 7 matches 3×1=3 → 8 pairs.
+        assert_eq!(oracle.len(), 8);
+    }
+
+    #[test]
+    fn empty_and_disjoint_inputs() {
+        let (_, left) = layout_with_keys(&[]);
+        let (_, right) = layout_with_keys(&[1, 2, 3]);
+        assert!(hash_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64)
+            .unwrap()
+            .is_empty());
+        let (_, l2) = layout_with_keys(&[10, 20]);
+        assert!(merge_join(&l2, 0, DataType::Int64, &right, 0, DataType::Int64)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn join_output_is_sorted_positions() {
+        let (_, left) = layout_with_keys(&[5, 1, 5]);
+        let (_, right) = layout_with_keys(&[5, 5]);
+        let pairs = hash_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (2, 0), (2, 1)]);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn group_by_sums() {
+        let s = Schema::of(&[("g", DataType::Int32), ("v", DataType::Float64)]);
+        let mut l = Layout::new(&s, LayoutTemplate::nsm(&s)).unwrap();
+        for i in 0..100 {
+            l.append(&s, &vec![Value::Int32(i % 4), Value::Float64(i as f64)]).unwrap();
+        }
+        let groups = group_sum_f64(&l, 0, DataType::Int32, 1, DataType::Float64).unwrap();
+        assert_eq!(groups.len(), 4);
+        for (k, sum, count) in &groups {
+            assert_eq!(*count, 25);
+            let expect: f64 = (0..100).filter(|i| i % 4 == *k).map(|i| i as f64).sum();
+            assert_eq!(*sum, expect, "group {k}");
+        }
+        let total: f64 = groups.iter().map(|(_, s, _)| s).sum();
+        assert_eq!(total, (0..100).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn non_integer_keys_rejected() {
+        let s = Schema::of(&[("t", DataType::Text(4))]);
+        let mut l = Layout::new(&s, LayoutTemplate::nsm(&s)).unwrap();
+        l.append(&s, &vec![Value::Text("x".into())]).unwrap();
+        assert!(hash_join(&l, 0, DataType::Text(4), &l, 0, DataType::Text(4)).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # htapg-exec
+//!
+//! The execution layer: the operators and execution policies the paper's
+//! Figure 2 experiment varies.
+//!
+//! * [`threading`] — single-threaded vs multi-threaded execution with
+//!   "blockwise partitioning of the input data (i.e., each thread operates
+//!   on one exclusive and subsequent list of input positions)";
+//! * [`scan`] — attribute-centric operators (column sums, filters) over
+//!   zero-copy [`htapg_core::ColumnView`]s;
+//! * [`join`] — hash, sort-merge, and nested-loop equi-joins producing the
+//!   sorted position lists the paper's operators consume, plus hash
+//!   group-by aggregation;
+//! * [`materialize`] — record-centric operators (the "materialize 150
+//!   customers" operation), with late materialization from position lists;
+//! * [`volcano`] — the Volcano (tuple-at-a-time) processing model;
+//! * [`bulk`] — the bulk (vector-at-a-time) processing model with late
+//!   materialization, as used in the paper's experiments;
+//! * [`device_exec`] — offload to the simulated GPU: column placement,
+//!   resident-column caching, and the reduction-kernel sum (Figure 2's
+//!   "column-store / device" series).
+
+pub mod bulk;
+pub mod join;
+pub mod device_exec;
+pub mod materialize;
+pub mod scan;
+pub mod threading;
+pub mod volcano;
+
+pub use threading::ThreadingPolicy;

@@ -1,0 +1,380 @@
+//! Attribute-centric operators: sums, counts, and filters over column
+//! views — the Q2 pattern (`SELECT sum(a) FROM R`).
+//!
+//! The operators read typed fields straight from [`ColumnView`]s, so the
+//! cache behaviour of the underlying layout (contiguous DSM vs strided NSM)
+//! is exactly what the CPU executes — the mechanism Figure 2 measures.
+
+use htapg_core::{ColumnView, DataType, Error, Layout, Result, RowId};
+
+use crate::threading::{run_blocks, ThreadingPolicy};
+
+#[inline]
+fn read_f64(bytes: &[u8], ty: DataType) -> f64 {
+    match ty {
+        DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
+        DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
+        DataType::Int32 | DataType::Date => i32::from_le_bytes(bytes.try_into().unwrap()) as f64,
+        DataType::Bool => bytes[0] as f64,
+        DataType::Text(_) => 0.0,
+    }
+}
+
+fn check_numeric(ty: DataType) -> Result<()> {
+    match ty {
+        DataType::Text(_) | DataType::Bool => {
+            Err(Error::TypeMismatch { expected: "numeric", got: ty.name() })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Sum one view's rows `[lo, hi)` as f64.
+fn sum_view_range(view: &ColumnView<'_>, ty: DataType, lo: u64, hi: u64) -> f64 {
+    let mut acc = 0.0f64;
+    if let Some(block) = view.slice_rows(lo, hi).contiguous_bytes() {
+        // Contiguous fast path: sequential streaming.
+        for chunk in block.chunks_exact(view.width) {
+            acc += read_f64(chunk, ty);
+        }
+    } else {
+        for i in lo..hi {
+            acc += read_f64(view.field(i as usize), ty);
+        }
+    }
+    acc
+}
+
+/// Sum an entire column of `layout` under a threading policy.
+///
+/// Rows are blockwise-partitioned across the *logical* row space spanning
+/// all chunks, matching the paper's partitioning description.
+pub fn sum_column_f64(layout: &Layout, attr: u16, policy: ThreadingPolicy) -> Result<f64> {
+    sum_column_f64_typed(layout, attr, infer_type(layout, attr)?, policy)
+}
+
+/// Determine the column's data type from its field width.
+///
+/// Views are untyped; prefer the explicit-type entry point
+/// [`sum_column_f64_typed`] when the schema is at hand (8-byte fields are
+/// assumed to be `Float64` here).
+fn infer_type(layout: &Layout, attr: u16) -> Result<DataType> {
+    let views = layout.column_views(attr)?;
+    let width = views.first().map(|v| v.width).unwrap_or(8);
+    Ok(match width {
+        1 => DataType::Bool,
+        4 => DataType::Int32,
+        8 => DataType::Float64,
+        w => DataType::Text(w as u16),
+    })
+}
+
+/// Sum a column with an explicit element type.
+pub fn sum_column_f64_typed(
+    layout: &Layout,
+    attr: u16,
+    ty: DataType,
+    policy: ThreadingPolicy,
+) -> Result<f64> {
+    check_numeric(ty)?;
+    let views = layout.column_views(attr)?;
+    let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    let sum = run_blocks(
+        total_rows,
+        policy,
+        |lo, hi| {
+            // Map the logical block [lo, hi) onto per-view ranges.
+            let mut acc = 0.0f64;
+            let mut base = 0u64;
+            for v in &views {
+                let v_lo = lo.max(base);
+                let v_hi = hi.min(base + v.rows);
+                if v_lo < v_hi {
+                    acc += sum_view_range(v, ty, v_lo - base, v_hi - base);
+                }
+                base += v.rows;
+                if base >= hi {
+                    break;
+                }
+            }
+            acc
+        },
+        |a, b| a + b,
+        0.0,
+    );
+    Ok(sum)
+}
+
+/// Sum the column at an explicit list of row positions (the tiny-position
+/// variant of Figure 2's second panel: "sum prices of 150 items").
+pub fn sum_at_positions_f64(
+    layout: &Layout,
+    attr: u16,
+    ty: DataType,
+    positions: &[RowId],
+    policy: ThreadingPolicy,
+) -> Result<f64> {
+    check_numeric(ty)?;
+    let views = layout.column_views(attr)?;
+    // Blockwise over the *position list*, as in the paper; each point
+    // access resolves its chunk by row id.
+    let sum = run_blocks(
+        positions.len() as u64,
+        policy,
+        |lo, hi| {
+            let mut acc = 0.0f64;
+            for &row in &positions[lo as usize..hi as usize] {
+                let mut base = 0u64;
+                for v in &views {
+                    if row < base + v.rows {
+                        acc += read_f64(v.field((row - base) as usize), ty);
+                        break;
+                    }
+                    base += v.rows;
+                }
+            }
+            acc
+        },
+        |a, b| a + b,
+        0.0,
+    );
+    Ok(sum)
+}
+
+/// Aggregate summary of one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl ColumnStats {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn identity() -> ColumnStats {
+        ColumnStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn merge(a: ColumnStats, b: ColumnStats) -> ColumnStats {
+        ColumnStats {
+            count: a.count + b.count,
+            sum: a.sum + b.sum,
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+}
+
+/// Full-column count/sum/min/max in one pass, under a threading policy.
+pub fn column_stats(
+    layout: &Layout,
+    attr: u16,
+    ty: DataType,
+    policy: ThreadingPolicy,
+) -> Result<ColumnStats> {
+    check_numeric(ty)?;
+    let views = layout.column_views(attr)?;
+    let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    Ok(run_blocks(
+        total_rows,
+        policy,
+        |lo, hi| {
+            let mut acc = ColumnStats::identity();
+            let mut base = 0u64;
+            for v in &views {
+                let v_lo = lo.max(base);
+                let v_hi = hi.min(base + v.rows);
+                for i in v_lo..v_hi {
+                    let x = read_f64(v.field((i - base) as usize), ty);
+                    acc.count += 1;
+                    acc.sum += x;
+                    acc.min = acc.min.min(x);
+                    acc.max = acc.max.max(x);
+                }
+                base += v.rows;
+                if base >= hi {
+                    break;
+                }
+            }
+            acc
+        },
+        ColumnStats::merge,
+        ColumnStats::identity(),
+    ))
+}
+
+/// Filter: collect row ids whose field satisfies `pred` (sequential —
+/// position lists must stay sorted, as the paper's join outputs are).
+pub fn filter_positions(
+    layout: &Layout,
+    attr: u16,
+    ty: DataType,
+    pred: impl Fn(f64) -> bool,
+) -> Result<Vec<RowId>> {
+    check_numeric(ty)?;
+    let views = layout.column_views(attr)?;
+    let mut out = Vec::new();
+    for v in &views {
+        for i in 0..v.rows {
+            if pred(read_f64(v.field(i as usize), ty)) {
+                out.push(v.first_row + i);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Count rows matching `pred` under a threading policy.
+pub fn count_where(
+    layout: &Layout,
+    attr: u16,
+    ty: DataType,
+    policy: ThreadingPolicy,
+    pred: impl Fn(f64) -> bool + Sync,
+) -> Result<u64> {
+    check_numeric(ty)?;
+    let views = layout.column_views(attr)?;
+    let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    Ok(run_blocks(
+        total_rows,
+        policy,
+        |lo, hi| {
+            let mut n = 0u64;
+            let mut base = 0u64;
+            for v in &views {
+                let v_lo = lo.max(base);
+                let v_hi = hi.min(base + v.rows);
+                for i in v_lo..v_hi {
+                    if pred(read_f64(v.field((i - base) as usize), ty)) {
+                        n += 1;
+                    }
+                }
+                base += v.rows;
+                if base >= hi {
+                    break;
+                }
+            }
+            n
+        },
+        |a, b| a + b,
+        0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::{LayoutTemplate, Schema, Value};
+
+    fn filled(template: fn(&Schema) -> LayoutTemplate, n: i64) -> (Schema, Layout) {
+        let s = Schema::of(&[
+            ("k", DataType::Int64),
+            ("price", DataType::Float64),
+            ("pad", DataType::Text(12)),
+        ]);
+        let mut l = Layout::new(&s, template(&s)).unwrap();
+        for i in 0..n {
+            l.append(
+                &s,
+                &vec![Value::Int64(i), Value::Float64(i as f64 * 0.25), Value::Text("x".into())],
+            )
+            .unwrap();
+        }
+        (s, l)
+    }
+
+    #[test]
+    fn sum_is_layout_and_policy_invariant() {
+        let n = 10_000i64;
+        let expect: f64 = (0..n).map(|i| i as f64 * 0.25).sum();
+        for template in [LayoutTemplate::nsm as fn(&Schema) -> _, LayoutTemplate::dsm, LayoutTemplate::dsm_emulated] {
+            let (_, l) = filled(template, n);
+            for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
+                let got = sum_column_f64_typed(&l, 1, DataType::Float64, policy).unwrap();
+                assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_via_inferred_type() {
+        let (_, l) = filled(LayoutTemplate::dsm_emulated, 100);
+        let got = sum_column_f64(&l, 1, ThreadingPolicy::Single).unwrap();
+        assert_eq!(got, (0..100).map(|i| i as f64 * 0.25).sum::<f64>());
+    }
+
+    #[test]
+    fn sum_at_positions_matches_subset() {
+        let (_, l) = filled(LayoutTemplate::nsm, 1000);
+        let positions: Vec<u64> = (0..1000).step_by(7).collect();
+        let expect: f64 = positions.iter().map(|&i| i as f64 * 0.25).sum();
+        for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
+            let got =
+                sum_at_positions_f64(&l, 1, DataType::Float64, &positions, policy).unwrap();
+            assert!((got - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filter_and_count_agree() {
+        let (_, l) = filled(LayoutTemplate::dsm, 500);
+        let pos = filter_positions(&l, 1, DataType::Float64, |v| v >= 100.0).unwrap();
+        let cnt =
+            count_where(&l, 1, DataType::Float64, ThreadingPolicy::multi8(), |v| v >= 100.0)
+                .unwrap();
+        assert_eq!(pos.len() as u64, cnt);
+        // price = i * 0.25 >= 100 → i >= 400.
+        assert_eq!(pos.first(), Some(&400));
+        assert_eq!(pos.len(), 100);
+    }
+
+    #[test]
+    fn text_columns_rejected() {
+        let (_, l) = filled(LayoutTemplate::nsm, 10);
+        assert!(sum_column_f64_typed(&l, 2, DataType::Text(12), ThreadingPolicy::Single).is_err());
+    }
+
+    #[test]
+    fn int32_columns_sum() {
+        let s = Schema::of(&[("v", DataType::Int32)]);
+        let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+        for i in 0..100 {
+            l.append(&s, &vec![Value::Int32(i)]).unwrap();
+        }
+        let got = sum_column_f64_typed(&l, 0, DataType::Int32, ThreadingPolicy::Single).unwrap();
+        assert_eq!(got, (0..100).sum::<i32>() as f64);
+    }
+
+    #[test]
+    fn column_stats_one_pass() {
+        let (_, l) = filled(LayoutTemplate::dsm, 1000);
+        for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
+            let stats = column_stats(&l, 1, DataType::Float64, policy).unwrap();
+            assert_eq!(stats.count, 1000);
+            assert_eq!(stats.min, 0.0);
+            assert_eq!(stats.max, 999.0 * 0.25);
+            assert!((stats.sum - (0..1000).map(|i| i as f64 * 0.25).sum::<f64>()).abs() < 1e-9);
+            assert!((stats.mean() - stats.sum / 1000.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chunked_layout_sums_across_chunks() {
+        let s = Schema::of(&[("v", DataType::Int64)]);
+        let mut l = Layout::new(&s, LayoutTemplate::pax(&s, 64)).unwrap();
+        for i in 0..1000i64 {
+            l.append(&s, &vec![Value::Int64(i)]).unwrap();
+        }
+        let got =
+            sum_column_f64_typed(&l, 0, DataType::Int64, ThreadingPolicy::multi8()).unwrap();
+        assert_eq!(got, (0..1000i64).sum::<i64>() as f64);
+    }
+}

@@ -1,0 +1,487 @@
+//! The Volcano (tuple-at-a-time) processing model.
+//!
+//! "NSM combined with the Volcano-style processing model suits well for
+//! this [record-centric] access pattern in case the costs for function
+//! calls can be hidden by data access costs." (Section II-A)
+//!
+//! Operators form a pull-based pipeline: every `next()` produces one
+//! record, paying one virtual call per operator per tuple — the per-tuple
+//! overhead the bulk model amortizes.
+
+use htapg_core::{Layout, Record, Result, RowId, Schema, Value};
+
+/// A Volcano operator: a pull-based record iterator.
+pub trait Operator {
+    /// Produce the next record, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Record>>;
+    /// Output schema (attribute order of produced records).
+    fn output_arity(&self) -> usize;
+}
+
+/// Full-table scan over a layout.
+pub struct Scan<'a> {
+    layout: &'a Layout,
+    schema: &'a Schema,
+    cursor: RowId,
+}
+
+impl<'a> Scan<'a> {
+    pub fn new(layout: &'a Layout, schema: &'a Schema) -> Self {
+        Scan { layout, schema, cursor: 0 }
+    }
+}
+
+impl Operator for Scan<'_> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        if self.cursor >= self.layout.row_count() {
+            return Ok(None);
+        }
+        let rec = self.layout.read_record(self.schema, self.cursor)?;
+        self.cursor += 1;
+        Ok(Some(rec))
+    }
+
+    fn output_arity(&self) -> usize {
+        self.schema.arity()
+    }
+}
+
+/// Selection: pass records satisfying a predicate.
+pub struct Filter<C> {
+    child: C,
+    pred: Box<dyn FnMut(&Record) -> bool + Send>,
+}
+
+impl<C: Operator> Filter<C> {
+    pub fn new(child: C, pred: impl FnMut(&Record) -> bool + Send + 'static) -> Self {
+        Filter { child, pred: Box::new(pred) }
+    }
+}
+
+impl<C: Operator> Operator for Filter<C> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        while let Some(rec) = self.child.next()? {
+            if (self.pred)(&rec) {
+                return Ok(Some(rec));
+            }
+        }
+        Ok(None)
+    }
+
+    fn output_arity(&self) -> usize {
+        self.child.output_arity()
+    }
+}
+
+/// Projection: reorder / subset attributes.
+pub struct Project<C> {
+    child: C,
+    attrs: Vec<u16>,
+}
+
+impl<C: Operator> Project<C> {
+    pub fn new(child: C, attrs: Vec<u16>) -> Self {
+        Project { child, attrs }
+    }
+}
+
+impl<C: Operator> Operator for Project<C> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        match self.child.next()? {
+            Some(rec) => {
+                Ok(Some(self.attrs.iter().map(|&a| rec[a as usize].clone()).collect()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn output_arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// Limit: stop after `n` records.
+pub struct Limit<C> {
+    child: C,
+    remaining: u64,
+}
+
+impl<C: Operator> Limit<C> {
+    pub fn new(child: C, n: u64) -> Self {
+        Limit { child, remaining: n }
+    }
+}
+
+impl<C: Operator> Operator for Limit<C> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(rec) => {
+                self.remaining -= 1;
+                Ok(Some(rec))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn output_arity(&self) -> usize {
+        self.child.output_arity()
+    }
+}
+
+/// Drain a pipeline into a vector.
+pub fn collect(mut op: impl Operator) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    while let Some(rec) = op.next()? {
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Aggregate a pipeline: sum attribute `attr` of the produced records.
+pub fn sum_f64(mut op: impl Operator, attr: u16) -> Result<f64> {
+    let mut acc = 0.0;
+    while let Some(rec) = op.next()? {
+        acc += rec[attr as usize].as_f64()?;
+    }
+    Ok(acc)
+}
+
+/// Count records produced by a pipeline.
+pub fn count(mut op: impl Operator) -> Result<u64> {
+    let mut n = 0;
+    while op.next()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Sort: a pipeline breaker that drains its child, orders by `attr`, and
+/// replays. Values compare by their natural order (text lexicographic,
+/// numerics numeric).
+pub struct Sort<C> {
+    child: Option<C>,
+    attr: u16,
+    descending: bool,
+    buffered: std::vec::IntoIter<Record>,
+}
+
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Int32(x), Value::Int32(y)) => x.cmp(y),
+        (Value::Int64(x), Value::Int64(y)) => x.cmp(y),
+        (Value::Date(x), Value::Date(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Float64(x), Value::Float64(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Text(x), Value::Text(y)) => x.cmp(y),
+        // Heterogeneous columns cannot occur through a typed schema; fall
+        // back to a stable non-order.
+        _ => Ordering::Equal,
+    }
+}
+
+impl<C: Operator> Sort<C> {
+    pub fn new(child: C, attr: u16, descending: bool) -> Self {
+        Sort { child: Some(child), attr, descending, buffered: Vec::new().into_iter() }
+    }
+}
+
+impl<C: Operator> Operator for Sort<C> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        if let Some(mut child) = self.child.take() {
+            let mut all = Vec::new();
+            while let Some(rec) = child.next()? {
+                all.push(rec);
+            }
+            let attr = self.attr as usize;
+            all.sort_by(|a, b| value_cmp(&a[attr], &b[attr]));
+            if self.descending {
+                all.reverse();
+            }
+            self.buffered = all.into_iter();
+        }
+        Ok(self.buffered.next())
+    }
+
+    fn output_arity(&self) -> usize {
+        self.child.as_ref().map_or(0, |c| c.output_arity())
+    }
+}
+
+/// Top-k: sort + limit fused (keeps only k records in memory).
+pub struct TopK<C> {
+    child: Option<C>,
+    attr: u16,
+    k: usize,
+    descending: bool,
+    buffered: std::vec::IntoIter<Record>,
+}
+
+impl<C: Operator> TopK<C> {
+    pub fn new(child: C, attr: u16, k: usize, descending: bool) -> Self {
+        TopK { child: Some(child), attr, k, descending, buffered: Vec::new().into_iter() }
+    }
+}
+
+impl<C: Operator> Operator for TopK<C> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        if let Some(mut child) = self.child.take() {
+            let attr = self.attr as usize;
+            let desc = self.descending;
+            let mut heap: Vec<Record> = Vec::with_capacity(self.k + 1);
+            while let Some(rec) = child.next()? {
+                heap.push(rec);
+                if heap.len() > self.k {
+                    // Drop the worst record (linear; k is small by intent).
+                    let worst = heap
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let ord = value_cmp(&a[attr], &b[attr]);
+                            if desc { ord.reverse() } else { ord }
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    heap.swap_remove(worst);
+                }
+            }
+            heap.sort_by(|a, b| {
+                let ord = value_cmp(&a[attr], &b[attr]);
+                if desc { ord.reverse() } else { ord }
+            });
+            self.buffered = heap.into_iter();
+        }
+        Ok(self.buffered.next())
+    }
+
+    fn output_arity(&self) -> usize {
+        self.child.as_ref().map_or(0, |c| c.output_arity())
+    }
+}
+
+/// Hash equi-join as a Volcano operator: builds on the left child at first
+/// `next()`, then streams the right child. Output records are
+/// `left ++ right` concatenations.
+pub struct HashJoinOp<L, R> {
+    left: Option<L>,
+    right: R,
+    left_attr: u16,
+    right_attr: u16,
+    table: std::collections::HashMap<JoinKey, Vec<Record>>,
+    /// Pending matches for the current right record.
+    pending: Vec<Record>,
+    left_arity: usize,
+}
+
+/// Hashable, totally-equatable view of a [`Value`] for join keys (floats
+/// compare by bit pattern; NaN keys never match anything meaningful, which
+/// matches SQL's NULL-like semantics for NaN equality well enough here).
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum JoinKey {
+    Int(i64),
+    Bool(bool),
+    FloatBits(u64),
+    Text(String),
+}
+
+fn join_key(v: &Value) -> JoinKey {
+    match v {
+        Value::Bool(b) => JoinKey::Bool(*b),
+        Value::Int32(x) => JoinKey::Int(*x as i64),
+        Value::Int64(x) => JoinKey::Int(*x),
+        Value::Date(x) => JoinKey::Int(*x as i64),
+        Value::Float64(x) => JoinKey::FloatBits(x.to_bits()),
+        Value::Text(t) => JoinKey::Text(t.clone()),
+    }
+}
+
+impl<L: Operator, R: Operator> HashJoinOp<L, R> {
+    pub fn new(left: L, right: R, left_attr: u16, right_attr: u16) -> Self {
+        let left_arity = left.output_arity();
+        HashJoinOp {
+            left: Some(left),
+            right,
+            left_attr,
+            right_attr,
+            table: std::collections::HashMap::new(),
+            pending: Vec::new(),
+            left_arity,
+        }
+    }
+}
+
+impl<L: Operator, R: Operator> Operator for HashJoinOp<L, R> {
+    fn next(&mut self) -> Result<Option<Record>> {
+        if let Some(mut left) = self.left.take() {
+            while let Some(rec) = left.next()? {
+                let key = join_key(&rec[self.left_attr as usize]);
+                self.table.entry(key).or_default().push(rec);
+            }
+        }
+        loop {
+            if let Some(joined) = self.pending.pop() {
+                return Ok(Some(joined));
+            }
+            match self.right.next()? {
+                None => return Ok(None),
+                Some(r) => {
+                    if let Some(matches) = self.table.get(&join_key(&r[self.right_attr as usize])) {
+                        for l in matches {
+                            let mut joined = l.clone();
+                            joined.extend(r.iter().cloned());
+                            self.pending.push(joined);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn output_arity(&self) -> usize {
+        self.left_arity + self.right.output_arity()
+    }
+}
+
+/// Convenience: evaluate Q1-style point lookup
+/// (`SELECT * FROM R WHERE key_attr = key`) via scan + filter.
+pub fn point_query(
+    layout: &Layout,
+    schema: &Schema,
+    key_attr: u16,
+    key: Value,
+) -> Result<Vec<Record>> {
+    let scan = Scan::new(layout, schema);
+    let filter = Filter::new(scan, move |rec| rec[key_attr as usize] == key);
+    collect(filter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::{DataType, LayoutTemplate};
+
+    fn setup(n: i64) -> (Schema, Layout) {
+        let s = Schema::of(&[("k", DataType::Int64), ("v", DataType::Float64)]);
+        let mut l = Layout::new(&s, LayoutTemplate::nsm(&s)).unwrap();
+        for i in 0..n {
+            l.append(&s, &vec![Value::Int64(i), Value::Float64(i as f64)]).unwrap();
+        }
+        (s, l)
+    }
+
+    #[test]
+    fn scan_produces_all_rows_in_order() {
+        let (s, l) = setup(10);
+        let recs = collect(Scan::new(&l, &s)).unwrap();
+        assert_eq!(recs.len(), 10);
+        assert_eq!(recs[9][0], Value::Int64(9));
+    }
+
+    #[test]
+    fn filter_project_limit_pipeline() {
+        let (s, l) = setup(100);
+        let pipeline = Limit::new(
+            Project::new(
+                Filter::new(Scan::new(&l, &s), |r| matches!(r[0], Value::Int64(k) if k % 2 == 0)),
+                vec![1],
+            ),
+            3,
+        );
+        let recs = collect(pipeline).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                vec![Value::Float64(0.0)],
+                vec![Value::Float64(2.0)],
+                vec![Value::Float64(4.0)]
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let (s, l) = setup(100);
+        assert_eq!(sum_f64(Scan::new(&l, &s), 1).unwrap(), (0..100).sum::<i64>() as f64);
+        assert_eq!(count(Scan::new(&l, &s)).unwrap(), 100);
+    }
+
+    #[test]
+    fn point_query_finds_exactly_one() {
+        let (s, l) = setup(50);
+        let hits = point_query(&l, &s, 0, Value::Int64(17)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::Float64(17.0));
+        assert!(point_query(&l, &s, 0, Value::Int64(-1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_orders_by_attribute() {
+        let (s, l) = setup(20);
+        let sorted = collect(Sort::new(Scan::new(&l, &s), 1, true)).unwrap();
+        assert_eq!(sorted[0][1], Value::Float64(19.0));
+        assert_eq!(sorted[19][1], Value::Float64(0.0));
+        let asc = collect(Sort::new(Scan::new(&l, &s), 0, false)).unwrap();
+        assert_eq!(asc[0][0], Value::Int64(0));
+        assert_eq!(asc.len(), 20);
+    }
+
+    #[test]
+    fn topk_equals_sort_plus_limit() {
+        let (s, l) = setup(100);
+        let topk = collect(TopK::new(Scan::new(&l, &s), 1, 5, true)).unwrap();
+        let sorted = collect(Limit::new(Sort::new(Scan::new(&l, &s), 1, true), 5)).unwrap();
+        assert_eq!(topk, sorted);
+        assert_eq!(topk[0][1], Value::Float64(99.0));
+        assert_eq!(topk[4][1], Value::Float64(95.0));
+        // k larger than the input: everything comes back.
+        let all = collect(TopK::new(Scan::new(&l, &s), 1, 500, false)).unwrap();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn hash_join_operator_concatenates_matches() {
+        let (s, l) = setup(10);
+        // Self-join on k: every row matches exactly itself.
+        let joined =
+            collect(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
+        assert_eq!(joined.len(), 10);
+        for rec in &joined {
+            assert_eq!(rec.len(), 4, "left ++ right arity");
+            assert_eq!(rec[0], rec[2], "join keys equal");
+        }
+        // Join against a filtered side: only even keys survive.
+        let evens = Filter::new(Scan::new(&l, &s), |r| {
+            matches!(r[0], Value::Int64(k) if k % 2 == 0)
+        });
+        let joined = collect(HashJoinOp::new(evens, Scan::new(&l, &s), 0, 0)).unwrap();
+        assert_eq!(joined.len(), 5);
+    }
+
+    #[test]
+    fn volcano_join_agrees_with_bulk_join() {
+        let (s, l) = setup(50);
+        let volcano =
+            count(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
+        let bulk = crate::join::hash_join(
+            &l,
+            0,
+            htapg_core::DataType::Int64,
+            &l,
+            0,
+            htapg_core::DataType::Int64,
+        )
+        .unwrap()
+        .len();
+        assert_eq!(volcano as usize, bulk);
+    }
+
+    #[test]
+    fn arity_tracking() {
+        let (s, l) = setup(1);
+        let p = Project::new(Scan::new(&l, &s), vec![1]);
+        assert_eq!(p.output_arity(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! # htapg-taxonomy
+//!
+//! The storage-engine design taxonomy of *Pinnecke et al., "Are Databases Fit
+//! for Hybrid Workloads on GPUs? A Storage Engine's Perspective", ICDE 2017*,
+//! encoded as Rust types.
+//!
+//! The paper proposes (Section III) a set of classification properties for
+//! storage engines — layout handling, layout flexibility, layout adaptability,
+//! data location/locality, fragment linearization, and fragment scheme — and
+//! arranges them into a taxonomy (Figure 4). It then classifies ten
+//! state-of-the-art engines along those axes (Table 1) and derives a
+//! *reference design* for HTAP engines on CPU/GPU platforms (Section IV-C).
+//!
+//! This crate provides:
+//!
+//! * [`props`] — each classification property as an enum, with the exact
+//!   vocabulary of the paper;
+//! * [`Classification`] — a full Table 1 row;
+//! * [`survey`] — the paper's Table 1 verbatim, as data (used as the expected
+//!   value when the engine implementations in `htapg-engines` classify
+//!   themselves);
+//! * [`table`] — renderers that regenerate Table 1;
+//! * [`tree`] — a renderer that regenerates the taxonomy tree of Figure 4;
+//! * [`reference`][mod@reference] — the six reference-design requirements of Section IV-C
+//!   as an executable checklist.
+
+pub mod props;
+pub mod reference;
+pub mod survey;
+pub mod table;
+pub mod tree;
+
+pub use props::{
+    DataLocality, DataLocation, FragmentLinearization, FragmentScheme, LayoutAdaptability,
+    LayoutFlexibility, LayoutHandling, ProcessorSupport, StorageMedium, WorkloadSupport,
+};
+
+/// A complete classification of one storage engine — one row of the paper's
+/// Table 1 plus bibliographic metadata.
+///
+/// Locality is stored explicitly (not derived) because Table 1 classifies
+/// locality by *physical place* — a disk array (Fractured Mirrors) or a
+/// shared-nothing cluster (ES²) is distributed even when every tuplet sits in
+/// "host" media of some machine. [`DataLocation::locality`] gives the
+/// single-machine default used by engines that construct their own
+/// classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// Engine name as printed in Table 1 (e.g. `"HYRISE"`).
+    pub name: &'static str,
+    pub layout_handling: LayoutHandling,
+    pub layout_flexibility: LayoutFlexibility,
+    pub layout_adaptability: LayoutAdaptability,
+    pub data_location: DataLocation,
+    pub data_locality: DataLocality,
+    pub fragment_linearization: FragmentLinearization,
+    pub fragment_scheme: FragmentScheme,
+    pub processor_support: ProcessorSupport,
+    pub workload_support: WorkloadSupport,
+    /// Publication year, as in Table 1's "Date / Paper" column.
+    pub year: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_rows_are_complete_and_ordered_by_date() {
+        let rows = survey::paper_table1();
+        assert_eq!(rows.len(), 10);
+        for w in rows.windows(2) {
+            assert!(w[0].year <= w[1].year, "Table 1 is ordered by date");
+        }
+    }
+
+    #[test]
+    fn mirrors_and_es2_are_distributed_despite_host_media() {
+        let rows = survey::paper_table1();
+        let mirrors = rows.iter().find(|r| r.name == "FRAC. MIRRORS").unwrap();
+        assert_eq!(mirrors.data_locality, DataLocality::Distributed);
+        let es2 = rows.iter().find(|r| r.name == "ES2").unwrap();
+        assert_eq!(es2.data_locality, DataLocality::Distributed);
+    }
+}

@@ -1,0 +1,360 @@
+//! Classification properties (Section III of the paper), one enum per axis.
+//!
+//! The vocabulary follows the paper exactly; each variant's doc comment
+//! quotes the defining sentence of Section III.
+
+use std::fmt;
+
+/// **Layout handling** — how many layouts a relation may have.
+///
+/// "If a storage engine limits a relation R to have exactly one layout, then
+/// R has a single layout. Otherwise R is multi-layout."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutHandling {
+    /// Exactly one layout per relation.
+    Single,
+    /// Multiple layouts, natively managed by the engine.
+    MultiBuiltIn,
+    /// Multiple layouts emulated "by holding relations R1..Rn under the same
+    /// name, but \[with\] pair-wise different fragments ... following a data
+    /// replication strategy".
+    MultiEmulated,
+}
+
+impl fmt::Display for LayoutHandling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayoutHandling::Single => "single",
+            LayoutHandling::MultiBuiltIn => "built-in multi",
+            LayoutHandling::MultiEmulated => "emulated multi",
+        })
+    }
+}
+
+/// **Layout flexibility** — how fragments may partition a layout.
+///
+/// "A storage engine is inflexible if it supports only one fragment per
+/// layout. ... A flexible storage engine is weak if all layouts apply the
+/// same partitioning technique ... strong if it supports layouts that combine
+/// vertical and horizontal partitioning."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutFlexibility {
+    /// One fragment per layout.
+    Inflexible,
+    /// All fragments of a layout come from a single partitioning technique
+    /// (either all-horizontal or all-vertical).
+    WeakFlexible,
+    /// Layouts may combine vertical and horizontal partitioning.
+    StrongFlexible {
+        /// "If the definition of a fragment has side-effects to adjacent
+        /// fragments ... or if the order of the partitioning is pre-defined,
+        /// then the layout flexibility is called constrained."
+        constrained: bool,
+    },
+}
+
+impl LayoutFlexibility {
+    pub const fn is_flexible(self) -> bool {
+        !matches!(self, LayoutFlexibility::Inflexible)
+    }
+}
+
+impl fmt::Display for LayoutFlexibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutFlexibility::Inflexible => f.write_str("inflex."),
+            LayoutFlexibility::WeakFlexible => f.write_str("weak flex."),
+            LayoutFlexibility::StrongFlexible { .. } => f.write_str("strong flex."),
+        }
+    }
+}
+
+/// **Layout adaptability** — whether layouts re-organize at runtime.
+///
+/// "If a storage engine supports this dynamic re-organization of layouts, the
+/// storage engine's layout adaptability is responsive. Otherwise ... static."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutAdaptability {
+    Static,
+    Responsive,
+}
+
+impl fmt::Display for LayoutAdaptability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayoutAdaptability::Static => "static",
+            LayoutAdaptability::Responsive => "respons.",
+        })
+    }
+}
+
+/// A storage medium on which tuplets may reside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageMedium {
+    /// Main memory of the host platform.
+    HostMemory,
+    /// Memory of a compute device (e.g. a graphics card).
+    DeviceMemory,
+    /// Secondary storage (hard drive / flash).
+    Disk,
+}
+
+impl fmt::Display for StorageMedium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StorageMedium::HostMemory => "Host",
+            StorageMedium::DeviceMemory => "Dev.",
+            StorageMedium::Disk => "Disc",
+        })
+    }
+}
+
+/// **Data location** — where tuplets are stored.
+///
+/// Table 1 prints this as a pair "primary + working" (e.g. "Host + Disc",
+/// "Dev. + Dev.") or as "Mixed". A location is *mixed* when it is "neither
+/// host-memory-only nor device-memory-only".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLocation {
+    /// All tuplets on exactly one class of media; the pair records the
+    /// primary store and the working/secondary store as printed in Table 1.
+    Pair(StorageMedium, StorageMedium),
+    /// Tuplets may simultaneously live on host and device media.
+    Mixed,
+}
+
+impl DataLocation {
+    pub const fn host_only() -> Self {
+        DataLocation::Pair(StorageMedium::HostMemory, StorageMedium::HostMemory)
+    }
+    pub const fn host_and_disk() -> Self {
+        DataLocation::Pair(StorageMedium::HostMemory, StorageMedium::Disk)
+    }
+    pub const fn device_only() -> Self {
+        DataLocation::Pair(StorageMedium::DeviceMemory, StorageMedium::DeviceMemory)
+    }
+    pub const fn mixed() -> Self {
+        DataLocation::Mixed
+    }
+
+    /// "If the data location is host-memory-only or device-memory-only, the
+    /// data locality is called centralized. ... If the storage engine
+    /// supports data locations that are neither host-memory-only nor
+    /// device-memory-only, the data location is called mixed and the data
+    /// locality is distributed."
+    ///
+    /// Table 1 additionally marks Fractured Mirrors (host + disc over a disk
+    /// array) and ES² (host memory over a cluster) as distributed; we model
+    /// that by treating any pair whose two media *span multiple physical
+    /// places* as distributed when flagged via [`DataLocation::Mixed`], and
+    /// expose [`Classification`](crate::Classification) with an explicit
+    /// locality override where the survey requires it.
+    pub fn locality(&self) -> DataLocality {
+        match self {
+            DataLocation::Pair(a, b) if a == b => DataLocality::Centralized,
+            DataLocation::Pair(StorageMedium::HostMemory, StorageMedium::Disk) => {
+                // A classic buffer-managed single machine: centralized.
+                DataLocality::Centralized
+            }
+            DataLocation::Pair(_, _) => DataLocality::Distributed,
+            DataLocation::Mixed => DataLocality::Distributed,
+        }
+    }
+}
+
+impl fmt::Display for DataLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLocation::Pair(a, b) => write!(f, "{a} + {b}"),
+            DataLocation::Mixed => f.write_str("Mixed"),
+        }
+    }
+}
+
+/// **Data locality**, derived from the data location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLocality {
+    Centralized,
+    Distributed,
+}
+
+impl fmt::Display for DataLocality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataLocality::Centralized => "centr.",
+            DataLocality::Distributed => "distr.",
+        })
+    }
+}
+
+/// **Fragment linearization** (Section III and Figure 3).
+///
+/// Fat fragments (≥ 2 tuplets and ≥ 2 attributes) are two-dimensional and
+/// must be linearized with NSM or DSM; thin fragments are one-dimensional and
+/// are stored *directly*. Engines that split relations into thin-only
+/// fragments *emulate* NSM or DSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragmentLinearization {
+    /// Fat fragments, always NSM.
+    FatNsmFixed,
+    /// Fat fragments, always DSM.
+    FatDsmFixed,
+    /// Fat fragments fixed to NSM in one layout and DSM in a mirrored layout
+    /// (Fractured Mirrors' "NSM-fixed/DSM-fixed technique").
+    FatNsmPlusDsmFixed,
+    /// Fat fragments, either NSM or DSM per fragment.
+    FatVariable,
+    /// Thin-only fragments arranged so the relation behaves row-wise.
+    ThinNsmEmulated,
+    /// Thin-only fragments arranged so the relation behaves column-wise
+    /// (columns as distinct vectors).
+    ThinDsmEmulated,
+    /// Mixed: remaining fat fragments DSM-fixed, the rest DSM via thin
+    /// fragments ("variable DSM-fixed partially NSM-emulated").
+    VariableDsmFixedPartiallyNsmEmulated,
+    /// Mixed: remaining fat fragments NSM-fixed, the rest DSM via thin
+    /// fragments ("variable NSM-fixed partially DSM-emulated").
+    VariableNsmFixedPartiallyDsmEmulated,
+}
+
+impl FragmentLinearization {
+    /// Whether this linearization can serve *both* row-wise and column-wise
+    /// access without reorganization (needed by the reference design,
+    /// requirement 4).
+    pub const fn covers_nsm_and_dsm(self) -> bool {
+        matches!(
+            self,
+            FragmentLinearization::FatVariable
+                | FragmentLinearization::FatNsmPlusDsmFixed
+                | FragmentLinearization::VariableDsmFixedPartiallyNsmEmulated
+                | FragmentLinearization::VariableNsmFixedPartiallyDsmEmulated
+        )
+    }
+}
+
+impl fmt::Display for FragmentLinearization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FragmentLinearization::FatNsmFixed => "fat, NSM-fixed",
+            FragmentLinearization::FatDsmFixed => "fat, DSM-fixed",
+            FragmentLinearization::FatNsmPlusDsmFixed => "fat, NSM+DSM-fixed",
+            FragmentLinearization::FatVariable => "fat, variable",
+            FragmentLinearization::ThinNsmEmulated => "thin, NSM-emulated",
+            FragmentLinearization::ThinDsmEmulated => "thin, DSM-emulated",
+            FragmentLinearization::VariableDsmFixedPartiallyNsmEmulated => {
+                "v. DSM-fixed p. NSM-emul."
+            }
+            FragmentLinearization::VariableNsmFixedPartiallyDsmEmulated => {
+                "v. NSM-fixed p. DSM-emul."
+            }
+        })
+    }
+}
+
+/// **Fragment scheme** — how redundant fragments across layouts are managed.
+///
+/// "A replication-based approach holds copies of tuplets ... A
+/// delegation-based approach restricts the access of certain regions from
+/// certain layouts, since some tuplets are exclusively stored in certain
+/// layouts."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragmentScheme {
+    /// Single-layout engines need no scheme; printed as "—" in Table 1.
+    None,
+    ReplicationBased,
+    DelegationBased,
+}
+
+impl fmt::Display for FragmentScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FragmentScheme::None => "-",
+            FragmentScheme::ReplicationBased => "replication",
+            FragmentScheme::DelegationBased => "delegated",
+        })
+    }
+}
+
+/// Which processors the engine was designed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessorSupport {
+    Cpu,
+    Gpu,
+    CpuGpu,
+}
+
+impl fmt::Display for ProcessorSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProcessorSupport::Cpu => "CPU",
+            ProcessorSupport::Gpu => "GPU",
+            ProcessorSupport::CpuGpu => "CPU/GPU",
+        })
+    }
+}
+
+/// Which workload class the engine targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSupport {
+    Oltp,
+    Olap,
+    Htap,
+}
+
+impl fmt::Display for WorkloadSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WorkloadSupport::Oltp => "OLTP",
+            WorkloadSupport::Olap => "OLAP",
+            WorkloadSupport::Htap => "HTAP",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_only_is_centralized() {
+        assert_eq!(DataLocation::host_only().locality(), DataLocality::Centralized);
+        assert_eq!(DataLocation::device_only().locality(), DataLocality::Centralized);
+    }
+
+    #[test]
+    fn buffer_managed_disk_is_centralized() {
+        assert_eq!(DataLocation::host_and_disk().locality(), DataLocality::Centralized);
+    }
+
+    #[test]
+    fn mixed_is_distributed() {
+        assert_eq!(DataLocation::mixed().locality(), DataLocality::Distributed);
+    }
+
+    #[test]
+    fn linearization_coverage() {
+        assert!(FragmentLinearization::FatVariable.covers_nsm_and_dsm());
+        assert!(FragmentLinearization::FatNsmPlusDsmFixed.covers_nsm_and_dsm());
+        assert!(!FragmentLinearization::FatDsmFixed.covers_nsm_and_dsm());
+        assert!(!FragmentLinearization::ThinDsmEmulated.covers_nsm_and_dsm());
+    }
+
+    #[test]
+    fn display_matches_table1_vocabulary() {
+        assert_eq!(LayoutHandling::MultiBuiltIn.to_string(), "built-in multi");
+        assert_eq!(
+            LayoutFlexibility::StrongFlexible { constrained: true }.to_string(),
+            "strong flex."
+        );
+        assert_eq!(LayoutAdaptability::Responsive.to_string(), "respons.");
+        assert_eq!(DataLocation::host_and_disk().to_string(), "Host + Disc");
+        assert_eq!(FragmentScheme::DelegationBased.to_string(), "delegated");
+    }
+
+    #[test]
+    fn flexibility_predicate() {
+        assert!(!LayoutFlexibility::Inflexible.is_flexible());
+        assert!(LayoutFlexibility::WeakFlexible.is_flexible());
+        assert!(LayoutFlexibility::StrongFlexible { constrained: false }.is_flexible());
+    }
+}

@@ -1,0 +1,189 @@
+//! The Section IV-C reference storage-engine design, as an executable
+//! checklist.
+//!
+//! "To contribute to bridging this gap, we next present our suggestion for a
+//! reference storage engine design: (1) at least constrained strong flexible
+//! layout support, (2) layout responsive to changes in workloads, (3) mixed
+//! data location and distributed data locality, (4) fragmentation
+//! linearization that cover NSM and DSM, (5) built-in multi layout handling
+//! for relations, and (6) fragment scheme supports delegation."
+
+use crate::props::*;
+use crate::Classification;
+
+/// One of the six reference-design requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Requirement {
+    /// (1) at least constrained strong flexible layout support.
+    StrongFlexibleLayouts,
+    /// (2) layout responsive to changes in workloads.
+    ResponsiveAdaptability,
+    /// (3) mixed data location and distributed data locality.
+    MixedLocationDistributedLocality,
+    /// (4) fragmentation linearization that covers NSM and DSM.
+    NsmAndDsmLinearization,
+    /// (5) built-in multi layout handling for relations.
+    BuiltInMultiLayout,
+    /// (6) fragment scheme supports delegation.
+    DelegationScheme,
+}
+
+impl Requirement {
+    pub const ALL: [Requirement; 6] = [
+        Requirement::StrongFlexibleLayouts,
+        Requirement::ResponsiveAdaptability,
+        Requirement::MixedLocationDistributedLocality,
+        Requirement::NsmAndDsmLinearization,
+        Requirement::BuiltInMultiLayout,
+        Requirement::DelegationScheme,
+    ];
+
+    /// The paper's wording for this requirement.
+    pub fn description(self) -> &'static str {
+        match self {
+            Requirement::StrongFlexibleLayouts => {
+                "(1) at least constrained strong flexible layout support"
+            }
+            Requirement::ResponsiveAdaptability => {
+                "(2) layout responsive to changes in workloads"
+            }
+            Requirement::MixedLocationDistributedLocality => {
+                "(3) mixed data location and distributed data locality"
+            }
+            Requirement::NsmAndDsmLinearization => {
+                "(4) fragmentation linearization that covers NSM and DSM"
+            }
+            Requirement::BuiltInMultiLayout => {
+                "(5) built-in multi layout handling for relations"
+            }
+            Requirement::DelegationScheme => "(6) fragment scheme supports delegation",
+        }
+    }
+
+    /// Does `c` meet this requirement?
+    pub fn met_by(self, c: &Classification) -> bool {
+        match self {
+            Requirement::StrongFlexibleLayouts => {
+                matches!(c.layout_flexibility, LayoutFlexibility::StrongFlexible { .. })
+            }
+            Requirement::ResponsiveAdaptability => {
+                c.layout_adaptability == LayoutAdaptability::Responsive
+            }
+            Requirement::MixedLocationDistributedLocality => {
+                c.data_location == DataLocation::Mixed
+                    && c.data_locality == DataLocality::Distributed
+            }
+            Requirement::NsmAndDsmLinearization => {
+                c.fragment_linearization.covers_nsm_and_dsm()
+            }
+            Requirement::BuiltInMultiLayout => {
+                c.layout_handling == LayoutHandling::MultiBuiltIn
+            }
+            Requirement::DelegationScheme => {
+                c.fragment_scheme == FragmentScheme::DelegationBased
+            }
+        }
+    }
+}
+
+/// Result of checking a classification against all six requirements.
+#[derive(Debug, Clone)]
+pub struct Checklist {
+    pub engine: &'static str,
+    pub results: Vec<(Requirement, bool)>,
+}
+
+impl Checklist {
+    /// True iff every requirement is met.
+    pub fn satisfied(&self) -> bool {
+        self.results.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Requirements the engine fails.
+    pub fn missing(&self) -> Vec<Requirement> {
+        self.results
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("reference-design check for {}:\n", self.engine);
+        for (req, ok) in &self.results {
+            out.push_str(&format!(
+                "  [{}] {}\n",
+                if *ok { "x" } else { " " },
+                req.description()
+            ));
+        }
+        out.push_str(&format!(
+            "  => {}\n",
+            if self.satisfied() { "SATISFIED" } else { "NOT SATISFIED" }
+        ));
+        out
+    }
+}
+
+/// Check a classification against the full reference design.
+pub fn check(c: &Classification) -> Checklist {
+    Checklist {
+        engine: c.name,
+        results: Requirement::ALL.iter().map(|r| (*r, r.met_by(c))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey;
+
+    #[test]
+    fn hyrise_fails_exactly_the_expected_requirements() {
+        let chk = check(&survey::hyrise());
+        let missing = chk.missing();
+        assert!(missing.contains(&Requirement::StrongFlexibleLayouts));
+        assert!(missing.contains(&Requirement::MixedLocationDistributedLocality));
+        assert!(missing.contains(&Requirement::BuiltInMultiLayout));
+        assert!(missing.contains(&Requirement::DelegationScheme));
+        assert!(!missing.contains(&Requirement::ResponsiveAdaptability));
+        // HYRISE's fat-variable linearization does cover NSM and DSM.
+        assert!(!missing.contains(&Requirement::NsmAndDsmLinearization));
+    }
+
+    #[test]
+    fn cogadb_meets_location_but_not_workload_axes() {
+        let chk = check(&survey::cogadb());
+        assert!(Requirement::MixedLocationDistributedLocality.met_by(&survey::cogadb()));
+        assert!(!chk.satisfied());
+    }
+
+    #[test]
+    fn a_synthetic_ideal_engine_satisfies_everything() {
+        use crate::props::*;
+        let ideal = Classification {
+            name: "IDEAL",
+            layout_handling: LayoutHandling::MultiBuiltIn,
+            layout_flexibility: LayoutFlexibility::StrongFlexible { constrained: true },
+            layout_adaptability: LayoutAdaptability::Responsive,
+            data_location: DataLocation::Mixed,
+            data_locality: DataLocality::Distributed,
+            fragment_linearization: FragmentLinearization::FatVariable,
+            fragment_scheme: FragmentScheme::DelegationBased,
+            processor_support: ProcessorSupport::CpuGpu,
+            workload_support: WorkloadSupport::Htap,
+            year: 2017,
+        };
+        assert!(check(&ideal).satisfied());
+    }
+
+    #[test]
+    fn render_lists_all_six() {
+        let s = check(&survey::pax()).render();
+        for req in Requirement::ALL {
+            assert!(s.contains(req.description()));
+        }
+        assert!(s.contains("NOT SATISFIED"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The paper's Table 1, verbatim, as data.
+//!
+//! These rows are the *ground truth* against which the engine implementations
+//! in `htapg-engines` are tested: every engine's `classify()` must equal its
+//! row here (asserted in the workspace integration test `tests/table1.rs`).
+
+use crate::props::*;
+use crate::Classification;
+
+/// PAX (Ailamaki et al., 2002): page-level decomposition; single layout of
+/// horizontal fat fragments, DSM-fixed minipages, disk-based buffer-managed.
+pub fn pax() -> Classification {
+    Classification {
+        name: "PAX",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::Inflexible,
+        layout_adaptability: LayoutAdaptability::Static,
+        data_location: DataLocation::host_and_disk(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::FatDsmFixed,
+        fragment_scheme: FragmentScheme::None,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2002,
+    }
+}
+
+/// Fractured Mirrors (Ramamurthy et al., 2002): two replicated layouts, one
+/// NSM one DSM, pages spread over a disk array.
+pub fn fractured_mirrors() -> Classification {
+    Classification {
+        name: "FRAC. MIRRORS",
+        layout_handling: LayoutHandling::MultiBuiltIn,
+        layout_flexibility: LayoutFlexibility::Inflexible,
+        layout_adaptability: LayoutAdaptability::Static,
+        data_location: DataLocation::host_and_disk(),
+        data_locality: DataLocality::Distributed,
+        fragment_linearization: FragmentLinearization::FatNsmPlusDsmFixed,
+        fragment_scheme: FragmentScheme::ReplicationBased,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2002,
+    }
+}
+
+/// HYRISE (Grund et al., 2010): vertical containers of variable width, NSM or
+/// DSM per container, workload-driven re-partitioning.
+pub fn hyrise() -> Classification {
+    Classification {
+        name: "HYRISE",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::WeakFlexible,
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::FatVariable,
+        fragment_scheme: FragmentScheme::None,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2010,
+    }
+}
+
+/// ES² (Cao et al., 2011): elastic cloud storage; vertical co-access grouping
+/// then horizontal partitioning over a shared-nothing cluster; PAX-formatted
+/// tuplets on a distributed file system.
+pub fn es2() -> Classification {
+    Classification {
+        name: "ES2",
+        layout_handling: LayoutHandling::MultiBuiltIn,
+        layout_flexibility: LayoutFlexibility::StrongFlexible { constrained: true },
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_and_disk(),
+        data_locality: DataLocality::Distributed,
+        fragment_linearization: FragmentLinearization::FatDsmFixed,
+        fragment_scheme: FragmentScheme::DelegationBased,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2011,
+    }
+}
+
+/// GPUTx (He & Yu, 2011): device-resident thin-fragment columns, bulk
+/// transaction processing on the GPU, host-side result pool.
+pub fn gputx() -> Classification {
+    Classification {
+        name: "GPUTX",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::WeakFlexible,
+        layout_adaptability: LayoutAdaptability::Static,
+        data_location: DataLocation::device_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::ThinDsmEmulated,
+        fragment_scheme: FragmentScheme::None,
+        processor_support: ProcessorSupport::Gpu,
+        workload_support: WorkloadSupport::Oltp,
+        year: 2011,
+    }
+}
+
+/// H₂O (Alagiannis et al., 2014): horizontal NSM-fixed partitions that may
+/// shed single-attribute (thin) columns; lazy adoption of better layouts.
+pub fn h2o() -> Classification {
+    Classification {
+        name: "H2O",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::WeakFlexible,
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::VariableNsmFixedPartiallyDsmEmulated,
+        fragment_scheme: FragmentScheme::None,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2014,
+    }
+}
+
+/// HyPer's renewed storage engine (Funke et al.; Table 1 dates it 2015):
+/// partitions → chunks → thin vectors; hot/cold compaction.
+pub fn hyper() -> Classification {
+    Classification {
+        name: "HYPER",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::StrongFlexible { constrained: true },
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::ThinDsmEmulated,
+        fragment_scheme: FragmentScheme::None,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2015,
+    }
+}
+
+/// CoGaDB (Breß et al.; Table 1 dates it 2016): columns replicated between
+/// host and device memory, all-or-nothing device placement, HYPE scheduler.
+pub fn cogadb() -> Classification {
+    Classification {
+        name: "COGADB",
+        layout_handling: LayoutHandling::MultiBuiltIn,
+        layout_flexibility: LayoutFlexibility::WeakFlexible,
+        layout_adaptability: LayoutAdaptability::Static,
+        data_location: DataLocation::mixed(),
+        data_locality: DataLocality::Distributed,
+        fragment_linearization: FragmentLinearization::ThinDsmEmulated,
+        fragment_scheme: FragmentScheme::ReplicationBased,
+        processor_support: ProcessorSupport::CpuGpu,
+        workload_support: WorkloadSupport::Olap,
+        year: 2016,
+    }
+}
+
+/// L-Store (Sadoghi et al., 2016): per-attribute base/tail page pairs behind
+/// a page dictionary; lineage-based updates enable historic querying.
+pub fn lstore() -> Classification {
+    Classification {
+        name: "L-STORE",
+        layout_handling: LayoutHandling::Single,
+        layout_flexibility: LayoutFlexibility::StrongFlexible { constrained: true },
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::ThinDsmEmulated,
+        fragment_scheme: FragmentScheme::DelegationBased,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2016,
+    }
+}
+
+/// Peloton's tile-based architecture (Arulraj et al., 2016): tile groups →
+/// logical tiles referencing physical tiles, NSM or DSM per physical tile.
+pub fn peloton() -> Classification {
+    Classification {
+        name: "PELOTON DBMS",
+        layout_handling: LayoutHandling::MultiBuiltIn,
+        layout_flexibility: LayoutFlexibility::StrongFlexible { constrained: true },
+        layout_adaptability: LayoutAdaptability::Responsive,
+        data_location: DataLocation::host_only(),
+        data_locality: DataLocality::Centralized,
+        fragment_linearization: FragmentLinearization::FatVariable,
+        fragment_scheme: FragmentScheme::DelegationBased,
+        processor_support: ProcessorSupport::Cpu,
+        workload_support: WorkloadSupport::Htap,
+        year: 2016,
+    }
+}
+
+/// The full Table 1, in the paper's order (by date).
+pub fn paper_table1() -> Vec<Classification> {
+    vec![
+        pax(),
+        fractured_mirrors(),
+        hyrise(),
+        es2(),
+        gputx(),
+        h2o(),
+        hyper(),
+        cogadb(),
+        lstore(),
+        peloton(),
+    ]
+}
+
+/// Look up a Table 1 row by engine name.
+pub fn by_name(name: &str) -> Option<Classification> {
+    paper_table1().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("HYRISE").is_some());
+        assert!(by_name("PELOTON DBMS").is_some());
+        assert!(by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn only_gputx_is_oltp_only() {
+        let oltp: Vec<_> = paper_table1()
+            .into_iter()
+            .filter(|c| c.workload_support == WorkloadSupport::Oltp)
+            .collect();
+        assert_eq!(oltp.len(), 1);
+        assert_eq!(oltp[0].name, "GPUTX");
+    }
+
+    #[test]
+    fn only_cogadb_uses_both_processors() {
+        let both: Vec<_> = paper_table1()
+            .into_iter()
+            .filter(|c| c.processor_support == ProcessorSupport::CpuGpu)
+            .collect();
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].name, "COGADB");
+    }
+
+    #[test]
+    fn no_surveyed_engine_meets_the_reference_design() {
+        // The paper's core finding: "not yet".
+        for c in paper_table1() {
+            assert!(
+                !crate::reference::check(&c).satisfied(),
+                "{} unexpectedly satisfies the full reference design",
+                c.name
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Renderers that regenerate the paper's Table 1 from [`Classification`]s.
+
+use crate::Classification;
+
+/// Column headers, matching Table 1.
+pub const HEADERS: [&str; 10] = [
+    "",
+    "Layout handling",
+    "Layout flexibility",
+    "Layout adaptability",
+    "Data location",
+    "Fragment linearization",
+    "Fragment scheme",
+    "Processor support",
+    "Workload support",
+    "Date",
+];
+
+/// One rendered row (cells as strings, in header order).
+pub fn row_cells(c: &Classification) -> [String; 10] {
+    [
+        c.name.to_string(),
+        c.layout_handling.to_string(),
+        c.layout_flexibility.to_string(),
+        c.layout_adaptability.to_string(),
+        format!("{} {}", c.data_location, c.data_locality),
+        c.fragment_linearization.to_string(),
+        c.fragment_scheme.to_string(),
+        c.processor_support.to_string(),
+        c.workload_support.to_string(),
+        c.year.to_string(),
+    ]
+}
+
+/// Render a set of classifications as a GitHub-flavoured markdown table.
+pub fn render_markdown(rows: &[Classification]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in HEADERS {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in HEADERS {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for c in rows {
+        out.push('|');
+        for cell in row_cells(c) {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a set of classifications as an aligned plain-text table
+/// (the form used by the `repro --table1` harness).
+pub fn render_text(rows: &[Classification]) -> String {
+    let mut cells: Vec<[String; 10]> = Vec::with_capacity(rows.len() + 1);
+    cells.push(HEADERS.map(|h| h.to_string()));
+    for c in rows {
+        cells.push(row_cells(c));
+    }
+    let mut widths = [0usize; 10];
+    for row in &cells {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in cells.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            for w in widths {
+                out.push_str(&"-".repeat(w));
+                out.push_str("  ");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey;
+
+    #[test]
+    fn markdown_has_one_line_per_engine_plus_header() {
+        let md = render_markdown(&survey::paper_table1());
+        assert_eq!(md.lines().count(), 12); // header + separator + 10 rows
+        assert!(md.contains("| PAX |"));
+        assert!(md.contains("| PELOTON DBMS |"));
+    }
+
+    #[test]
+    fn text_table_aligns_and_contains_key_vocabulary() {
+        let txt = render_text(&survey::paper_table1());
+        assert!(txt.contains("GPUTX"));
+        assert!(txt.contains("thin, DSM-emulated"));
+        assert!(txt.contains("Host + Disc centr."));
+        assert!(txt.contains("Mixed distr."));
+    }
+
+    #[test]
+    fn row_cells_match_paper_sample_row() {
+        // HYRISE row from Table 1:
+        // "single | weak flex. | respons. | Host + Host centr. | fat, variable | - | CPU | HTAP | 2010"
+        let cells = row_cells(&survey::hyrise());
+        assert_eq!(cells[1], "single");
+        assert_eq!(cells[2], "weak flex.");
+        assert_eq!(cells[3], "respons.");
+        assert_eq!(cells[4], "Host + Host centr.");
+        assert_eq!(cells[5], "fat, variable");
+        assert_eq!(cells[6], "-");
+        assert_eq!(cells[7], "CPU");
+        assert_eq!(cells[8], "HTAP");
+        assert_eq!(cells[9], "2010");
+    }
+}

@@ -1,0 +1,192 @@
+//! The taxonomy tree of Figure 4, as data and as an ASCII rendering.
+
+/// A node in the taxonomy tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub label: &'static str,
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn leaf(label: &'static str) -> Node {
+        Node { label, children: Vec::new() }
+    }
+
+    fn inner(label: &'static str, children: Vec<Node>) -> Node {
+        Node { label, children }
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Depth of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// The complete taxonomy of Figure 4, rooted at "Storage Engine".
+pub fn figure4() -> Node {
+    Node::inner(
+        "Storage Engine",
+        vec![
+            Node::inner(
+                "Layout Handling",
+                vec![
+                    Node::leaf("Single Layout"),
+                    Node::inner(
+                        "Multi Layout",
+                        vec![Node::leaf("Built-In"), Node::leaf("Emulated")],
+                    ),
+                ],
+            ),
+            Node::inner(
+                "Layout Flexibility",
+                vec![
+                    Node::leaf("Inflexible"),
+                    Node::inner(
+                        "Flexible",
+                        vec![
+                            Node::leaf("Weak"),
+                            Node::inner(
+                                "Strong",
+                                vec![Node::leaf("Constrained"), Node::leaf("Unconstrained")],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            Node::inner(
+                "Layout Adaptability",
+                vec![Node::leaf("Static"), Node::leaf("Responsive")],
+            ),
+            Node::inner(
+                "Data Location",
+                vec![
+                    Node::inner(
+                        "Target",
+                        vec![
+                            Node::leaf("Host-Memory-Only"),
+                            Node::leaf("Device-Memory-Only"),
+                            Node::leaf("Mixed"),
+                        ],
+                    ),
+                    Node::inner(
+                        "Locality",
+                        vec![Node::leaf("Centralized"), Node::leaf("Distributed")],
+                    ),
+                ],
+            ),
+            Node::inner(
+                "Fragment Linearization",
+                vec![
+                    Node::inner(
+                        "Fat Fragments",
+                        vec![
+                            Node::leaf("NSM-Fixed"),
+                            Node::leaf("DSM-Fixed"),
+                            Node::leaf("Variable"),
+                        ],
+                    ),
+                    Node::inner(
+                        "Thin Fragments",
+                        vec![
+                            Node::leaf("Direct Linearization"),
+                            Node::inner(
+                                "Emulated Linearization",
+                                vec![
+                                    Node::leaf("NSM"),
+                                    Node::leaf("DSM"),
+                                    Node::inner(
+                                        "Variable",
+                                        vec![
+                                            Node::leaf("DSM-Fixed Partially NSM-Emulated"),
+                                            Node::leaf("NSM-Fixed Partially DSM-Emulated"),
+                                        ],
+                                    ),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            Node::inner(
+                "Fragment Scheme",
+                vec![
+                    Node::leaf("Replication-Based"),
+                    Node::leaf("Delegation-Based"),
+                ],
+            ),
+        ],
+    )
+}
+
+/// Render a tree as ASCII art (box-drawing characters).
+pub fn render(root: &Node) -> String {
+    let mut out = String::new();
+    out.push_str(root.label);
+    out.push('\n');
+    render_children(&root.children, "", &mut out);
+    out
+}
+
+fn render_children(children: &[Node], prefix: &str, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        out.push_str(prefix);
+        out.push_str(if last { "└── " } else { "├── " });
+        out.push_str(child.label);
+        out.push('\n');
+        let child_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+        render_children(&child.children, &child_prefix, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_has_six_classification_axes() {
+        let tree = figure4();
+        assert_eq!(tree.children.len(), 6);
+        let labels: Vec<_> = tree.children.iter().map(|c| c.label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Layout Handling",
+                "Layout Flexibility",
+                "Layout Adaptability",
+                "Data Location",
+                "Fragment Linearization",
+                "Fragment Scheme",
+            ]
+        );
+    }
+
+    #[test]
+    fn figure4_shape() {
+        let tree = figure4();
+        assert_eq!(tree.size(), 40);
+        assert_eq!(tree.depth(), 6);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let tree = figure4();
+        let art = render(&tree);
+        fn collect<'a>(n: &'a Node, out: &mut Vec<&'a str>) {
+            out.push(n.label);
+            for c in &n.children {
+                collect(c, out);
+            }
+        }
+        let mut labels = Vec::new();
+        collect(&tree, &mut labels);
+        for label in labels {
+            assert!(art.contains(label), "missing label {label}");
+        }
+    }
+}

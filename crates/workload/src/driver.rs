@@ -1,0 +1,388 @@
+//! The HTAP driver: concurrent transactional + analytical load against any
+//! [`StorageEngine`], with per-class latency/throughput metrics.
+//!
+//! This is the workload of the paper's challenge (b.iii): "efficient
+//! processing of both workload types without interferences between
+//! long-running ad-hoc analytic queries and massive short-living
+//! write-intensive transactional queries."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use htapg_core::engine::{StorageEngine, StorageEngineExt};
+use htapg_core::{RelationId, Result};
+
+use crate::queries::Op;
+
+/// Aggregated metrics for one operation class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassMetrics {
+    pub ops: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+    pub errors: u64,
+}
+
+impl ClassMetrics {
+    pub fn mean_ns(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.ops as f64
+        }
+    }
+
+    /// Operations per second over the class's busy time.
+    pub fn throughput(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.total_ns as f64
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.ops += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// Full report of a driver run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HtapReport {
+    pub oltp: ClassMetrics,
+    pub olap: ClassMetrics,
+    /// Wall-clock duration of the whole run.
+    pub wall_ns: u64,
+}
+
+impl HtapReport {
+    pub fn render(&self) -> String {
+        format!(
+            "OLTP: {} ops, {:.1} kops/s, mean {:.1} µs, max {:.1} µs, {} errors\n\
+             OLAP: {} scans, mean {:.2} ms, max {:.2} ms, {} errors\n\
+             wall: {:.1} ms",
+            self.oltp.ops,
+            self.oltp.throughput() / 1e3,
+            self.oltp.mean_ns() / 1e3,
+            self.oltp.max_ns as f64 / 1e3,
+            self.oltp.errors,
+            self.olap.ops,
+            self.olap.mean_ns() / 1e6,
+            self.olap.max_ns as f64 / 1e6,
+            self.olap.errors,
+            self.wall_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Execute one op against the engine (shared by sequential and concurrent
+/// drivers). Returns whether the op was analytic.
+pub fn execute_op(engine: &dyn StorageEngine, rel: RelationId, op: &Op) -> Result<bool> {
+    match op {
+        Op::Materialize(positions) => {
+            engine.materialize(rel, positions)?;
+            Ok(false)
+        }
+        Op::PointRead(row) => {
+            engine.read_record(rel, *row)?;
+            Ok(false)
+        }
+        Op::UpdateField { row, attr, value } => {
+            engine.update_field(rel, *row, *attr, value)?;
+            Ok(false)
+        }
+        Op::SumColumn(attr) => {
+            engine.sum_column_f64(rel, *attr)?;
+            Ok(true)
+        }
+        Op::GroupSum { key_attr, value_attr } => {
+            group_sum(engine, rel, *key_attr, *value_attr)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Engine-level hash group-by: sum `value_attr` grouped by the integer
+/// `key_attr`, via two column scans.
+pub fn group_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    key_attr: u16,
+    value_attr: u16,
+) -> Result<Vec<(i64, f64)>> {
+    let mut keys = Vec::new();
+    engine.scan_column(rel, key_attr, &mut |_, v| {
+        keys.push(v.as_i64().unwrap_or(0));
+    })?;
+    let mut groups: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    let mut i = 0usize;
+    engine.scan_column(rel, value_attr, &mut |_, v| {
+        if let (Some(k), Ok(x)) = (keys.get(i), v.as_f64()) {
+            *groups.entry(*k).or_insert(0.0) += x;
+        }
+        i += 1;
+    })?;
+    let mut out: Vec<(i64, f64)> = groups.into_iter().collect();
+    out.sort_unstable_by_key(|(k, _)| *k);
+    Ok(out)
+}
+
+/// Run a pre-generated op stream sequentially, timing each op.
+pub fn run_sequential(engine: &dyn StorageEngine, rel: RelationId, ops: &[Op]) -> HtapReport {
+    let mut report = HtapReport::default();
+    let wall = Instant::now();
+    for op in ops {
+        let t = Instant::now();
+        let outcome = execute_op(engine, rel, op);
+        let ns = t.elapsed().as_nanos() as u64;
+        let class = if op.is_analytic() { &mut report.olap } else { &mut report.oltp };
+        class.record(ns);
+        if outcome.is_err() {
+            class.errors += 1;
+        }
+    }
+    report.wall_ns = wall.elapsed().as_nanos() as u64;
+    report
+}
+
+/// Concurrent HTAP run: `oltp_threads` workers drain the transactional ops
+/// while `olap_threads` workers drain the analytic ops, all against the
+/// same engine.
+pub fn run_concurrent(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    ops: &[Op],
+    oltp_threads: usize,
+    olap_threads: usize,
+) -> HtapReport {
+    let oltp_ops: Vec<&Op> = ops.iter().filter(|o| !o.is_analytic()).collect();
+    let olap_ops: Vec<&Op> = ops.iter().filter(|o| o.is_analytic()).collect();
+    let oltp_cursor = AtomicU64::new(0);
+    let olap_cursor = AtomicU64::new(0);
+
+    let run_class = |pool: &[&Op], cursor: &AtomicU64| -> ClassMetrics {
+        let mut m = ClassMetrics::default();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            if i >= pool.len() {
+                break;
+            }
+            let t = Instant::now();
+            let r = execute_op(engine, rel, pool[i]);
+            m.record(t.elapsed().as_nanos() as u64);
+            if r.is_err() {
+                m.errors += 1;
+            }
+        }
+        m
+    };
+
+    let wall = Instant::now();
+    let (oltp, olap) = crossbeam::thread::scope(|s| {
+        let oltp_handles: Vec<_> = (0..oltp_threads.max(1))
+            .map(|_| s.spawn(|_| run_class(&oltp_ops, &oltp_cursor)))
+            .collect();
+        let olap_handles: Vec<_> = (0..olap_threads.max(1))
+            .map(|_| s.spawn(|_| run_class(&olap_ops, &olap_cursor)))
+            .collect();
+        let fold = |hs: Vec<crossbeam::thread::ScopedJoinHandle<'_, ClassMetrics>>| {
+            hs.into_iter().map(|h| h.join().expect("worker")).fold(
+                ClassMetrics::default(),
+                |mut acc, m| {
+                    acc.ops += m.ops;
+                    acc.total_ns += m.total_ns;
+                    acc.max_ns = acc.max_ns.max(m.max_ns);
+                    acc.errors += m.errors;
+                    acc
+                },
+            )
+        };
+        (fold(oltp_handles), fold(olap_handles))
+    })
+    .expect("driver scope");
+    HtapReport { oltp, olap, wall_ns: wall.elapsed().as_nanos() as u64 }
+}
+
+/// Load `n` generated customers into a fresh relation of `engine`.
+pub fn load_customers(
+    engine: &dyn StorageEngine,
+    gen: &crate::tpcc::Generator,
+    n: u64,
+) -> Result<RelationId> {
+    let rel = engine.create_relation(crate::tpcc::customer_schema())?;
+    for i in 0..n {
+        engine.insert(rel, &gen.customer(i))?;
+    }
+    Ok(rel)
+}
+
+/// Load `n` generated items into a fresh relation of `engine`.
+pub fn load_items(
+    engine: &dyn StorageEngine,
+    gen: &crate::tpcc::Generator,
+    n: u64,
+) -> Result<RelationId> {
+    let rel = engine.create_relation(crate::tpcc::item_schema())?;
+    for i in 0..n {
+        engine.insert(rel, &gen.item(i))?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{mixed_stream, MixConfig};
+    use crate::tpcc::Generator;
+    use htapg_core::engine::MaintenanceReport;
+    use htapg_core::{AttrId, LayoutTemplate, Record, Relation, RowId, Schema, Value};
+    use htapg_taxonomy::{survey, Classification};
+    use parking_lot::RwLock;
+
+    /// Minimal engine for driver tests.
+    struct Mem {
+        rels: RwLock<Vec<Relation>>,
+    }
+
+    impl Mem {
+        fn new() -> Self {
+            Mem { rels: RwLock::new(Vec::new()) }
+        }
+    }
+
+    impl StorageEngine for Mem {
+        fn name(&self) -> &'static str {
+            "MEM"
+        }
+        fn classification(&self) -> Classification {
+            survey::pax()
+        }
+        fn create_relation(&self, schema: Schema) -> htapg_core::Result<u32> {
+            let template = LayoutTemplate::nsm(&schema);
+            let mut rels = self.rels.write();
+            rels.push(Relation::new(schema, template)?);
+            Ok(rels.len() as u32 - 1)
+        }
+        fn schema(&self, rel: u32) -> htapg_core::Result<Schema> {
+            Ok(self.rels.read()[rel as usize].schema().clone())
+        }
+        fn insert(&self, rel: u32, record: &Record) -> htapg_core::Result<RowId> {
+            self.rels.write()[rel as usize].insert(record)
+        }
+        fn read_record(&self, rel: u32, row: RowId) -> htapg_core::Result<Record> {
+            self.rels.read()[rel as usize].read_record(row)
+        }
+        fn read_field(&self, rel: u32, row: RowId, attr: AttrId) -> htapg_core::Result<Value> {
+            self.rels.read()[rel as usize].read_value(
+                row,
+                attr,
+                htapg_core::AccessHint::RecordCentric,
+            )
+        }
+        fn update_field(
+            &self,
+            rel: u32,
+            row: RowId,
+            attr: AttrId,
+            value: &Value,
+        ) -> htapg_core::Result<()> {
+            self.rels.write()[rel as usize].update_field(row, attr, value)
+        }
+        fn scan_column(
+            &self,
+            rel: u32,
+            attr: AttrId,
+            visit: &mut dyn FnMut(RowId, &Value),
+        ) -> htapg_core::Result<()> {
+            let rels = self.rels.read();
+            let r = &rels[rel as usize];
+            let ty = r.schema().ty(attr)?;
+            r.for_each_field(attr, |row, bytes| visit(row, &Value::decode(ty, bytes)))
+        }
+        fn row_count(&self, rel: u32) -> htapg_core::Result<u64> {
+            Ok(self.rels.read()[rel as usize].row_count())
+        }
+        fn maintain(&self) -> htapg_core::Result<MaintenanceReport> {
+            Ok(MaintenanceReport::default())
+        }
+    }
+
+    #[test]
+    fn sequential_run_counts_classes() {
+        let engine = Mem::new();
+        let gen = Generator::new(1);
+        let rel = load_customers(&engine, &gen, 500).unwrap();
+        let ops = mixed_stream(&gen, 2, 500, 200, &MixConfig::default());
+        let report = run_sequential(&engine, rel, &ops);
+        assert_eq!(report.oltp.ops + report.olap.ops, 200);
+        assert_eq!(report.oltp.errors, 0);
+        assert_eq!(report.olap.errors, 0);
+        assert!(report.wall_ns > 0);
+        assert!(report.render().contains("OLTP"));
+    }
+
+    #[test]
+    fn concurrent_run_completes_all_ops() {
+        let engine = Mem::new();
+        let gen = Generator::new(1);
+        let rel = load_customers(&engine, &gen, 300).unwrap();
+        let ops = mixed_stream(&gen, 3, 300, 400, &MixConfig { olap_fraction: 0.05, ..Default::default() });
+        let report = run_concurrent(&engine, rel, &ops, 4, 1);
+        assert_eq!(report.oltp.ops + report.olap.ops, 400);
+        assert_eq!(report.oltp.errors + report.olap.errors, 0);
+    }
+
+    #[test]
+    fn group_sum_matches_manual_grouping() {
+        let engine = Mem::new();
+        let gen = Generator::new(8);
+        let rel = load_customers(&engine, &gen, 300).unwrap();
+        let groups = group_sum(
+            &engine,
+            rel,
+            crate::tpcc::customer_attr::C_D_ID,
+            crate::tpcc::customer_attr::C_BALANCE,
+        )
+        .unwrap();
+        // Manual oracle.
+        let mut expect: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+        for i in 0..300 {
+            let rec = gen.customer(i);
+            let k = rec[crate::tpcc::customer_attr::C_D_ID as usize].as_i64().unwrap();
+            let v = rec[crate::tpcc::customer_attr::C_BALANCE as usize].as_f64().unwrap();
+            *expect.entry(k).or_insert(0.0) += v;
+        }
+        assert_eq!(groups.len(), expect.len());
+        for (k, sum) in groups {
+            assert!((sum - expect[&k]).abs() < 1e-6, "group {k}");
+        }
+    }
+
+    #[test]
+    fn streams_include_group_bys() {
+        let gen = Generator::new(5);
+        let cfg = MixConfig { olap_fraction: 0.5, group_fraction: 0.5, ..Default::default() };
+        let ops = mixed_stream(&gen, 1, 100, 2000, &cfg);
+        assert!(ops.iter().any(|o| matches!(o, Op::GroupSum { .. })));
+        // And the driver executes them without error.
+        let engine = Mem::new();
+        let rel = load_customers(&engine, &gen, 100).unwrap();
+        let report = run_sequential(&engine, rel, &ops[..200]);
+        assert_eq!(report.olap.errors + report.oltp.errors, 0);
+    }
+
+    #[test]
+    fn loaders_populate() {
+        let engine = Mem::new();
+        let gen = Generator::new(4);
+        let c = load_customers(&engine, &gen, 50).unwrap();
+        let i = load_items(&engine, &gen, 70).unwrap();
+        assert_eq!(engine.row_count(c).unwrap(), 50);
+        assert_eq!(engine.row_count(i).unwrap(), 70);
+        // Sum over the engine matches the generator's analytic expectation.
+        let sum = engine.sum_column_f64(i, crate::tpcc::item_attr::I_PRICE).unwrap();
+        assert!((sum - gen.expected_item_price_sum(70)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! # htapg-workload
+//!
+//! Workload substrate: TPC-C-shaped data generators and an HTAP
+//! mixed-workload driver.
+//!
+//! The paper's experiments (Section II-B) "run both materialization and
+//! summing on records stored in the customer- resp. item table of the
+//! popular TPC-C benchmark dataset", with "a customer record \[of\] 96 bytes
+//! for 21 fields, and an item record \[of\] 20 bytes for 4 fields + 8 bytes
+//! for the price field". [`tpcc`] reproduces exactly those record shapes;
+//! [`queries`] produces the record- and attribute-centric access streams;
+//! [`driver`] mixes them into a concurrent HTAP load against any
+//! [`htapg_core::engine::StorageEngine`].
+
+pub mod driver;
+pub mod queries;
+pub mod tpcc;

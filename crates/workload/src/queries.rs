@@ -1,0 +1,167 @@
+//! Query streams: the record-centric (Q1) and attribute-centric (Q2)
+//! operations of Section II, plus mixed HTAP streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use htapg_core::{AttrId, RowId, Value};
+
+use crate::tpcc::{customer_attr, Generator};
+
+/// One operation of an HTAP stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Record-centric: materialize all fields of these rows (Q1 after the
+    /// preceding join produced a position list).
+    Materialize(Vec<RowId>),
+    /// Attribute-centric: sum one column over the whole relation (Q2).
+    SumColumn(AttrId),
+    /// OLTP write: set `attr` of `row` to `value`.
+    UpdateField { row: RowId, attr: AttrId, value: Value },
+    /// OLTP point read of one record.
+    PointRead(RowId),
+    /// Attribute-centric group-by: sum `value_attr` grouped by `key_attr`.
+    GroupSum { key_attr: AttrId, value_attr: AttrId },
+}
+
+impl Op {
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::UpdateField { .. })
+    }
+
+    pub fn is_analytic(&self) -> bool {
+        matches!(self, Op::SumColumn(_) | Op::GroupSum { .. })
+    }
+}
+
+/// Draw `k` distinct sorted positions from `0..n` (the paper's "sorted
+/// position lists" produced by the upstream join).
+pub fn sorted_positions(rng: &mut impl Rng, n: u64, k: usize) -> Vec<RowId> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < k.min(n as usize) {
+        set.insert(rng.gen_range(0..n));
+    }
+    set.into_iter().collect()
+}
+
+/// Configuration of a mixed stream over the customer table.
+#[derive(Debug, Clone)]
+pub struct MixConfig {
+    /// Fraction of analytic ops (column sums); the rest is transactional.
+    pub olap_fraction: f64,
+    /// Within OLTP, fraction of writes (vs point reads).
+    pub write_fraction: f64,
+    /// Positions per materialize op (the paper uses 150).
+    pub positions_per_materialize: usize,
+    /// Column summed by analytic ops (default: `c_balance`).
+    pub sum_attr: AttrId,
+    /// Within analytic ops, fraction that are group-by aggregations
+    /// (grouped by `group_attr`) rather than plain sums.
+    pub group_fraction: f64,
+    /// Grouping key for group-by ops (default: `c_d_id`).
+    pub group_attr: AttrId,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        MixConfig {
+            olap_fraction: 0.1,
+            write_fraction: 0.5,
+            positions_per_materialize: 150,
+            sum_attr: customer_attr::C_BALANCE,
+            group_fraction: 0.25,
+            group_attr: customer_attr::C_D_ID,
+        }
+    }
+}
+
+/// Generate a deterministic mixed HTAP stream of `len` ops over a table of
+/// `rows` rows, with NURand-skewed OLTP keys.
+pub fn mixed_stream(gen: &Generator, seed: u64, rows: u64, len: usize, cfg: &MixConfig) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        if rng.gen_bool(cfg.olap_fraction) {
+            if rng.gen_bool(cfg.group_fraction) {
+                out.push(Op::GroupSum { key_attr: cfg.group_attr, value_attr: cfg.sum_attr });
+            } else {
+                out.push(Op::SumColumn(cfg.sum_attr));
+            }
+        } else if rng.gen_bool(cfg.write_fraction) {
+            let row = gen.skewed_row(&mut rng, rows);
+            out.push(Op::UpdateField {
+                row,
+                attr: customer_attr::C_BALANCE,
+                value: Value::Float64(rng.gen_range(-500.0..500.0)),
+            });
+        } else {
+            out.push(Op::PointRead(gen.skewed_row(&mut rng, rows)));
+        }
+    }
+    out
+}
+
+/// A pure record-centric stream: repeated materializations of `k` rows,
+/// as in Figure 2's first panel.
+pub fn materialize_stream(seed: u64, rows: u64, k: usize, reps: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..reps).map(|_| Op::Materialize(sorted_positions(&mut rng, rows, k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_positions_are_sorted_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos = sorted_positions(&mut rng, 1_000_000, 150);
+        assert_eq!(pos.len(), 150);
+        for w in pos.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(pos.iter().all(|&p| p < 1_000_000));
+    }
+
+    #[test]
+    fn positions_capped_by_table_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sorted_positions(&mut rng, 10, 150).len(), 10);
+        assert!(sorted_positions(&mut rng, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn mixed_stream_respects_fractions_roughly() {
+        let gen = Generator::new(5);
+        let cfg = MixConfig { olap_fraction: 0.2, write_fraction: 0.5, ..Default::default() };
+        let ops = mixed_stream(&gen, 9, 10_000, 10_000, &cfg);
+        let olap = ops.iter().filter(|o| o.is_analytic()).count();
+        let writes = ops.iter().filter(|o| o.is_write()).count();
+        assert!((1500..2500).contains(&olap), "olap={olap}");
+        assert!((3000..5000).contains(&writes), "writes={writes}");
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic() {
+        let gen = Generator::new(5);
+        let cfg = MixConfig::default();
+        let a = mixed_stream(&gen, 1, 1000, 100, &cfg);
+        let b = mixed_stream(&gen, 1, 1000, 100, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn materialize_stream_shape() {
+        let ops = materialize_stream(3, 1000, 150, 10);
+        assert_eq!(ops.len(), 10);
+        for op in &ops {
+            match op {
+                Op::Materialize(pos) => assert_eq!(pos.len(), 150),
+                _ => panic!("unexpected op"),
+            }
+        }
+    }
+}

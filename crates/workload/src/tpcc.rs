@@ -1,0 +1,277 @@
+//! TPC-C-shaped schemas and deterministic data generators.
+//!
+//! Record shapes match the paper's setup exactly:
+//! * customer — **21 fields, 96 bytes** per record;
+//! * item — **4 fields of 20 bytes + an 8-byte price field** (28 bytes).
+//!
+//! Generation is seeded and index-deterministic: `customer(i)` always
+//! produces the same record for the same seed, so engines loaded
+//! independently hold identical data (the cross-engine equivalence tests
+//! rely on this). Key selection uses TPC-C's NURand skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use htapg_core::{DataType, Record, Schema, Value};
+
+/// Customer attribute indices (by name, for readable call sites).
+pub mod customer_attr {
+    pub const C_ID: u16 = 0;
+    pub const C_D_ID: u16 = 1;
+    pub const C_W_ID: u16 = 2;
+    pub const C_FIRST: u16 = 3;
+    pub const C_MIDDLE: u16 = 4;
+    pub const C_LAST: u16 = 5;
+    pub const C_STREET_1: u16 = 6;
+    pub const C_STREET_2: u16 = 7;
+    pub const C_CITY: u16 = 8;
+    pub const C_STATE: u16 = 9;
+    pub const C_ZIP: u16 = 10;
+    pub const C_PHONE: u16 = 11;
+    pub const C_SINCE: u16 = 12;
+    pub const C_CREDIT: u16 = 13;
+    pub const C_CREDIT_LIM: u16 = 14;
+    pub const C_DISCOUNT: u16 = 15;
+    pub const C_BALANCE: u16 = 16;
+    pub const C_YTD_PAYMENT: u16 = 17;
+    pub const C_PAYMENT_CNT: u16 = 18;
+    pub const C_DELIVERY_CNT: u16 = 19;
+    pub const C_ACTIVE: u16 = 20;
+}
+
+/// Item attribute indices.
+pub mod item_attr {
+    pub const I_ID: u16 = 0;
+    pub const I_IM_ID: u16 = 1;
+    pub const I_NAME: u16 = 2;
+    pub const I_DATA: u16 = 3;
+    pub const I_PRICE: u16 = 4;
+}
+
+/// The 21-field, 96-byte customer schema.
+pub fn customer_schema() -> Schema {
+    Schema::of(&[
+        ("c_id", DataType::Int64),           //  8
+        ("c_d_id", DataType::Int32),         //  4
+        ("c_w_id", DataType::Int32),         //  4
+        ("c_first", DataType::Text(5)),      //  5
+        ("c_middle", DataType::Text(2)),     //  2
+        ("c_last", DataType::Text(5)),       //  5
+        ("c_street_1", DataType::Text(5)),   //  5
+        ("c_street_2", DataType::Text(5)),   //  5
+        ("c_city", DataType::Text(4)),       //  4
+        ("c_state", DataType::Text(2)),      //  2
+        ("c_zip", DataType::Text(4)),        //  4
+        ("c_phone", DataType::Text(5)),      //  5
+        ("c_since", DataType::Date),         //  4
+        ("c_credit", DataType::Text(2)),     //  2
+        ("c_credit_lim", DataType::Float64), //  8
+        ("c_discount", DataType::Float64),   //  8
+        ("c_balance", DataType::Float64),    //  8
+        ("c_ytd_payment", DataType::Int32),  //  4
+        ("c_payment_cnt", DataType::Int32),  //  4
+        ("c_delivery_cnt", DataType::Int32), //  4
+        ("c_active", DataType::Bool),        //  1  => 96 bytes
+    ])
+}
+
+/// The 5-field, 28-byte item schema (20 B + 8 B price).
+pub fn item_schema() -> Schema {
+    Schema::of(&[
+        ("i_id", DataType::Int64),      //  8
+        ("i_im_id", DataType::Int32),   //  4
+        ("i_name", DataType::Text(6)),  //  6
+        ("i_data", DataType::Text(2)),  //  2  => 20 bytes
+        ("i_price", DataType::Float64), //  8  => 28 bytes
+    ])
+}
+
+/// TPC-C last-name syllables.
+const SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// TPC-C last name for a number in 0..=999, truncated to the fixed field.
+pub fn c_last(num: u32) -> String {
+    let n = num % 1000;
+    let mut s = String::new();
+    s.push_str(SYLLABLES[(n / 100) as usize]);
+    s.push_str(SYLLABLES[(n / 10 % 10) as usize]);
+    s.push_str(SYLLABLES[(n % 10) as usize]);
+    s.truncate(5);
+    s
+}
+
+/// TPC-C non-uniform random: NURand(A, x, y) with run-time constant `c`.
+pub fn nurand(rng: &mut impl Rng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// Deterministic, seeded generator of customer and item records.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    seed: u64,
+    /// NURand C constant, fixed per generator.
+    pub c_const: u64,
+}
+
+impl Generator {
+    pub fn new(seed: u64) -> Self {
+        Generator { seed, c_const: seed.wrapping_mul(0x9E3779B9) % 256 }
+    }
+
+    fn rng_for(&self, stream: u64, index: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F) ^ index)
+    }
+
+    /// The `i`-th customer record (index-deterministic).
+    pub fn customer(&self, i: u64) -> Record {
+        let mut rng = self.rng_for(1, i);
+        vec![
+            Value::Int64(i as i64),
+            Value::Int32((i % 10) as i32 + 1),
+            Value::Int32((i % 4) as i32 + 1),
+            Value::Text(format!("f{:03}", rng.gen_range(0..1000))),
+            Value::Text("OE".into()),
+            Value::Text(c_last(rng.gen_range(0..1000))),
+            Value::Text(format!("s{:03}", rng.gen_range(0..1000))),
+            Value::Text(format!("t{:03}", rng.gen_range(0..1000))),
+            Value::Text(format!("c{:02}", rng.gen_range(0..100))),
+            Value::Text(["CA", "NY", "TX", "WA"][rng.gen_range(0..4)].into()),
+            Value::Text(format!("{:04}", rng.gen_range(0..10000))),
+            Value::Text(format!("{:05}", rng.gen_range(0..100000))),
+            Value::Date(rng.gen_range(10_000..20_000)),
+            Value::Text(if rng.gen_bool(0.9) { "GC" } else { "BC" }.into()),
+            Value::Float64(50_000.0),
+            Value::Float64(rng.gen_range(0.0..0.5)),
+            Value::Float64(rng.gen_range(-1_000.0..10_000.0)),
+            Value::Int32(rng.gen_range(0..1_000_000)),
+            Value::Int32(rng.gen_range(1..100)),
+            Value::Int32(rng.gen_range(0..50)),
+            Value::Bool(rng.gen_bool(0.95)),
+        ]
+    }
+
+    /// The `i`-th item record (index-deterministic).
+    pub fn item(&self, i: u64) -> Record {
+        let mut rng = self.rng_for(2, i);
+        vec![
+            Value::Int64(i as i64),
+            Value::Int32(rng.gen_range(1..10_000)),
+            Value::Text(format!("it{:04}", rng.gen_range(0..10_000))),
+            Value::Text(if rng.gen_bool(0.1) { "OR" } else { "NO" }.into()),
+            Value::Float64((rng.gen_range(100..10_000) as f64) / 100.0),
+        ]
+    }
+
+    /// A NURand-skewed customer row id in `0..n` (hot keys get more
+    /// traffic, as TPC-C prescribes).
+    pub fn skewed_row(&self, rng: &mut impl Rng, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        nurand(rng, 1023, self.c_const, 0, n - 1) % n
+    }
+
+    /// Exact analytic sum of `i_price` over items `0..n` (for verification
+    /// without scanning).
+    pub fn expected_item_price_sum(&self, n: u64) -> f64 {
+        (0..n)
+            .map(|i| match &self.item(i)[item_attr::I_PRICE as usize] {
+                Value::Float64(p) => *p,
+                _ => unreachable!(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn customer_is_21_fields_96_bytes() {
+        let s = customer_schema();
+        assert_eq!(s.arity(), 21, "paper: 21 fields");
+        assert_eq!(s.tuple_width(), 96, "paper: 96 bytes");
+    }
+
+    #[test]
+    fn item_is_20_plus_8_bytes() {
+        let s = item_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.tuple_width(), 28, "paper: 20 B + 8 B price");
+        let price_w = s.ty(item_attr::I_PRICE).unwrap().width();
+        assert_eq!(price_w, 8);
+        assert_eq!(s.tuple_width() - price_w, 20);
+    }
+
+    #[test]
+    fn records_validate_against_schemas() {
+        let g = Generator::new(42);
+        let cs = customer_schema();
+        let is = item_schema();
+        for i in 0..100 {
+            cs.check_record(&g.customer(i)).unwrap();
+            is.check_record(&g.item(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(7);
+        let b = Generator::new(7);
+        for i in [0u64, 5, 99, 12345] {
+            assert_eq!(a.customer(i), b.customer(i));
+            assert_eq!(a.item(i), b.item(i));
+        }
+        let c = Generator::new(8);
+        assert_ne!(a.customer(3), c.customer(3));
+    }
+
+    #[test]
+    fn c_last_matches_tpcc_syllables() {
+        assert_eq!(c_last(0), "BARBA"); // BAR BAR BAR truncated to 5
+        assert!(c_last(371).starts_with("PRI"));
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_skews() {
+        let g = Generator::new(1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 10_000u64;
+        let mut counts = vec![0u32; 16];
+        for _ in 0..20_000 {
+            let r = g.skewed_row(&mut rng, n);
+            assert!(r < n);
+            counts[(r * 16 / n) as usize] += 1;
+        }
+        // All buckets hit (coverage), but not uniformly (skew).
+        assert!(counts.iter().all(|&c| c > 0));
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min > 1.05, "expected skew, got {counts:?}");
+    }
+
+    #[test]
+    fn prices_are_in_tpcc_range() {
+        let g = Generator::new(3);
+        for i in 0..1000 {
+            match &g.item(i)[item_attr::I_PRICE as usize] {
+                Value::Float64(p) => assert!((1.0..=100.0).contains(p), "price {p}"),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn expected_sum_matches_manual() {
+        let g = Generator::new(11);
+        let n = 500;
+        let manual: f64 = (0..n)
+            .map(|i| g.item(i)[item_attr::I_PRICE as usize].as_f64().unwrap())
+            .sum();
+        assert_eq!(g.expected_item_price_sum(n), manual);
+    }
+}

@@ -1,0 +1,75 @@
+//! GPU offload with CoGaDB-style placement and the HYPE-style learned
+//! scheduler: columns migrate to the simulated device, the scheduler learns
+//! per-processor cost models, and the device-memory capacity wall forces
+//! all-or-nothing fallbacks.
+//!
+//! ```sh
+//! cargo run --release --example gpu_offload
+//! ```
+
+use std::sync::Arc;
+
+use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::device::{DeviceSpec, SimDevice};
+use htapg::engines::cogadb::Placement;
+use htapg::engines::CogadbEngine;
+use htapg::workload::driver::load_items;
+use htapg::workload::tpcc::{item_attr, Generator};
+
+fn main() {
+    let gen = Generator::new(21);
+    let n = 500_000u64;
+
+    // --- 1. A device with plenty of memory: the column gets placed. ---
+    let engine = CogadbEngine::new();
+    let rel = load_items(&engine, &gen, n).unwrap();
+    println!("loaded {n} items ({} MB price column)", n * 8 / (1024 * 1024));
+
+    // Heat the price column, then let maintenance place it.
+    for _ in 0..5 {
+        engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    }
+    let report = engine.maintain().unwrap();
+    println!(
+        "placement pass: {} column(s) moved to device; resident: {:?}",
+        report.fragments_moved,
+        engine.device_resident(rel).unwrap()
+    );
+
+    // Train the HYPE scheduler: it alternates CPU/GPU to learn both cost
+    // models, then settles on the cheaper processor.
+    println!("\nHYPE training and decisions:");
+    for i in 0..10 {
+        let (sum, placement) = engine.sum_column_placed(rel, item_attr::I_PRICE).unwrap();
+        println!("  scan {i:>2}: placed on {placement:?} (sum {sum:.2})");
+    }
+    let (_, final_placement) = engine.sum_column_placed(rel, item_attr::I_PRICE).unwrap();
+    println!("after training the scheduler picks: {final_placement:?}");
+    assert_eq!(final_placement, Placement::Gpu, "large scans belong on the device");
+
+    let snap = engine.device().ledger().snapshot();
+    println!(
+        "device ledger: {:.3} ms transfers ({} transfers), {:.3} ms kernels ({} launches)",
+        snap.transfer_ns as f64 / 1e6,
+        snap.transfers,
+        snap.kernel_ns as f64 / 1e6,
+        snap.kernel_launches
+    );
+
+    // --- 2. A tiny device: the 4 MB column cannot fit — all or nothing. ---
+    println!("\n--- capacity wall ---");
+    let tiny = CogadbEngine::with_device(Arc::new(SimDevice::new(1, DeviceSpec::tiny())));
+    let rel2 = load_items(&tiny, &gen, n).unwrap();
+    for _ in 0..5 {
+        tiny.sum_column_f64(rel2, item_attr::I_PRICE).unwrap();
+    }
+    let report = tiny.maintain().unwrap();
+    println!(
+        "1 MB device: {} column(s) placed (the {} MB column falls back to the host wholesale)",
+        report.fragments_moved,
+        n * 8 / (1024 * 1024)
+    );
+    let (sum, placement) = tiny.sum_column_placed(rel2, item_attr::I_PRICE).unwrap();
+    println!("scan still answers from {placement:?}: sum {sum:.2}");
+    assert_eq!(placement, Placement::Cpu);
+}

@@ -1,0 +1,44 @@
+//! The survey, live: Table 1 derived from the engine implementations, the
+//! Figure 4 taxonomy, and the Section IV-C reference-design checklist —
+//! ending, like the paper, on whether any surveyed engine is fit for HTAP
+//! on CPU *and* GPU.
+//!
+//! ```sh
+//! cargo run --example survey
+//! ```
+
+use htapg::core::engine::StorageEngine;
+use htapg::engines::{all_surveyed_engines, ReferenceEngine};
+use htapg::taxonomy::{reference, survey, table, tree};
+
+fn main() {
+    println!("Figure 4 — taxonomy of storage-engine classification properties\n");
+    print!("{}", tree::render(&tree::figure4()));
+
+    println!("\nTable 1 — classification of the implemented engines\n");
+    let engines = all_surveyed_engines();
+    let classifications: Vec<_> = engines.iter().map(|e| e.classification()).collect();
+    print!("{}", table::render_markdown(&classifications));
+
+    assert_eq!(
+        classifications,
+        survey::paper_table1(),
+        "live classifications must equal the paper's Table 1"
+    );
+    println!("\n(matches the paper's Table 1 verbatim)");
+
+    println!("\nSection IV-C — is any engine ready for HTAP on CPU and GPU?\n");
+    for c in &classifications {
+        let chk = reference::check(c);
+        let missing: Vec<String> =
+            chk.missing().iter().map(|r| r.description().to_string()).collect();
+        println!("{:<16} {}", c.name, if missing.is_empty() { "READY".to_string() } else {
+            format!("not yet — misses {}", missing.join("; "))
+        });
+    }
+
+    println!("\n…and the reference design:");
+    let chk = reference::check(&ReferenceEngine::new().classification());
+    println!("{}", chk.render());
+    assert!(chk.satisfied());
+}

@@ -1,0 +1,129 @@
+//! Device placement end to end (requirement 3 of the reference design and
+//! the CoGaDB/GPUTx mechanics): capacity walls, all-or-nothing fallback,
+//! ledger accounting, and host/device answer agreement.
+
+use std::sync::Arc;
+
+use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::{Error, Value};
+use htapg::device::{DeviceSpec, SimDevice};
+use htapg::engines::gputx::TxOp;
+use htapg::engines::{CogadbEngine, GputxEngine, ReferenceEngine};
+use htapg::workload::driver::load_items;
+use htapg::workload::tpcc::{item_attr, Generator};
+
+#[test]
+fn cogadb_placement_respects_capacity_and_answers_match() {
+    let gen = Generator::new(31);
+    // Device fits exactly one of the two hot 8-byte columns of 40k rows
+    // (320 kB each): give it 512 kB.
+    let spec = DeviceSpec { global_mem_bytes: 512 * 1024, ..DeviceSpec::default() };
+    let engine = CogadbEngine::with_device(Arc::new(SimDevice::new(0, spec)));
+    let rel = load_items(&engine, &gen, 40_000).unwrap();
+    // Heat price more than id.
+    for _ in 0..10 {
+        engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    }
+    for _ in 0..2 {
+        engine.sum_column_f64(rel, item_attr::I_ID).unwrap();
+    }
+    let report = engine.maintain().unwrap();
+    assert_eq!(report.fragments_moved, 1, "only the hottest column fits");
+    assert_eq!(engine.device_resident(rel).unwrap(), vec![item_attr::I_PRICE]);
+    // The placed copy answers identically.
+    engine.place_column(rel, item_attr::I_PRICE).unwrap();
+    let host = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    let mut saw_gpu = false;
+    for _ in 0..10 {
+        let (sum, placement) = engine.sum_column_placed(rel, item_attr::I_PRICE).unwrap();
+        assert!((sum - host).abs() < 1e-6 * host);
+        saw_gpu |= placement == htapg::engines::cogadb::Placement::Gpu;
+    }
+    assert!(saw_gpu, "the trained scheduler should try the device");
+}
+
+#[test]
+fn gputx_relations_live_and_die_on_the_device() {
+    let gen = Generator::new(37);
+    let engine = GputxEngine::new();
+    let rel = engine.create_relation(htapg::workload::tpcc::item_schema()).unwrap();
+    let records: Vec<_> = (0..5_000).map(|i| gen.item(i)).collect();
+    engine.bulk_insert(rel, &records).unwrap();
+    let used = engine.device().used_bytes();
+    assert!(used >= 5_000 * 28, "columns resident on device: {used}");
+    // Bulk transactions with the result pool in host memory.
+    let pool = engine
+        .execute_batch(rel, &[TxOp::Read { row: 0 }, TxOp::Read { row: 4_999 }])
+        .unwrap();
+    assert_eq!(pool.len(), 2);
+    assert_eq!(pool[0], gen.item(0));
+    assert_eq!(pool[1], gen.item(4_999));
+    // Reads charged the PCIe for the result pool copy-out.
+    assert!(engine.device().ledger().snapshot().bytes_from_device > 0);
+}
+
+#[test]
+fn gputx_oom_when_relation_exceeds_device() {
+    let gen = Generator::new(41);
+    let engine = GputxEngine::with_spec(DeviceSpec::tiny()); // 1 MB
+    let rel = engine.create_relation(htapg::workload::tpcc::item_schema()).unwrap();
+    // 28 B/row × 100k rows ≈ 2.8 MB > 1 MB.
+    let records: Vec<_> = (0..100_000).map(|i| gen.item(i)).collect();
+    let err = engine.bulk_insert(rel, &records).unwrap_err();
+    assert!(matches!(err, Error::DeviceOutOfMemory { .. }), "got {err}");
+}
+
+#[test]
+fn reference_engine_mixed_location_is_consistent_after_updates() {
+    let gen = Generator::new(43);
+    let engine = ReferenceEngine::new();
+    let rel = load_items(&engine, &gen, 10_000).unwrap();
+    for _ in 0..30 {
+        engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    }
+    engine.maintain().unwrap();
+    assert!(engine.device_resident(rel).unwrap().contains(&item_attr::I_PRICE));
+    let d1 = engine.sum_column_device(rel, item_attr::I_PRICE).unwrap();
+    let h1 = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    assert!((d1 - h1).abs() < 1e-6 * h1.abs());
+    // Update → stale replica → refresh → agree again.
+    engine.update_field(rel, 3, item_attr::I_PRICE, &Value::Float64(1000.0)).unwrap();
+    assert!(engine.sum_column_device(rel, item_attr::I_PRICE).is_err(), "stale replica unusable");
+    engine.maintain().unwrap();
+    let d2 = engine.sum_column_device(rel, item_attr::I_PRICE).unwrap();
+    let h2 = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    assert!((d2 - h2).abs() < 1e-6 * h2.abs());
+    assert!(h2 > h1, "the big update must be reflected");
+}
+
+#[test]
+fn transfer_and_kernel_costs_are_separated_in_the_ledger() {
+    // The mechanism behind Fig. 2 panels 3 vs 4.
+    let gen = Generator::new(47);
+    let device = Arc::new(SimDevice::with_defaults());
+    let pair = htapg_bench_support_build(&gen, 100_000);
+    let before = device.ledger().snapshot();
+    let (_, transfer_ns, kernel_ns) = htapg::exec::device_exec::offload_sum(
+        &device,
+        &pair,
+        item_attr::I_PRICE,
+        htapg::core::DataType::Float64,
+    )
+    .unwrap();
+    let delta = device.ledger().snapshot().since(&before);
+    assert_eq!(delta.transfer_ns, transfer_ns);
+    assert_eq!(delta.kernel_ns, kernel_ns);
+    // 800 kB over 6 GB/s PCIe ≫ 800 kB over 80 GB/s device memory.
+    assert!(transfer_ns > kernel_ns * 3, "transfer {transfer_ns} vs kernel {kernel_ns}");
+}
+
+fn htapg_bench_support_build(gen: &Generator, n: u64) -> htapg::core::Layout {
+    let schema = htapg::workload::tpcc::item_schema();
+    let mut layout =
+        htapg::core::Layout::new(&schema, htapg::core::LayoutTemplate::dsm_emulated(&schema))
+            .unwrap();
+    for i in 0..n {
+        layout.append(&schema, &gen.item(i)).unwrap();
+    }
+    layout
+}

@@ -1,0 +1,150 @@
+//! Cross-engine equivalence: every engine — whatever its physical layout,
+//! device placement, versioning, or cluster distribution — must answer the
+//! same logical queries identically. A randomized workload of inserts,
+//! updates, point reads, scans, and interleaved maintenance runs against
+//! all engines plus a trivially correct oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::{Record, Value};
+use htapg::engines::{all_surveyed_engines, PlainEngine, ReferenceEngine};
+use htapg::workload::tpcc::{item_attr, item_schema, Generator};
+
+fn engines_under_test() -> Vec<Box<dyn StorageEngine>> {
+    let mut v = all_surveyed_engines();
+    v.push(Box::new(ReferenceEngine::new()));
+    v
+}
+
+#[test]
+fn randomized_workload_equivalence() {
+    let gen = Generator::new(1234);
+    let mut rng = StdRng::seed_from_u64(99);
+    let oracle = PlainEngine::row_store();
+    let engines = engines_under_test();
+
+    let oracle_rel = oracle.create_relation(item_schema()).unwrap();
+    let rels: Vec<_> = engines
+        .iter()
+        .map(|e| e.create_relation(item_schema()).unwrap())
+        .collect();
+
+    let mut rows = 0u64;
+    // Seed rows so updates have targets.
+    for i in 0..200 {
+        let rec = gen.item(i);
+        oracle.insert(oracle_rel, &rec).unwrap();
+        for (e, &rel) in engines.iter().zip(&rels) {
+            e.insert(rel, &rec).unwrap();
+        }
+        rows += 1;
+    }
+
+    for step in 0..600 {
+        match rng.gen_range(0..100) {
+            0..=29 => {
+                let rec = gen.item(rows);
+                oracle.insert(oracle_rel, &rec).unwrap();
+                for (e, &rel) in engines.iter().zip(&rels) {
+                    let got = e.insert(rel, &rec).unwrap();
+                    assert_eq!(got, rows, "{} row id", e.name());
+                }
+                rows += 1;
+            }
+            30..=59 => {
+                let row = rng.gen_range(0..rows);
+                let v = Value::Float64(rng.gen_range(0.0..100.0));
+                oracle.update_field(oracle_rel, row, item_attr::I_PRICE, &v).unwrap();
+                for (e, &rel) in engines.iter().zip(&rels) {
+                    e.update_field(rel, row, item_attr::I_PRICE, &v).unwrap();
+                }
+            }
+            60..=84 => {
+                let row = rng.gen_range(0..rows);
+                let want: Record = oracle.read_record(oracle_rel, row).unwrap();
+                for (e, &rel) in engines.iter().zip(&rels) {
+                    let got = e.read_record(rel, row).unwrap();
+                    assert_eq!(got, want, "{} record {row} at step {step}", e.name());
+                }
+            }
+            85..=94 => {
+                let want = oracle.sum_column_f64(oracle_rel, item_attr::I_PRICE).unwrap();
+                for (e, &rel) in engines.iter().zip(&rels) {
+                    let got = e.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+                    assert!(
+                        (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                        "{} sum {got} vs oracle {want} at step {step}",
+                        e.name()
+                    );
+                }
+            }
+            _ => {
+                // Maintenance at arbitrary points must never change answers.
+                for e in &engines {
+                    e.maintain().unwrap();
+                }
+            }
+        }
+    }
+
+    // Final sweep: every row of every engine equals the oracle.
+    for row in (0..rows).step_by(7) {
+        let want = oracle.read_record(oracle_rel, row).unwrap();
+        for (e, &rel) in engines.iter().zip(&rels) {
+            assert_eq!(e.read_record(rel, row).unwrap(), want, "{} final row {row}", e.name());
+        }
+    }
+    for (e, &rel) in engines.iter().zip(&rels) {
+        assert_eq!(e.row_count(rel).unwrap(), rows, "{}", e.name());
+    }
+}
+
+#[test]
+fn scan_order_and_coverage_is_identical_everywhere() {
+    let gen = Generator::new(5);
+    let engines = engines_under_test();
+    for engine in engines {
+        let rel = engine.create_relation(item_schema()).unwrap();
+        for i in 0..500 {
+            engine.insert(rel, &gen.item(i)).unwrap();
+        }
+        engine.maintain().unwrap();
+        let mut rows = Vec::new();
+        let mut values = Vec::new();
+        engine
+            .scan_column(rel, item_attr::I_ID, &mut |row, v| {
+                rows.push(row);
+                values.push(v.clone());
+            })
+            .unwrap();
+        assert_eq!(rows, (0..500u64).collect::<Vec<_>>(), "{} row order", engine.name());
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(v, &Value::Int64(i as i64), "{} value {i}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn errors_are_uniform_across_engines() {
+    let engines = engines_under_test();
+    for engine in engines {
+        let rel = engine.create_relation(item_schema()).unwrap();
+        engine.insert(rel, &Generator::new(0).item(0)).unwrap();
+        assert!(engine.read_record(rel, 5).is_err(), "{} bad row", engine.name());
+        assert!(
+            engine.update_field(rel, 0, 99, &Value::Int32(0)).is_err(),
+            "{} bad attr",
+            engine.name()
+        );
+        assert!(
+            engine
+                .update_field(rel, 0, item_attr::I_PRICE, &Value::Text("x".into()))
+                .is_err(),
+            "{} bad type",
+            engine.name()
+        );
+        assert!(engine.read_record(99, 0).is_err(), "{} bad relation", engine.name());
+    }
+}

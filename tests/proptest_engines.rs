@@ -1,0 +1,125 @@
+//! Property-based cross-engine equivalence: arbitrary op sequences against
+//! randomly chosen engines must match the row-store oracle, with
+//! maintenance injected at arbitrary points.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::{DataType, Schema, Value};
+use htapg::engines::{
+    Es2Engine, H2oEngine, HyperEngine, HyriseEngine, LStoreEngine, MirrorsEngine, PaxEngine,
+    PelotonEngine, PlainEngine, ReferenceEngine,
+};
+
+fn small_schema() -> Schema {
+    Schema::of(&[("k", DataType::Int64), ("v", DataType::Float64), ("t", DataType::Text(5))])
+}
+
+#[derive(Debug, Clone)]
+enum EngOp {
+    Insert(i64, f64),
+    Update { row_sel: u16, value: f64 },
+    ReadRecord { row_sel: u16 },
+    ReadField { row_sel: u16, attr_sel: u8 },
+    Sum,
+    Maintain,
+}
+
+fn arb_op() -> impl Strategy<Value = EngOp> {
+    let f = any::<f64>().prop_filter("finite", |v| v.is_finite());
+    prop_oneof![
+        3 => (any::<i64>(), f.clone()).prop_map(|(k, v)| EngOp::Insert(k, v)),
+        3 => (any::<u16>(), f).prop_map(|(row_sel, value)| EngOp::Update { row_sel, value }),
+        3 => any::<u16>().prop_map(|row_sel| EngOp::ReadRecord { row_sel }),
+        2 => (any::<u16>(), any::<u8>()).prop_map(|(row_sel, attr_sel)| EngOp::ReadField {
+            row_sel,
+            attr_sel
+        }),
+        1 => Just(EngOp::Sum),
+        1 => Just(EngOp::Maintain),
+    ]
+}
+
+fn build_engine(which: u8) -> Box<dyn StorageEngine> {
+    match which % 10 {
+        0 => Box::new(PaxEngine::new()),
+        1 => Box::new(MirrorsEngine::new()),
+        2 => Box::new(HyriseEngine::new()),
+        3 => Box::new(Es2Engine::new(3)),
+        4 => Box::new(H2oEngine::new()),
+        5 => Box::new(HyperEngine::with_chunk_rows(16)),
+        6 => Box::new(LStoreEngine::new()),
+        7 => Box::new(PelotonEngine::with_tile_rows(16)),
+        8 => Box::new(ReferenceEngine::new()),
+        _ => Box::new(PlainEngine::column_store()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_oracle(which in any::<u8>(), ops in vec(arb_op(), 1..80)) {
+        let engine = build_engine(which);
+        let oracle = PlainEngine::row_store();
+        let schema = small_schema();
+        let rel_e = engine.create_relation(schema.clone()).unwrap();
+        let rel_o = oracle.create_relation(schema).unwrap();
+        // Seed one row so row selectors always have a target.
+        let seed = vec![Value::Int64(-1), Value::Float64(0.0), Value::Text("s".into())];
+        engine.insert(rel_e, &seed).unwrap();
+        oracle.insert(rel_o, &seed).unwrap();
+        let mut rows = 1u64;
+        for op in ops {
+            match op {
+                EngOp::Insert(k, v) => {
+                    let rec = vec![
+                        Value::Int64(k),
+                        Value::Float64(v),
+                        Value::Text(format!("r{}", rows % 100)),
+                    ];
+                    prop_assert_eq!(
+                        engine.insert(rel_e, &rec).unwrap(),
+                        oracle.insert(rel_o, &rec).unwrap()
+                    );
+                    rows += 1;
+                }
+                EngOp::Update { row_sel, value } => {
+                    let row = row_sel as u64 % rows;
+                    engine.update_field(rel_e, row, 1, &Value::Float64(value)).unwrap();
+                    oracle.update_field(rel_o, row, 1, &Value::Float64(value)).unwrap();
+                }
+                EngOp::ReadRecord { row_sel } => {
+                    let row = row_sel as u64 % rows;
+                    prop_assert_eq!(
+                        engine.read_record(rel_e, row).unwrap(),
+                        oracle.read_record(rel_o, row).unwrap(),
+                        "{} record {}", engine.name(), row
+                    );
+                }
+                EngOp::ReadField { row_sel, attr_sel } => {
+                    let row = row_sel as u64 % rows;
+                    let attr = (attr_sel % 3) as u16;
+                    prop_assert_eq!(
+                        engine.read_field(rel_e, row, attr).unwrap(),
+                        oracle.read_field(rel_o, row, attr).unwrap(),
+                        "{} field ({}, {})", engine.name(), row, attr
+                    );
+                }
+                EngOp::Sum => {
+                    let a = engine.sum_column_f64(rel_e, 1).unwrap();
+                    let b = oracle.sum_column_f64(rel_o, 1).unwrap();
+                    prop_assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                        "{}: {} vs {}", engine.name(), a, b
+                    );
+                }
+                EngOp::Maintain => {
+                    engine.maintain().unwrap();
+                }
+            }
+        }
+        prop_assert_eq!(engine.row_count(rel_e).unwrap(), rows);
+    }
+}

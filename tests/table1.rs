@@ -1,0 +1,72 @@
+//! E5 — Table 1 verbatim: every implemented engine must classify exactly as
+//! the paper's survey row, and the rendered table must carry the paper's
+//! vocabulary.
+
+use htapg::core::engine::StorageEngine;
+use htapg::engines::{all_surveyed_engines, ReferenceEngine};
+use htapg::taxonomy::{reference, survey, table, DataLocality, WorkloadSupport};
+
+#[test]
+fn every_engine_matches_its_survey_row() {
+    let engines = all_surveyed_engines();
+    let expected = survey::paper_table1();
+    assert_eq!(engines.len(), 10, "ten surveyed engines");
+    for (engine, row) in engines.iter().zip(&expected) {
+        assert_eq!(engine.name(), row.name);
+        assert_eq!(&engine.classification(), row, "classification of {}", engine.name());
+    }
+}
+
+#[test]
+fn rendered_table_contains_every_paper_cell_phrase() {
+    let classifications: Vec<_> =
+        all_surveyed_engines().iter().map(|e| e.classification()).collect();
+    let txt = table::render_text(&classifications);
+    for phrase in [
+        "single",
+        "built-in multi",
+        "inflex.",
+        "weak flex.",
+        "strong flex.",
+        "static",
+        "respons.",
+        "Host + Disc centr.",
+        "Host + Host centr.",
+        "Dev. + Dev. centr.",
+        "Mixed distr.",
+        "fat, DSM-fixed",
+        "fat, NSM+DSM-fixed",
+        "fat, variable",
+        "thin, DSM-emulated",
+        "v. NSM-fixed p. DSM-emul.",
+        "replication",
+        "delegated",
+        "CPU/GPU",
+        "OLTP",
+        "OLAP",
+        "HTAP",
+    ] {
+        assert!(txt.contains(phrase), "missing phrase {phrase:?} in:\n{txt}");
+    }
+}
+
+#[test]
+fn the_papers_conclusion_not_yet_holds_for_every_surveyed_engine() {
+    for engine in all_surveyed_engines() {
+        let chk = reference::check(&engine.classification());
+        assert!(
+            !chk.satisfied(),
+            "{} unexpectedly satisfies the full reference design",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn the_reference_engine_is_the_answer() {
+    let c = ReferenceEngine::new().classification();
+    let chk = reference::check(&c);
+    assert!(chk.satisfied(), "{}", chk.render());
+    assert_eq!(c.workload_support, WorkloadSupport::Htap);
+    assert_eq!(c.data_locality, DataLocality::Distributed);
+}

@@ -1,0 +1,127 @@
+//! TPC-C-shaped multi-field transactions on the reference engine: the
+//! Payment profile touches three customer fields atomically
+//! (balance, ytd_payment, payment_cnt); concurrent analytics must never
+//! observe a record where only some of the three moved.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use htapg::core::engine::StorageEngine;
+use htapg::core::{Error, Value};
+use htapg::engines::ReferenceEngine;
+use htapg::workload::driver::load_customers;
+use htapg::workload::tpcc::{customer_attr as c, Generator};
+
+/// Apply one Payment: balance -= amount; ytd += cents; cnt += 1.
+/// Retries on first-updater-wins conflicts.
+fn payment(engine: &ReferenceEngine, rel: u32, row: u64, amount: f64) {
+    loop {
+        let txn = engine.begin();
+        let result = (|| -> Result<(), Error> {
+            let bal = engine.txn_read(rel, &txn, row, c::C_BALANCE)?.as_f64().unwrap();
+            let ytd = engine.txn_read(rel, &txn, row, c::C_YTD_PAYMENT)?.as_i64().unwrap();
+            let cnt = engine.txn_read(rel, &txn, row, c::C_PAYMENT_CNT)?.as_i64().unwrap();
+            engine.txn_update(rel, &txn, row, c::C_BALANCE, Value::Float64(bal - amount))?;
+            engine.txn_update(
+                rel,
+                &txn,
+                row,
+                c::C_YTD_PAYMENT,
+                Value::Int32((ytd + (amount * 100.0) as i64) as i32),
+            )?;
+            engine.txn_update(rel, &txn, row, c::C_PAYMENT_CNT, Value::Int32(cnt as i32 + 1))?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                engine.txn_commit(rel, &txn).unwrap();
+                return;
+            }
+            Err(Error::TxnConflict { .. }) => {
+                engine.txn_abort(rel, &txn).unwrap();
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("payment failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn payments_are_atomic_under_snapshot_reads() {
+    let engine = Arc::new(ReferenceEngine::new());
+    let gen = Generator::new(101);
+    let rows = 32u64;
+    let rel = load_customers(engine.as_ref(), &gen, rows).unwrap();
+    // Normalize the three fields so the invariant is checkable:
+    // cnt increments and ytd cents track the balance delta exactly.
+    for i in 0..rows {
+        engine.update_field(rel, i, c::C_BALANCE, &Value::Float64(1000.0)).unwrap();
+        engine.update_field(rel, i, c::C_YTD_PAYMENT, &Value::Int32(0)).unwrap();
+        engine.update_field(rel, i, c::C_PAYMENT_CNT, &Value::Int32(0)).unwrap();
+    }
+    engine.maintain().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for w in 0..4u64 {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            // Run until stopped, but always complete a few payments even if
+            // the readers finish first (single-CPU scheduling).
+            while n < 3 || !stop.load(Ordering::Relaxed) {
+                let row = (w * 7 + n * 3) % rows;
+                payment(&engine, rel, row, 10.0);
+                n += 1;
+            }
+            n
+        }));
+    }
+
+    // Snapshot readers: at any consistent point,
+    // balance == 1000 - 10·cnt and ytd == 1000·cnt per row.
+    for _ in 0..40 {
+        let ts = engine.txn_manager().now();
+        for row in (0..rows).step_by(5) {
+            let txn = engine.begin();
+            // Read the three fields at one snapshot via as-of scans.
+            let bal = read_as_of(&engine, rel, row, c::C_BALANCE, ts);
+            let ytd = read_as_of(&engine, rel, row, c::C_YTD_PAYMENT, ts);
+            let cnt = read_as_of(&engine, rel, row, c::C_PAYMENT_CNT, ts);
+            engine.txn_abort(rel, &txn).unwrap();
+            let expect_bal = 1000.0 - 10.0 * cnt;
+            assert!(
+                (bal - expect_bal).abs() < 1e-6,
+                "row {row}: balance {bal} vs cnt {cnt} (expected {expect_bal})"
+            );
+            assert!(
+                (ytd - 1000.0 * cnt).abs() < 1e-6,
+                "row {row}: ytd {ytd} vs cnt {cnt}"
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+
+    // Final global invariant.
+    engine.maintain().unwrap();
+    for row in 0..rows {
+        let bal = engine.read_field(rel, row, c::C_BALANCE).unwrap().as_f64().unwrap();
+        let cnt = engine.read_field(rel, row, c::C_PAYMENT_CNT).unwrap().as_i64().unwrap();
+        assert!((bal - (1000.0 - 10.0 * cnt as f64)).abs() < 1e-6);
+    }
+}
+
+fn read_as_of(engine: &ReferenceEngine, rel: u32, row: u64, attr: u16, ts: u64) -> f64 {
+    let mut out = 0.0;
+    engine
+        .scan_column_as_of(rel, attr, ts, &mut |r, v| {
+            if r == row {
+                out = v.as_f64().unwrap_or(0.0);
+            }
+        })
+        .unwrap();
+    out
+}
