@@ -2,7 +2,7 @@
 //! classified): the four core operations of the common `StorageEngine` API
 //! on every Table 1 archetype plus the reference engine, on identical data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use htapg_bench::micro::Group;
 use htapg_core::engine::{StorageEngine, StorageEngineExt};
 use htapg_core::Value;
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -17,74 +17,64 @@ fn engines() -> Vec<Box<dyn StorageEngine>> {
     v
 }
 
-fn bench_point_reads(c: &mut Criterion) {
+fn bench_point_reads() {
     let gen = Generator::new(7);
-    let mut group = c.benchmark_group("engines_read_record");
-    group.sample_size(15);
+    let mut group = Group::new("engines_read_record");
     for engine in engines() {
         let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
         engine.maintain().unwrap();
         let mut i = 0u64;
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| {
-                i = (i + 7919) % ROWS;
-                engine.read_record(rel, i).unwrap()
-            })
+        group.bench(engine.name(), || {
+            i = (i + 7919) % ROWS;
+            engine.read_record(rel, i).unwrap()
         });
     }
     group.finish();
 }
 
-fn bench_updates(c: &mut Criterion) {
+fn bench_updates() {
     let gen = Generator::new(7);
-    let mut group = c.benchmark_group("engines_update_field");
-    group.sample_size(15);
+    let mut group = Group::new("engines_update_field");
     for engine in engines() {
         let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
         let mut i = 0u64;
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| {
-                i = (i + 7919) % ROWS;
-                engine
-                    .update_field(rel, i, item_attr::I_PRICE, &Value::Float64(1.5))
-                    .unwrap()
-            })
+        group.bench(engine.name(), || {
+            i = (i + 7919) % ROWS;
+            engine.update_field(rel, i, item_attr::I_PRICE, &Value::Float64(1.5)).unwrap()
         });
     }
     group.finish();
 }
 
-fn bench_scans(c: &mut Criterion) {
+fn bench_scans() {
     let gen = Generator::new(7);
-    let mut group = c.benchmark_group("engines_sum_price_column");
-    group.sample_size(15);
+    let mut group = Group::new("engines_sum_price_column");
     for engine in engines() {
         let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
         engine.maintain().unwrap();
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap())
-        });
+        group.bench(engine.name(), || engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap());
     }
     group.finish();
 }
 
-fn bench_inserts(c: &mut Criterion) {
+fn bench_inserts() {
     let gen = Generator::new(7);
-    let mut group = c.benchmark_group("engines_insert");
-    group.sample_size(15);
+    let mut group = Group::new("engines_insert");
     for engine in engines() {
         let rel = engine.create_relation(htapg_workload::tpcc::item_schema()).unwrap();
         let mut i = 0u64;
-        group.bench_function(engine.name(), |b| {
-            b.iter(|| {
-                let rec = gen.item(i);
-                i += 1;
-                engine.insert(rel, &rec).unwrap()
-            })
+        group.bench(engine.name(), || {
+            let rec = gen.item(i);
+            i += 1;
+            engine.insert(rel, &rec).unwrap()
         });
     }
     group.finish();
 }
 
-criterion_group!(engines_cmp, bench_point_reads, bench_updates, bench_scans, bench_inserts);
-criterion_main!(engines_cmp);
+fn main() {
+    bench_point_reads();
+    bench_updates();
+    bench_scans();
+    bench_inserts();
+}

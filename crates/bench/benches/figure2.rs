@@ -1,13 +1,14 @@
-//! Criterion micro-benchmarks for every Figure 2 panel (experiments E1–E4).
+//! Micro-benchmarks for every Figure 2 panel (experiments E1–E4).
 //!
 //! Each panel is one benchmark group; groups carry one benchmark per plot
-//! series. Sizes are fixed (the `repro` binary does the sweeps); Criterion
-//! provides the statistically careful per-series numbers.
+//! series. Sizes are fixed (the `repro` binary does the sweeps); raise
+//! `HTAPG_BENCH_MS` for careful per-series numbers.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use htapg_bench::fig2::{build_customers, build_items, POSITIONS};
+use htapg_bench::micro::Group;
+use htapg_core::prng::Prng;
 use htapg_core::DataType;
 use htapg_device::SimDevice;
 use htapg_exec::device_exec;
@@ -16,7 +17,6 @@ use htapg_exec::scan::{sum_at_positions_f64, sum_column_f64_typed};
 use htapg_exec::threading::ThreadingPolicy;
 use htapg_workload::queries::sorted_positions;
 use htapg_workload::tpcc::{item_attr, Generator};
-use rand::SeedableRng;
 
 const CUSTOMERS: u64 = 200_000;
 const ITEMS: u64 = 500_000;
@@ -31,73 +31,64 @@ fn series() -> [(&'static str, bool, ThreadingPolicy); 4] {
 }
 
 /// E1 — Fig. 2 panel 1: materialize 150 customers.
-fn bench_materialize(c: &mut Criterion) {
+fn bench_materialize() {
     let gen = Generator::new(42);
     let pair = build_customers(&gen, CUSTOMERS);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = Prng::seed_from_u64(1);
     let positions = sorted_positions(&mut rng, CUSTOMERS, POSITIONS);
-    let mut group = c.benchmark_group("fig2_materialize_150_customers");
-    group.sample_size(20);
+    let mut group = Group::new("fig2_materialize_150_customers");
     for (name, columnar, policy) in series() {
         let layout = if columnar { &pair.columns } else { &pair.rows_layout };
-        group.bench_function(name, |b| {
-            b.iter(|| materialize(layout, &pair.schema, &positions, policy).unwrap())
-        });
+        group.bench(name, || materialize(layout, &pair.schema, &positions, policy).unwrap());
     }
     group.finish();
 }
 
 /// E2 — Fig. 2 panel 2: sum prices of 150 items.
-fn bench_sum_tiny(c: &mut Criterion) {
+fn bench_sum_tiny() {
     let gen = Generator::new(42);
     let pair = build_items(&gen, ITEMS);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = Prng::seed_from_u64(2);
     let positions = sorted_positions(&mut rng, ITEMS, POSITIONS);
-    let mut group = c.benchmark_group("fig2_sum_prices_of_150_items");
-    group.sample_size(20);
+    let mut group = Group::new("fig2_sum_prices_of_150_items");
     for (name, columnar, policy) in series() {
         let layout = if columnar { &pair.columns } else { &pair.rows_layout };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                sum_at_positions_f64(layout, item_attr::I_PRICE, DataType::Float64, &positions, policy)
-                    .unwrap()
-            })
+        group.bench(name, || {
+            sum_at_positions_f64(layout, item_attr::I_PRICE, DataType::Float64, &positions, policy)
+                .unwrap()
         });
     }
     group.finish();
 }
 
 /// E3/E4 — Fig. 2 panels 3 & 4: full-column price sum, host series plus the
-/// simulated device (Criterion measures the *host-side driving cost* of the
-/// device paths; the modeled device time is what the `repro` binary reports).
-fn bench_sum_scan(c: &mut Criterion) {
+/// simulated device (this harness measures the *host-side driving cost* of
+/// the device paths; the modeled device time is what the `repro` binary
+/// reports).
+fn bench_sum_scan() {
     let gen = Generator::new(42);
     let pair = build_items(&gen, ITEMS);
-    let mut group = c.benchmark_group("fig2_sum_all_prices");
-    group.sample_size(15);
+    let mut group = Group::new("fig2_sum_all_prices");
     for (name, columnar, policy) in series() {
         let layout = if columnar { &pair.columns } else { &pair.rows_layout };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy).unwrap()
-            })
+        group.bench(name, || {
+            sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy).unwrap()
         });
     }
     let device = Arc::new(SimDevice::with_defaults());
-    group.bench_function("device/offload-including-transfer", |b| {
-        b.iter(|| {
-            device_exec::offload_sum(&device, &pair.columns, item_attr::I_PRICE, DataType::Float64)
-                .unwrap()
-        })
+    group.bench("device/offload-including-transfer", || {
+        device_exec::offload_sum(&device, &pair.columns, item_attr::I_PRICE, DataType::Float64)
+            .unwrap()
     });
     let resident =
         device_exec::upload_column(&device, &pair.columns, item_attr::I_PRICE, DataType::Float64)
             .unwrap();
-    group.bench_function("device/resident-column", |b| {
-        b.iter(|| device_exec::device_sum(&resident).unwrap())
-    });
+    group.bench("device/resident-column", || device_exec::device_sum(&resident).unwrap());
     group.finish();
 }
 
-criterion_group!(figure2, bench_materialize, bench_sum_tiny, bench_sum_scan);
-criterion_main!(figure2);
+fn main() {
+    bench_materialize();
+    bench_sum_tiny();
+    bench_sum_scan();
+}

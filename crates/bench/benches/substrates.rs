@@ -2,18 +2,18 @@
 //! (ablation support — A3's kernel model, plus index / compression / MVCC
 //! costs that explain the engine-level numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use htapg_bench::micro::Group;
 use htapg_core::compress::{auto_encode, decode, Codec, Dictionary, ForBitPack, Rle};
+use htapg_core::engine::StorageEngine;
 use htapg_core::index::{BPlusTree, HashIndex};
 use htapg_core::txn::{MvStore, TxnManager};
 use htapg_engines::gputx::TxOp;
-use htapg_core::engine::StorageEngine;
 use htapg_engines::GputxEngine;
 use htapg_workload::tpcc::{item_attr, Generator};
 use std::sync::Arc;
 
-fn bench_indexes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_point_lookup");
+fn bench_indexes() {
+    let mut group = Group::new("index_point_lookup");
     let n = 100_000u64;
     let mut bt = BPlusTree::new();
     let mut hi = HashIndex::new();
@@ -25,75 +25,59 @@ fn bench_indexes(c: &mut Criterion) {
         std_bt.insert(k, i);
     }
     let mut i = 0u64;
-    group.bench_function("bplustree", |b| {
-        b.iter(|| {
-            i = (i + 7919) % n;
-            bt.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
-        })
+    group.bench("bplustree", || {
+        i = (i + 7919) % n;
+        bt.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
     });
-    group.bench_function("hash", |b| {
-        b.iter(|| {
-            i = (i + 7919) % n;
-            hi.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
-        })
+    group.bench("hash", || {
+        i = (i + 7919) % n;
+        hi.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
     });
-    group.bench_function("std_btreemap_baseline", |b| {
-        b.iter(|| {
-            i = (i + 7919) % n;
-            std_bt.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
-        })
+    group.bench("std_btreemap_baseline", || {
+        i = (i + 7919) % n;
+        std_bt.get(&i.wrapping_mul(0x9E3779B97F4A7C15)).copied()
     });
     group.finish();
 }
 
-fn bench_compression(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compression_64k_values");
-    group.sample_size(20);
+fn bench_compression() {
+    let mut group = Group::new("compression_64k_values");
     let low_card: Vec<u64> = (0..65_536u64).map(|i| i % 16).collect();
     let narrow: Vec<u64> = (0..65_536u64).map(|i| 1_000_000 + (i * 2654435761) % 512).collect();
     for (name, data) in [("dictionary-friendly", &low_card), ("for-friendly", &narrow)] {
-        group.bench_function(format!("{name}/rle_encode"), |b| b.iter(|| Rle.encode(data)));
-        group.bench_function(format!("{name}/dict_encode"), |b| {
-            b.iter(|| Dictionary.encode(data))
-        });
-        group.bench_function(format!("{name}/for_encode"), |b| {
-            b.iter(|| ForBitPack.encode(data))
-        });
+        group.bench(format!("{name}/rle_encode"), || Rle.encode(data));
+        group.bench(format!("{name}/dict_encode"), || Dictionary.encode(data));
+        group.bench(format!("{name}/for_encode"), || ForBitPack.encode(data));
         let block = auto_encode(data);
-        group.bench_function(format!("{name}/auto_decode"), |b| b.iter(|| decode(&block).unwrap()));
+        group.bench(format!("{name}/auto_decode"), || decode(&block).unwrap());
     }
     group.finish();
 }
 
-fn bench_mvcc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mvcc");
+fn bench_mvcc() {
+    let mut group = Group::new("mvcc");
     let mgr = Arc::new(TxnManager::new());
     let store: MvStore<u64, u64> = MvStore::new(mgr.clone());
     let mut k = 0u64;
-    group.bench_function("txn_put_commit", |b| {
-        b.iter(|| {
-            k += 1;
-            let t = mgr.begin();
-            store.put(&t, k, k).unwrap();
-            store.commit(&t).unwrap()
-        })
+    group.bench("txn_put_commit", || {
+        k += 1;
+        let t = mgr.begin();
+        store.put(&t, k, k).unwrap();
+        store.commit(&t).unwrap()
     });
     let t = mgr.begin();
-    group.bench_function("snapshot_get", |b| {
-        b.iter(|| store.get(&t, &(k / 2)))
-    });
+    group.bench("snapshot_get", || store.get(&t, &(k / 2)));
     group.finish();
 }
 
 /// A3's raw shape: device cost per transaction at two batch sizes.
-fn bench_gputx_batching(c: &mut Criterion) {
+fn bench_gputx_batching() {
     let gen = Generator::new(1);
     let e = GputxEngine::new();
     let rel = e.create_relation(htapg_workload::tpcc::item_schema()).unwrap();
     let records: Vec<_> = (0..10_000).map(|i| gen.item(i)).collect();
     e.bulk_insert(rel, &records).unwrap();
-    let mut group = c.benchmark_group("gputx_batch");
-    group.sample_size(15);
+    let mut group = Group::new("gputx_batch");
     for batch in [1usize, 256] {
         let ops: Vec<TxOp> = (0..batch)
             .map(|i| TxOp::Update {
@@ -102,12 +86,14 @@ fn bench_gputx_batching(c: &mut Criterion) {
                 value: htapg_core::Value::Float64(2.0),
             })
             .collect();
-        group.bench_function(format!("batch_{batch}"), |b| {
-            b.iter(|| e.execute_batch(rel, &ops).unwrap())
-        });
+        group.bench(format!("batch_{batch}"), || e.execute_batch(rel, &ops).unwrap());
     }
     group.finish();
 }
 
-criterion_group!(substrates, bench_indexes, bench_compression, bench_mvcc, bench_gputx_batching);
-criterion_main!(substrates);
+fn main() {
+    bench_indexes();
+    bench_compression();
+    bench_mvcc();
+    bench_gputx_batching();
+}

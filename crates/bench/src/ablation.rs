@@ -252,11 +252,7 @@ pub fn device_generations(seed: u64) -> String {
         .unwrap();
         rows.push((
             tag,
-            vec![
-                (transfer_ns + kernel_ns) as f64 / 1e6,
-                kernel_ns as f64 / 1e6,
-                host_best,
-            ],
+            vec![(transfer_ns + kernel_ns) as f64 / 1e6, kernel_ns as f64 / 1e6, host_best],
         ));
     }
     let mut out = render_sweep(
@@ -291,9 +287,8 @@ pub fn run_all(seed: u64) -> String {
     out
 }
 
-fn seeded(seed: u64) -> impl rand::Rng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn seeded(seed: u64) -> htapg_core::prng::Prng {
+    htapg_core::prng::Prng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

@@ -78,7 +78,12 @@ fn print_fig3() {
     for attr in [3u16, 4] {
         let mut f = Fragment::new(
             &schema,
-            FragmentSpec { first_row: 0, capacity: 4, attrs: vec![attr], order: Linearization::Direct },
+            FragmentSpec {
+                first_row: 0,
+                capacity: 4,
+                attrs: vec![attr],
+                order: Linearization::Direct,
+            },
         )
         .unwrap();
         for row in 0..4 {
@@ -133,11 +138,7 @@ fn print_reference_check() {
     // Every surveyed engine fails ("not yet")…
     for engine in all_surveyed_engines() {
         let chk = reference::check(&engine.classification());
-        println!(
-            "{:<16} misses {} of 6 requirement(s)",
-            engine.name(),
-            chk.missing().len()
-        );
+        println!("{:<16} misses {} of 6 requirement(s)", engine.name(), chk.missing().len());
     }
     // …and the reference engine satisfies all six.
     let chk = reference::check(&ReferenceEngine::new().classification());

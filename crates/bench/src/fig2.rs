@@ -123,17 +123,23 @@ pub fn panel_materialize(pair: &TablePair, positions: &[RowId], reps: usize) -> 
 /// Panel 2: sum prices of 150 items (tiny position list).
 pub fn panel_sum_tiny(pair: &TablePair, positions: &[RowId], reps: usize) -> Vec<f64> {
     host_series_ms(pair, reps, |layout, policy| {
-        let s = sum_at_positions_f64(layout, item_attr::I_PRICE, DataType::Float64, positions, policy)
-            .unwrap();
+        let s =
+            sum_at_positions_f64(layout, item_attr::I_PRICE, DataType::Float64, positions, policy)
+                .unwrap();
         assert!(s.is_finite());
     })
 }
 
 /// Panels 3 & 4: sum all prices. Returns
 /// `(host_series_ms[4], device_including_transfer_ms, device_resident_ms)`.
-pub fn panel_sum_scan(pair: &TablePair, device: &Arc<SimDevice>, reps: usize) -> (Vec<f64>, f64, f64) {
+pub fn panel_sum_scan(
+    pair: &TablePair,
+    device: &Arc<SimDevice>,
+    reps: usize,
+) -> (Vec<f64>, f64, f64) {
     let host = host_series_ms(pair, reps, |layout, policy| {
-        let s = sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy).unwrap();
+        let s =
+            sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy).unwrap();
         assert!(s.is_finite());
     });
     // Device, transfer included (panel 3): one-shot offload; virtual time.
@@ -224,9 +230,8 @@ pub fn run_figure2(quick: bool, seed: u64) -> String {
     out
 }
 
-fn rand_seed(seed: u64) -> impl rand::Rng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
+fn rand_seed(seed: u64) -> htapg_core::prng::Prng {
+    htapg_core::prng::Prng::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -245,8 +250,8 @@ mod tests {
             (&pair.rows_layout, ThreadingPolicy::Single),
             (&pair.rows_layout, ThreadingPolicy::multi8()),
         ] {
-            let s =
-                sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy).unwrap();
+            let s = sum_column_f64_typed(layout, item_attr::I_PRICE, DataType::Float64, policy)
+                .unwrap();
             assert!((s - expect).abs() < 1e-6 * expect, "{s} vs {expect}");
         }
         let device = Arc::new(SimDevice::with_defaults());
@@ -273,10 +278,7 @@ mod tests {
         let (host, including, resident) = panel_sum_scan(&pair, &device, 3);
         let [col_multi, col_single, row_multi, row_single] = [host[0], host[1], host[2], host[3]];
         // (iii) attribute-centric: DSM beats NSM under the same policy.
-        assert!(
-            col_single < row_single,
-            "DSM {col_single:.3}ms should beat NSM {row_single:.3}ms"
-        );
+        assert!(col_single < row_single, "DSM {col_single:.3}ms should beat NSM {row_single:.3}ms");
         // (iv) resident device beats every host series.
         let best_host = col_multi.min(col_single).min(row_multi).min(row_single);
         assert!(

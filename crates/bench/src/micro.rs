@@ -1,0 +1,101 @@
+//! A tiny micro-benchmark runner (the workspace builds offline, so the
+//! `benches/` targets use this instead of an external framework).
+//!
+//! Usage mirrors the common group/function shape:
+//!
+//! ```no_run
+//! let mut g = htapg_bench::micro::Group::new("index_point_lookup");
+//! g.bench("bplustree", || 1 + 1);
+//! g.finish();
+//! ```
+//!
+//! Each benchmark is warmed up, then timed over batches until a per-bench
+//! time budget is spent; the per-iteration mean of the fastest batch is
+//! reported (min-of-means is the low-variance estimator the perf guide
+//! recommends for shape comparisons). The budget defaults to a quick run
+//! and can be raised via `HTAPG_BENCH_MS` for careful measurements.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget: `HTAPG_BENCH_MS` milliseconds, default 40.
+fn budget() -> Duration {
+    let ms = std::env::var("HTAPG_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(40u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// A named group of related benchmarks, printed as one block.
+pub struct Group {
+    name: String,
+    budget: Duration,
+}
+
+impl Group {
+    pub fn new(name: &str) -> Self {
+        println!("\n## {name}");
+        Self { name: name.to_string(), budget: budget() }
+    }
+
+    /// Time `f` and print mean nanoseconds per iteration.
+    pub fn bench<R>(&mut self, name: impl AsRef<str>, mut f: impl FnMut() -> R) {
+        let ns = bench_ns(self.budget, &mut f);
+        println!("{:>14.1} ns/iter  {}/{}", ns, self.name, name.as_ref());
+    }
+
+    /// End the group (symmetry with framework APIs; prints nothing).
+    pub fn finish(self) {}
+}
+
+fn bench_ns<R>(budget: Duration, f: &mut impl FnMut() -> R) -> f64 {
+    // Warm-up and batch sizing: grow the batch until it runs >= ~1/20 of
+    // the budget, so timer overhead stays negligible.
+    let mut batch = 1u64;
+    let min_batch_time = budget / 20;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= min_batch_time || batch >= 1 << 24 {
+            break;
+        }
+        batch = (batch * 2)
+            .max(
+                (batch as f64 * min_batch_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                    as u64,
+            )
+            .min(1 << 24);
+    }
+    // Timed batches: min of per-iteration means.
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + budget;
+    let mut batches = 0;
+    while Instant::now() < deadline || batches < 3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / batch as f64);
+        batches += 1;
+        if batches >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ns_is_finite_and_positive() {
+        let mut x = 0u64;
+        let ns = bench_ns(Duration::from_millis(5), &mut || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(ns.is_finite() && ns >= 0.0, "{ns}");
+    }
+}

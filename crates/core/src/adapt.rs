@@ -9,7 +9,7 @@
 //! NSM groups (HYRISE/H₂O style), scan-dominated attributes are broken out
 //! into thin columns, and the result is ranked with the cache cost model.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::costmodel::{self, CacheSpec};
@@ -215,7 +215,8 @@ impl Advisor {
                 let affinity: u64 = g
                     .iter()
                     .map(|&b| {
-                        let (lo, hi) = if (a as AttrId) < b { (a, b as usize) } else { (b as usize, a) };
+                        let (lo, hi) =
+                            if (a as AttrId) < b { (a, b as usize) } else { (b as usize, a) };
                         co[lo][hi]
                     })
                     .sum();
@@ -321,12 +322,7 @@ mod tests {
         let rec = adv.recommend(&s, &stats, &LayoutTemplate::nsm(&s), 1_000_000);
         assert!(rec.improvement() > 0.5, "improvement {}", rec.improvement());
         // The winning template stores `price` as a thin column.
-        let price_group = rec
-            .template
-            .groups
-            .iter()
-            .find(|g| g.attrs.contains(&1))
-            .unwrap();
+        let price_group = rec.template.groups.iter().find(|g| g.attrs.contains(&1)).unwrap();
         assert!(
             price_group.order == GroupOrder::ThinPerAttr || price_group.attrs.len() == 1,
             "price should be scannable in isolation: {:?}",
@@ -362,10 +358,9 @@ mod tests {
         let adv = Advisor::default();
         let t = adv.cluster(&s, &stats);
         // price (attr 1) must sit alone; the others must share a fat group.
-        let price_alone = t
-            .groups
-            .iter()
-            .any(|g| g.attrs == vec![1] || (g.order == GroupOrder::ThinPerAttr && g.attrs.contains(&1)));
+        let price_alone = t.groups.iter().any(|g| {
+            g.attrs == vec![1] || (g.order == GroupOrder::ThinPerAttr && g.attrs.contains(&1))
+        });
         assert!(price_alone, "{t:?}");
         let fat = t.groups.iter().find(|g| g.order == GroupOrder::Nsm).unwrap();
         assert!(fat.attrs.len() >= record_attrs.len());

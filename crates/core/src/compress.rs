@@ -182,20 +182,17 @@ impl Codec for Dictionary {
         for &d in &dict {
             put_u64(&mut payload, d);
         }
-        let codes: Vec<u64> = values
-            .iter()
-            .map(|v| dict.binary_search(v).expect("value in dict") as u64)
-            .collect();
+        let codes: Vec<u64> =
+            values.iter().map(|v| dict.binary_search(v).expect("value in dict") as u64).collect();
         bit_pack(&codes, bits, &mut payload);
         Compressed { codec: CodecKind::Dictionary, payload, len: values.len() }
     }
 
     fn decode(&self, block: &Compressed) -> Result<Vec<u64>> {
         let n_dict = get_u64(&block.payload, 0)? as usize;
-        let bits = *block
-            .payload
-            .get(8)
-            .ok_or_else(|| Error::Internal("truncated dictionary".into()))? as u32;
+        let bits =
+            *block.payload.get(8).ok_or_else(|| Error::Internal("truncated dictionary".into()))?
+                as u32;
         let mut dict = Vec::with_capacity(n_dict);
         let mut pos = 9;
         for _ in 0..n_dict {
@@ -240,10 +237,9 @@ impl Codec for ForBitPack {
             return Ok(Vec::new());
         }
         let min = get_u64(&block.payload, 0)?;
-        let bits = *block
-            .payload
-            .get(8)
-            .ok_or_else(|| Error::Internal("truncated FOR block".into()))? as u32;
+        let bits =
+            *block.payload.get(8).ok_or_else(|| Error::Internal("truncated FOR block".into()))?
+                as u32;
         let deltas = bit_unpack(&block.payload[9..], bits, block.len)?;
         Ok(deltas.into_iter().map(|d| min + d).collect())
     }
@@ -261,10 +257,7 @@ pub fn decode(block: &Compressed) -> Result<Vec<u64>> {
 /// Encode with whichever codec yields the smallest payload.
 pub fn auto_encode(values: &[u64]) -> Compressed {
     let candidates = [Rle.encode(values), Dictionary.encode(values), ForBitPack.encode(values)];
-    candidates
-        .into_iter()
-        .min_by_key(|c| c.payload.len())
-        .expect("non-empty candidate list")
+    candidates.into_iter().min_by_key(|c| c.payload.len()).expect("non-empty candidate list")
 }
 
 #[cfg(test)]
@@ -314,9 +307,8 @@ mod tests {
     #[test]
     fn for_wins_on_dense_narrow_range() {
         // Pseudo-random values in [10^6, 10^6 + 255]: 8-bit deltas.
-        let values: Vec<u64> = (0..10_000u64)
-            .map(|i| 1_000_000 + (i.wrapping_mul(2654435761) % 256))
-            .collect();
+        let values: Vec<u64> =
+            (0..10_000u64).map(|i| 1_000_000 + (i.wrapping_mul(2654435761) % 256)).collect();
         let auto = auto_encode(&values);
         assert_eq!(auto.codec, CodecKind::ForBitPack);
         assert!(auto.ratio() > 6.0);

@@ -50,8 +50,11 @@ fn group_stride(schema: &Schema, template: &LayoutTemplate, attr: AttrId) -> (us
             GroupOrder::ThinPerAttr => (attr_w, attr_w),
             GroupOrder::Dsm => (attr_w, attr_w),
             GroupOrder::Nsm => {
-                let group_w: usize =
-                    g.attrs.iter().map(|&a| schema.attr(a).map(|x| x.ty.width()).unwrap_or(8)).sum();
+                let group_w: usize = g
+                    .attrs
+                    .iter()
+                    .map(|&a| schema.attr(a).map(|x| x.ty.width()).unwrap_or(8))
+                    .sum();
                 (group_w, attr_w)
             }
         };
@@ -61,7 +64,13 @@ fn group_stride(schema: &Schema, template: &LayoutTemplate, attr: AttrId) -> (us
 
 /// Estimated cache lines touched by a full attribute-centric scan of `attr`
 /// over `rows` rows.
-pub fn scan_lines(schema: &Schema, template: &LayoutTemplate, attr: AttrId, rows: u64, cache: &CacheSpec) -> u64 {
+pub fn scan_lines(
+    schema: &Schema,
+    template: &LayoutTemplate,
+    attr: AttrId,
+    rows: u64,
+    cache: &CacheSpec,
+) -> u64 {
     let (stride, _useful) = group_stride(schema, template, attr);
     // Sequential walk over `rows * stride` bytes; each line holds
     // line_bytes / stride values when stride <= line, else one value per
@@ -78,7 +87,13 @@ pub fn scan_lines(schema: &Schema, template: &LayoutTemplate, attr: AttrId, rows
 }
 
 /// Estimated nanoseconds for an attribute-centric scan (prefetch-friendly).
-pub fn scan_ns(schema: &Schema, template: &LayoutTemplate, attr: AttrId, rows: u64, cache: &CacheSpec) -> f64 {
+pub fn scan_ns(
+    schema: &Schema,
+    template: &LayoutTemplate,
+    attr: AttrId,
+    rows: u64,
+    cache: &CacheSpec,
+) -> f64 {
     let lines = scan_lines(schema, template, attr, rows, cache);
     let (stride, _) = group_stride(schema, template, attr);
     if stride <= cache.line_bytes {
@@ -91,13 +106,17 @@ pub fn scan_ns(schema: &Schema, template: &LayoutTemplate, attr: AttrId, rows: u
 }
 
 /// Estimated cache lines touched materializing `attrs` of one random record.
-pub fn record_lines(schema: &Schema, template: &LayoutTemplate, attrs: &[AttrId], cache: &CacheSpec) -> u64 {
+pub fn record_lines(
+    schema: &Schema,
+    template: &LayoutTemplate,
+    attrs: &[AttrId],
+    cache: &CacheSpec,
+) -> u64 {
     // Under NSM-ish grouping, attributes of the same group share lines;
     // under column layouts each attribute is its own random access.
     let mut lines = 0u64;
     for g in &template.groups {
-        let touched: Vec<AttrId> =
-            g.attrs.iter().copied().filter(|a| attrs.contains(a)).collect();
+        let touched: Vec<AttrId> = g.attrs.iter().copied().filter(|a| attrs.contains(a)).collect();
         if touched.is_empty() {
             continue;
         }
@@ -123,7 +142,12 @@ pub fn record_lines(schema: &Schema, template: &LayoutTemplate, attrs: &[AttrId]
 
 /// Estimated nanoseconds to materialize `attrs` of one random record
 /// (random misses; no prefetch help).
-pub fn record_ns(schema: &Schema, template: &LayoutTemplate, attrs: &[AttrId], cache: &CacheSpec) -> f64 {
+pub fn record_ns(
+    schema: &Schema,
+    template: &LayoutTemplate,
+    attrs: &[AttrId],
+    cache: &CacheSpec,
+) -> f64 {
     record_lines(schema, template, attrs, cache) as f64 * cache.miss_ns
 }
 

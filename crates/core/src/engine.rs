@@ -142,12 +142,12 @@ mod tests {
     use super::*;
     use crate::layout::LayoutTemplate;
     use crate::relation::Relation;
+    use crate::sync::RwLock;
     use crate::types::DataType;
     use htapg_taxonomy::{
         DataLocality, DataLocation, FragmentLinearization, FragmentScheme, LayoutAdaptability,
         LayoutFlexibility, LayoutHandling, ProcessorSupport, WorkloadSupport,
     };
-    use parking_lot::RwLock;
 
     /// Minimal engine over a single relation, used to test the blanket
     /// helpers and as the simplest possible reference implementation.
@@ -201,14 +201,20 @@ mod tests {
         }
 
         fn read_field(&self, _rel: RelationId, row: RowId, attr: AttrId) -> Result<Value> {
-            self.rel
-                .read()
-                .as_ref()
-                .unwrap()
-                .read_value(row, attr, crate::scheme::AccessHint::RecordCentric)
+            self.rel.read().as_ref().unwrap().read_value(
+                row,
+                attr,
+                crate::scheme::AccessHint::RecordCentric,
+            )
         }
 
-        fn update_field(&self, _rel: RelationId, row: RowId, attr: AttrId, value: &Value) -> Result<()> {
+        fn update_field(
+            &self,
+            _rel: RelationId,
+            row: RowId,
+            attr: AttrId,
+            value: &Value,
+        ) -> Result<()> {
             self.rel.write().as_mut().unwrap().update_field(row, attr, value)
         }
 

@@ -31,8 +31,22 @@ pub enum Error {
     NoDelegate { row: u64, attr: u16 },
     /// A uniqueness constraint (e.g. primary key) was violated.
     DuplicateKey,
+    /// A simulated substrate operation failed transiently (injected fault:
+    /// I/O error, dropped message, failed transfer, ...). Retry-safe.
+    Transient { site: &'static str, fault: &'static str },
+    /// A simulated cluster node is unreachable (injected fault). Not
+    /// retry-safe on the same node; callers should fail over to a replica.
+    NodeUnreachable { node: u32 },
     /// Internal invariant violation; indicates a bug.
     Internal(String),
+}
+
+impl Error {
+    /// Whether a bounded retry of the same operation can reasonably
+    /// succeed. Used by [`crate::retry::with_retry`].
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Transient { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -61,6 +75,10 @@ impl fmt::Display for Error {
                 write!(f, "no authoritative layout delegated for row {row}, attribute {attr}")
             }
             Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::Transient { site, fault } => {
+                write!(f, "transient fault at {site}: {fault}")
+            }
+            Error::NodeUnreachable { node } => write!(f, "node {node} unreachable"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

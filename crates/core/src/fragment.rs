@@ -89,11 +89,9 @@ impl FragmentSpec {
             Linearization::Direct if self.is_fat() => Err(Error::InvalidLayout(
                 "fat fragments are two-dimensional and require NSM or DSM linearization".into(),
             )),
-            Linearization::Nsm | Linearization::Dsm if !self.is_fat() => {
-                Err(Error::InvalidLayout(
-                    "thin fragments are one-dimensional and use direct linearization".into(),
-                ))
-            }
+            Linearization::Nsm | Linearization::Dsm if !self.is_fat() => Err(Error::InvalidLayout(
+                "thin fragments are one-dimensional and use direct linearization".into(),
+            )),
             _ => Ok(()),
         }
     }
@@ -199,16 +197,7 @@ impl Fragment {
             cs += w * spec.capacity as usize;
         }
         let data = vec![0u8; tuplet_width * spec.capacity as usize];
-        Ok(Fragment {
-            spec,
-            widths,
-            nsm_offsets,
-            col_starts,
-            tuplet_width,
-            len: 0,
-            location,
-            data,
-        })
+        Ok(Fragment { spec, widths, nsm_offsets, col_starts, tuplet_width, len: 0, location, data })
     }
 
     /// Rehydrate a fragment from previously serialized raw bytes (the page
@@ -290,11 +279,7 @@ impl Fragment {
     }
 
     fn attr_index(&self, attr: AttrId) -> Result<usize> {
-        self.spec
-            .attrs
-            .iter()
-            .position(|&a| a == attr)
-            .ok_or(Error::UnknownAttribute(attr))
+        self.spec.attrs.iter().position(|&a| a == attr).ok_or(Error::UnknownAttribute(attr))
     }
 
     /// Byte offset of field `(row, attr)` inside `self.data`.
@@ -352,7 +337,13 @@ impl Fragment {
     }
 
     /// Overwrite the field `(row, attr)`.
-    pub fn write_value(&mut self, schema: &Schema, row: RowId, attr: AttrId, v: &Value) -> Result<()> {
+    pub fn write_value(
+        &mut self,
+        schema: &Schema,
+        row: RowId,
+        attr: AttrId,
+        v: &Value,
+    ) -> Result<()> {
         self.check_row(row)?;
         let idx = self.attr_index(attr)?;
         let ty = schema.ty(attr)?;
@@ -520,29 +511,47 @@ mod tests {
     }
 
     fn frag(attrs: Vec<AttrId>, order: Linearization, cap: u64) -> Fragment {
-        Fragment::new(
-            &schema(),
-            FragmentSpec { first_row: 0, capacity: cap, attrs, order },
-        )
-        .unwrap()
+        Fragment::new(&schema(), FragmentSpec { first_row: 0, capacity: cap, attrs, order })
+            .unwrap()
     }
 
     #[test]
     fn fat_thin_classification() {
-        let fat = FragmentSpec { first_row: 0, capacity: 4, attrs: vec![0, 1], order: Linearization::Nsm };
+        let fat = FragmentSpec {
+            first_row: 0,
+            capacity: 4,
+            attrs: vec![0, 1],
+            order: Linearization::Nsm,
+        };
         assert!(fat.is_fat());
-        let thin_col = FragmentSpec { first_row: 0, capacity: 4, attrs: vec![0], order: Linearization::Direct };
+        let thin_col = FragmentSpec {
+            first_row: 0,
+            capacity: 4,
+            attrs: vec![0],
+            order: Linearization::Direct,
+        };
         assert!(!thin_col.is_fat());
-        let thin_row = FragmentSpec { first_row: 0, capacity: 1, attrs: vec![0, 1], order: Linearization::Direct };
+        let thin_row = FragmentSpec {
+            first_row: 0,
+            capacity: 1,
+            attrs: vec![0, 1],
+            order: Linearization::Direct,
+        };
         assert!(!thin_row.is_fat());
     }
 
     #[test]
     fn fat_requires_nsm_or_dsm() {
         let s = schema();
-        let bad = FragmentSpec { first_row: 0, capacity: 4, attrs: vec![0, 1], order: Linearization::Direct };
+        let bad = FragmentSpec {
+            first_row: 0,
+            capacity: 4,
+            attrs: vec![0, 1],
+            order: Linearization::Direct,
+        };
         assert!(Fragment::new(&s, bad).is_err());
-        let bad2 = FragmentSpec { first_row: 0, capacity: 4, attrs: vec![0], order: Linearization::Nsm };
+        let bad2 =
+            FragmentSpec { first_row: 0, capacity: 4, attrs: vec![0], order: Linearization::Nsm };
         assert!(Fragment::new(&s, bad2).is_err());
     }
 
@@ -557,10 +566,8 @@ mod tests {
         assert_eq!(f.read_value(&s, 2, 1).unwrap(), Value::Int32(22));
         // NSM-Fixed (Fig. 3): a1 b1 c1 a2 b2 c2 ...
         let bytes = f.linearized_bytes();
-        let ints: Vec<i32> = bytes
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let ints: Vec<i32> =
+            bytes.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(ints, vec![10, 20, 30, 11, 21, 31, 12, 22, 32, 13, 23, 33]);
     }
 
@@ -609,10 +616,8 @@ mod tests {
         }
         assert!(nsm.column_bytes(0).is_none(), "NSM fat fragments are strided");
         let col = dsm.column_bytes(1).unwrap();
-        let ints: Vec<i32> = col
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let ints: Vec<i32> =
+            col.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(ints, vec![0, -1, -2]);
     }
 
@@ -646,8 +651,7 @@ mod tests {
         let s = schema();
         let mut f = frag(vec![0, 1, 2], Linearization::Nsm, 4);
         for i in 0..3 {
-            f.append(&s, &[Value::Int32(i), Value::Int32(i * 2), Value::Int32(i * 3)])
-                .unwrap();
+            f.append(&s, &[Value::Int32(i), Value::Int32(i * 2), Value::Int32(i * 3)]).unwrap();
         }
         let g = f.relinearize(&s, Linearization::Dsm).unwrap();
         for row in 0..3u64 {
@@ -700,7 +704,12 @@ mod tests {
         let s = schema();
         let mut f = Fragment::new(
             &s,
-            FragmentSpec { first_row: 100, capacity: 2, attrs: vec![0, 1], order: Linearization::Dsm },
+            FragmentSpec {
+                first_row: 100,
+                capacity: 2,
+                attrs: vec![0, 1],
+                order: Linearization::Dsm,
+            },
         )
         .unwrap();
         let r = f.append(&s, &[Value::Int32(7), Value::Int32(8)]).unwrap();

@@ -33,7 +33,6 @@ impl<K: Ord + Clone, V: Clone> Node<K, V> {
             Node::Internal { children, .. } => children[0].min_key(),
         }
     }
-
 }
 
 /// Child index for `key`: number of separators ≤ `key`
@@ -87,24 +86,22 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
 
     fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> InsertOutcome<K, V> {
         match node {
-            Node::Leaf { keys, vals } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => (Some(std::mem::replace(&mut vals[i], value)), None),
-                    Err(i) => {
-                        keys.insert(i, key);
-                        vals.insert(i, value);
-                        if keys.len() > MAX_KEYS {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_vals = vals.split_off(mid);
-                            let sep = right_keys[0].clone();
-                            (None, Some((sep, Node::Leaf { keys: right_keys, vals: right_vals })))
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => (Some(std::mem::replace(&mut vals[i], value)), None),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        (None, Some((sep, Node::Leaf { keys: right_keys, vals: right_vals })))
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { seps, children } => {
                 let ci = child_for(seps, &key);
                 let (old, split) = Self::insert_rec(&mut children[ci], key, value);

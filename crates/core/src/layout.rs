@@ -88,10 +88,7 @@ impl LayoutTemplate {
     /// (DSM-emulated).
     pub fn dsm_emulated(schema: &Schema) -> Self {
         LayoutTemplate {
-            groups: vec![VerticalGroup::new(
-                schema.attr_ids().collect(),
-                GroupOrder::ThinPerAttr,
-            )],
+            groups: vec![VerticalGroup::new(schema.attr_ids().collect(), GroupOrder::ThinPerAttr)],
             chunk_rows: None,
         }
     }
@@ -341,10 +338,7 @@ impl Layout {
         if row >= self.rows {
             return Err(Error::UnknownRow(row));
         }
-        let slot = *self
-            .attr_slot
-            .get(attr as usize)
-            .ok_or(Error::UnknownAttribute(attr))?;
+        let slot = *self.attr_slot.get(attr as usize).ok_or(Error::UnknownAttribute(attr))?;
         let slots = self.template.slots_per_chunk();
         let chunk_idx = match self.template.chunk_rows {
             Some(chunk) => (row / chunk) as usize,
@@ -358,7 +352,13 @@ impl Layout {
         self.fragments[fi].read_value(schema, row, attr)
     }
 
-    pub fn write_value(&mut self, schema: &Schema, row: RowId, attr: AttrId, v: &Value) -> Result<()> {
+    pub fn write_value(
+        &mut self,
+        schema: &Schema,
+        row: RowId,
+        attr: AttrId,
+        v: &Value,
+    ) -> Result<()> {
         let fi = self.locate(row, attr)?;
         self.fragments[fi].write_value(schema, row, attr, v)
     }
@@ -375,10 +375,7 @@ impl Layout {
     /// Visit the raw bytes of every field of `attr`, in row order across all
     /// chunks.
     pub fn for_each_field(&self, attr: AttrId, mut f: impl FnMut(RowId, &[u8])) -> Result<()> {
-        let slot = *self
-            .attr_slot
-            .get(attr as usize)
-            .ok_or(Error::UnknownAttribute(attr))?;
+        let slot = *self.attr_slot.get(attr as usize).ok_or(Error::UnknownAttribute(attr))?;
         let slots = self.template.slots_per_chunk();
         let chunks = if self.fragments.is_empty() { 0 } else { self.fragments.len() / slots };
         for c in 0..chunks {
@@ -391,10 +388,7 @@ impl Layout {
     /// fragment covering `attr` stores it contiguously. Returns `false`
     /// (calling `f` never) when the column is strided (NSM).
     pub fn with_column_bytes(&self, attr: AttrId, f: &mut dyn FnMut(&[u8])) -> Result<bool> {
-        let slot = *self
-            .attr_slot
-            .get(attr as usize)
-            .ok_or(Error::UnknownAttribute(attr))?;
+        let slot = *self.attr_slot.get(attr as usize).ok_or(Error::UnknownAttribute(attr))?;
         let slots = self.template.slots_per_chunk();
         let chunks = if self.fragments.is_empty() { 0 } else { self.fragments.len() / slots };
         let mut blocks = Vec::with_capacity(chunks);
@@ -412,10 +406,7 @@ impl Layout {
 
     /// Zero-copy views of `attr`'s fields, one per chunk, in row order.
     pub fn column_views(&self, attr: AttrId) -> Result<Vec<crate::fragment::ColumnView<'_>>> {
-        let slot = *self
-            .attr_slot
-            .get(attr as usize)
-            .ok_or(Error::UnknownAttribute(attr))?;
+        let slot = *self.attr_slot.get(attr as usize).ok_or(Error::UnknownAttribute(attr))?;
         let slots = self.template.slots_per_chunk();
         let chunks = if self.fragments.is_empty() { 0 } else { self.fragments.len() / slots };
         let mut out = Vec::with_capacity(chunks);
@@ -555,10 +546,8 @@ mod tests {
     fn template_validation() {
         let s = schema();
         // Attribute 3 missing.
-        let t = LayoutTemplate::grouped(
-            vec![VerticalGroup::new(vec![0, 1, 2], GroupOrder::Nsm)],
-            None,
-        );
+        let t =
+            LayoutTemplate::grouped(vec![VerticalGroup::new(vec![0, 1, 2], GroupOrder::Nsm)], None);
         assert!(t.validate(&s).is_err());
         // Attribute 0 twice.
         let t = LayoutTemplate::grouped(
@@ -582,10 +571,7 @@ mod tests {
         let s = schema();
         assert_eq!(LayoutTemplate::nsm(&s).flexibility(), LayoutFlexibility::Inflexible);
         assert_eq!(LayoutTemplate::dsm(&s).flexibility(), LayoutFlexibility::Inflexible);
-        assert_eq!(
-            LayoutTemplate::dsm_emulated(&s).flexibility(),
-            LayoutFlexibility::WeakFlexible
-        );
+        assert_eq!(LayoutTemplate::dsm_emulated(&s).flexibility(), LayoutFlexibility::WeakFlexible);
         assert_eq!(LayoutTemplate::pax(&s, 64).flexibility(), LayoutFlexibility::WeakFlexible);
         let hyper_like = LayoutTemplate::grouped(
             vec![
@@ -622,10 +608,7 @@ mod tests {
             ],
             None,
         );
-        assert_eq!(
-            hyrise_like.linearization_class(),
-            FragmentLinearization::FatVariable
-        );
+        assert_eq!(hyrise_like.linearization_class(), FragmentLinearization::FatVariable);
         let h2o_like = LayoutTemplate::grouped(
             vec![
                 VerticalGroup::new(vec![0, 1, 3], GroupOrder::Nsm),

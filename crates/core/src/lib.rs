@@ -24,6 +24,10 @@
 //!   *responsive*;
 //! * [`wal`] — write-ahead logging (framed, checksummed, torn-tail-safe)
 //!   over in-memory or file storage;
+//! * [`prng`] / [`sync`] / [`retry`] — offline-friendly utilities: a
+//!   deterministic SplitMix64 generator (seeds honor `HTAPG_SEED`), std-sync
+//!   wrappers with guard-returning lock APIs, and bounded retry with
+//!   virtual-time backoff for transient substrate faults;
 //! * [`engine`] — the common [`engine::StorageEngine`] API all surveyed
 //!   engine archetypes in `htapg-engines` implement.
 
@@ -35,9 +39,12 @@ pub mod error;
 pub mod fragment;
 pub mod index;
 pub mod layout;
+pub mod prng;
 pub mod relation;
+pub mod retry;
 pub mod schema;
 pub mod scheme;
+pub mod sync;
 pub mod txn;
 pub mod types;
 pub mod wal;

@@ -1,0 +1,245 @@
+//! Deterministic pseudo-random numbers for workloads, tests, and fault
+//! injection.
+//!
+//! The workspace builds offline, so instead of the `rand` crate it carries
+//! this small SplitMix64-based generator. Everything randomized in the repo
+//! flows through [`Prng`], which makes two guarantees the test suite leans
+//! on:
+//!
+//! 1. **Determinism** — the same seed always yields the same stream, on
+//!    every platform and in every build profile;
+//! 2. **Reproducibility from logs** — seeds are taken from the
+//!    [`HTAPG_SEED`](env_seed) environment variable when set, and the
+//!    [`check_cases`] harness prints the seed of any failing case so a CI
+//!    failure can be replayed locally with `HTAPG_SEED=<seed> cargo test`.
+
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The environment variable that overrides randomized-test seeds.
+pub const SEED_ENV: &str = "HTAPG_SEED";
+
+/// One SplitMix64 output step: mixes `x` into a well-distributed 64-bit
+/// value. Also used stand-alone by the fault injector, which needs a pure
+/// counter-indexed hash rather than sequential stream state.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable deterministic generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Create a generator from a 64-bit seed. Named after the `rand` API it
+    /// replaces so call sites read the same.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(1..=max)`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Derive an independent child generator; used to give each logical
+    /// stream (workload generator row, test case, ...) its own sequence.
+    pub fn fork(&mut self, stream: u64) -> Prng {
+        Prng::seed_from_u64(self.next_u64() ^ splitmix64(stream))
+    }
+
+    /// Uniform `u64` below `bound` via widening multiply (no modulo bias
+    /// worth caring about at these magnitudes). `bound` must be non-zero.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`Prng::gen_range`] accepts. Mirrors the subset of `rand`'s
+/// `SampleRange` the workspace uses: half-open and inclusive integer ranges
+/// plus half-open `f64` ranges.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// The seed randomized tests should use: `HTAPG_SEED` if set (decimal or
+/// `0x`-prefixed hex), else `default`.
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                s.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("{SEED_ENV}={s:?} is not a u64"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// Run `cases` independent randomized cases, each with its own [`Prng`]
+/// derived from the base seed ([`env_seed`]`(default_seed)`). If a case
+/// panics, the base seed and case index are printed before the panic is
+/// re-raised, so the failure is reproducible with
+/// `HTAPG_SEED=<seed> cargo test <name>`.
+pub fn check_cases(name: &str, cases: u64, default_seed: u64, mut f: impl FnMut(u64, &mut Prng)) {
+    let base = env_seed(default_seed);
+    for case in 0..cases {
+        let mut rng = Prng::seed_from_u64(splitmix64(base ^ splitmix64(case)));
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(case, &mut rng))) {
+            eprintln!(
+                "[{name}] case {case}/{cases} failed; reproduce with {SEED_ENV}={base} \
+                 (default seed {default_seed})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(0u64..=3);
+            assert!(v <= 3);
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let v = rng.gen_range(0usize..4);
+            assert!(v < 4);
+            let f = rng.gen_range(-500.0..500.0);
+            assert!((-500.0..500.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_are_reachable() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "p=0.25 produced {hits}/100000 hits");
+        let mut rng = Prng::seed_from_u64(11);
+        assert_eq!((0..1000).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        let mut rng = Prng::seed_from_u64(11);
+        assert_eq!((0..1000).filter(|_| rng.gen_bool(1.0)).count(), 1000);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut rng = Prng::seed_from_u64(5);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn check_cases_runs_all_cases() {
+        let mut ran = 0;
+        check_cases("smoke", 16, 1, |_, rng| {
+            ran += 1;
+            let _ = rng.next_u64();
+        });
+        assert_eq!(ran, 16);
+    }
+}

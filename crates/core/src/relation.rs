@@ -44,9 +44,7 @@ impl Relation {
             return Err(Error::InvalidLayout("relation needs at least one layout".into()));
         }
         if matches!(scheme, Scheme::Single) && templates.len() != 1 {
-            return Err(Error::InvalidLayout(
-                "single scheme requires exactly one layout".into(),
-            ));
+            return Err(Error::InvalidLayout("single scheme requires exactly one layout".into()));
         }
         let mut layouts = Vec::with_capacity(templates.len());
         for t in templates {

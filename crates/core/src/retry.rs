@@ -1,0 +1,189 @@
+//! Bounded retry with *virtual-time* exponential backoff.
+//!
+//! The whole workspace runs on simulated substrates whose costs are modeled
+//! in nanoseconds on a `CostLedger`, not spent on a wall clock. Backoff
+//! follows the same rule: instead of sleeping, each retry charges the wait
+//! to a [`BackoffClock`] (implemented by `htapg_device::CostLedger`), so
+//! fault-heavy test runs stay fast while the modeled time still reflects
+//! what a real system would have paid.
+
+use crate::error::{Error, Result};
+
+/// Where backoff time is charged. No-op implementations are allowed (see
+/// [`NoClock`]) for call sites that have no ledger in scope.
+pub trait BackoffClock {
+    /// Charge `ns` of virtual wait time.
+    fn charge_backoff(&self, ns: u64);
+}
+
+/// A backoff clock that discards the charge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoClock;
+
+impl BackoffClock for NoClock {
+    fn charge_backoff(&self, _ns: u64) {}
+}
+
+impl<C: BackoffClock + ?Sized> BackoffClock for &C {
+    fn charge_backoff(&self, ns: u64) {
+        (**self).charge_backoff(ns);
+    }
+}
+
+impl<C: BackoffClock + ?Sized> BackoffClock for std::sync::Arc<C> {
+    fn charge_backoff(&self, ns: u64) {
+        (**self).charge_backoff(ns);
+    }
+}
+
+/// Retry budget: up to `max_attempts` tries, exponential backoff starting
+/// at `base_backoff_ns` and doubling per retry, capped at `max_backoff_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_backoff_ns: u64,
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 10 µs first backoff, 1 ms cap — generous against the
+    /// fault rates the chaos suite injects, negligible against the modeled
+    /// costs of the operations being retried.
+    fn default() -> Self {
+        Self { max_attempts: 4, base_backoff_ns: 10_000, max_backoff_ns: 1_000_000 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn none() -> Self {
+        Self { max_attempts: 1, base_backoff_ns: 0, max_backoff_ns: 0 }
+    }
+
+    /// Backoff charged before retry number `retry` (1-based).
+    pub fn backoff_ns(&self, retry: u32) -> u64 {
+        let shifted = self.base_backoff_ns.saturating_shl(retry.saturating_sub(1));
+        shifted.min(self.max_backoff_ns)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 || self.leading_zeros() < rhs {
+            if self == 0 {
+                0
+            } else {
+                u64::MAX
+            }
+        } else {
+            self << rhs
+        }
+    }
+}
+
+/// Run `op` until it succeeds, fails permanently, or the policy's attempt
+/// budget is exhausted. Only [`Error::is_transient`] errors are retried;
+/// each retry first charges exponential backoff to `clock`. The last
+/// transient error is returned when the budget runs out.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    clock: &impl BackoffClock,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 1..=attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < attempts => {
+                clock.charge_backoff(policy.backoff_ns(attempt));
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| Error::Internal("retry loop exited without error".into())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct CountClock(Cell<u64>);
+
+    impl BackoffClock for CountClock {
+        fn charge_backoff(&self, ns: u64) {
+            self.0.set(self.0.get() + ns);
+        }
+    }
+
+    fn transient() -> Error {
+        Error::Transient { site: "test", fault: "flake" }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let clock = CountClock(Cell::new(0));
+        let mut calls = 0;
+        let out = with_retry(&RetryPolicy::default(), &clock, || {
+            calls += 1;
+            if calls < 3 {
+                Err(transient())
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        // Two retries: base + 2*base.
+        assert_eq!(clock.0.get(), 10_000 + 20_000);
+    }
+
+    #[test]
+    fn permanent_errors_abort_immediately() {
+        let clock = CountClock(Cell::new(0));
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&RetryPolicy::default(), &clock, || {
+            calls += 1;
+            Err(Error::DuplicateKey)
+        });
+        assert_eq!(out, Err(Error::DuplicateKey));
+        assert_eq!(calls, 1);
+        assert_eq!(clock.0.get(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_last_transient() {
+        let clock = CountClock(Cell::new(0));
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&RetryPolicy::default(), &clock, || {
+            calls += 1;
+            Err(transient())
+        });
+        assert_eq!(calls, 4);
+        assert!(matches!(out, Err(Error::Transient { .. })));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = RetryPolicy { max_attempts: 64, base_backoff_ns: 1, max_backoff_ns: 100 };
+        assert_eq!(p.backoff_ns(1), 1);
+        assert_eq!(p.backoff_ns(8), 100);
+        assert_eq!(p.backoff_ns(63), 100);
+    }
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        let mut calls = 0;
+        let out: Result<()> = with_retry(&RetryPolicy::none(), &NoClock, || {
+            calls += 1;
+            Err(transient())
+        });
+        assert_eq!(calls, 1);
+        assert!(out.is_err());
+    }
+}

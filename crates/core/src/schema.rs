@@ -114,11 +114,7 @@ mod tests {
     use super::*;
 
     fn abc() -> Schema {
-        Schema::of(&[
-            ("a", DataType::Int32),
-            ("b", DataType::Int64),
-            ("c", DataType::Text(10)),
-        ])
+        Schema::of(&[("a", DataType::Int32), ("b", DataType::Int64), ("c", DataType::Text(10))])
     }
 
     #[test]

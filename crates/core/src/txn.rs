@@ -13,7 +13,7 @@
 //! (first-updater-wins): updating a key whose newest version is pending by
 //! another transaction, or committed after the updater's snapshot, aborts.
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -226,11 +226,8 @@ impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
     }
 
     fn version_visible(&self, v: &Version<V>, reader: TxnId, ts: Timestamp) -> bool {
-        let begin_ok = if is_pending(v.begin) {
-            pending_txn(v.begin) == reader
-        } else {
-            v.begin <= ts
-        };
+        let begin_ok =
+            if is_pending(v.begin) { pending_txn(v.begin) == reader } else { v.begin <= ts };
         if !begin_ok {
             return false;
         }

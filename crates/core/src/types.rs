@@ -237,9 +237,8 @@ mod tests {
     #[test]
     fn text_too_long_is_an_error() {
         let mut buf = vec![0u8; 4];
-        let err = Value::Text("abcdef".into())
-            .encode_into(DataType::Text(4), &mut buf)
-            .unwrap_err();
+        let err =
+            Value::Text("abcdef".into()).encode_into(DataType::Text(4), &mut buf).unwrap_err();
         assert_eq!(err, Error::TextTooLong { max: 4, got: 6 });
     }
 

@@ -10,8 +10,10 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::retry::{with_retry, BackoffClock, NoClock, RetryPolicy};
+use crate::sync::Mutex;
 
 use crate::error::{Error, Result};
 use crate::schema::{Attribute, RelationId, RowId, Schema};
@@ -224,9 +226,17 @@ impl LogRecord {
 // ---------------------------------------------------------------------
 
 /// Append-only byte storage behind the log.
+///
+/// `storage_len`/`truncate_to` exist so the log can *repair* a torn append
+/// before retrying it: snapshot the length, and on a failed append cut the
+/// storage back to it, discarding any partial frame the fault left behind.
 pub trait LogStorage: Send {
     fn append(&mut self, bytes: &[u8]) -> Result<()>;
     fn read_all(&mut self) -> Result<Vec<u8>>;
+    /// Current storage length in bytes.
+    fn storage_len(&mut self) -> Result<u64>;
+    /// Discard everything past `len` bytes.
+    fn truncate_to(&mut self, len: u64) -> Result<()>;
 }
 
 /// In-memory storage (tests and simulations).
@@ -238,6 +248,12 @@ pub struct MemStorage {
 impl MemStorage {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Storage pre-loaded with raw log bytes (replay/truncation tests,
+    /// snapshots shipped from elsewhere).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        MemStorage { data }
     }
 
     /// Simulate a crash that tears the last `n` bytes off the log tail.
@@ -263,6 +279,15 @@ impl LogStorage for MemStorage {
 
     fn read_all(&mut self) -> Result<Vec<u8>> {
         Ok(self.data.clone())
+    }
+
+    fn storage_len(&mut self) -> Result<u64> {
+        Ok(self.data.len() as u64)
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.data.truncate(len as usize);
+        Ok(())
     }
 }
 
@@ -300,6 +325,17 @@ impl LogStorage for FileStorage {
             .map_err(|e| Error::Internal(format!("read log: {e}")))?;
         Ok(out)
     }
+
+    fn storage_len(&mut self) -> Result<u64> {
+        self.file.metadata().map(|m| m.len()).map_err(|e| Error::Internal(format!("stat log: {e}")))
+    }
+
+    fn truncate_to(&mut self, len: u64) -> Result<()> {
+        self.file
+            .set_len(len)
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| Error::Internal(format!("truncate log: {e}")))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -307,23 +343,58 @@ impl LogStorage for FileStorage {
 // ---------------------------------------------------------------------
 
 /// A write-ahead log over any [`LogStorage`].
+///
+/// Appends are retried on [transient](Error::is_transient) storage faults
+/// under a [`RetryPolicy`]; before each retry, any torn prefix the failed
+/// append left behind is truncated away so retries never stack garbage
+/// mid-log. Backoff is virtual time, charged to the configured
+/// [`BackoffClock`] (a device cost ledger in the simulations).
 pub struct Wal<S: LogStorage> {
     storage: Mutex<S>,
+    retry: RetryPolicy,
+    clock: Option<Arc<dyn BackoffClock + Send + Sync>>,
 }
 
 impl<S: LogStorage> Wal<S> {
     pub fn new(storage: S) -> Self {
-        Wal { storage: Mutex::new(storage) }
+        Self::with_retry_policy(storage, RetryPolicy::default(), None)
+    }
+
+    /// A log with an explicit retry budget and backoff clock.
+    pub fn with_retry_policy(
+        storage: S,
+        retry: RetryPolicy,
+        clock: Option<Arc<dyn BackoffClock + Send + Sync>>,
+    ) -> Self {
+        Wal { storage: Mutex::new(storage), retry, clock }
     }
 
     /// Append one record (framed + checksummed), durably.
+    ///
+    /// On a transient storage fault, truncates any partial frame back off
+    /// the log and retries under the configured policy.
     pub fn log(&self, record: &LogRecord) -> Result<()> {
         let payload = record.encode()?;
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
-        self.storage.lock().append(&frame)
+        let mut storage = self.storage.lock();
+        let start = storage.storage_len()?;
+        let clock: &dyn BackoffClock = match &self.clock {
+            Some(c) => c.as_ref(),
+            None => &NoClock,
+        };
+        with_retry(&self.retry, &clock, || match storage.append(&frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Repair: cut any torn prefix so a retry starts clean.
+                if storage.storage_len()? > start {
+                    storage.truncate_to(start)?;
+                }
+                Err(e)
+            }
+        })
     }
 
     /// Replay every intact record in order. Stops (without error) at a torn
@@ -351,6 +422,11 @@ impl<S: LogStorage> Wal<S> {
             apply(LogRecord::decode(payload)?)?;
             report.records += 1;
             pos = end;
+        }
+        // Fewer than 8 trailing bytes can't even hold a frame header —
+        // that's a torn tail too, not clean EOF.
+        if pos < data.len() {
+            report.torn_tail = true;
         }
         Ok(report)
     }
@@ -441,11 +517,12 @@ mod tests {
         }
         wal.storage().lock().tear_tail(3); // rip into the last frame
         let mut seen = 0;
-        let report = wal.replay(|_| {
-            seen += 1;
-            Ok(())
-        })
-        .unwrap();
+        let report = wal
+            .replay(|_| {
+                seen += 1;
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(report.records, 3);
         assert!(report.torn_tail);
         assert_eq!(seen, 3);
@@ -465,6 +542,82 @@ mod tests {
         let report = wal.replay(|_| Ok(())).unwrap();
         assert_eq!(report.records, 1);
         assert!(report.torn_tail);
+    }
+
+    #[test]
+    fn header_fragment_is_a_torn_tail() {
+        let wal = Wal::new(MemStorage::new());
+        wal.log(&LogRecord::Commit { txn: 1 }).unwrap();
+        // A crash mid-header leaves fewer than 8 stray bytes.
+        wal.storage().lock().data.extend_from_slice(&[1, 2, 3]);
+        let report = wal.replay(|_| Ok(())).unwrap();
+        assert_eq!(report.records, 1);
+        assert!(report.torn_tail, "stray <8-byte tail must be flagged");
+    }
+
+    /// Storage that fails (optionally tearing a prefix in) the first N
+    /// appends, then behaves.
+    struct FlakyStorage {
+        inner: MemStorage,
+        failures_left: u32,
+        tear: bool,
+    }
+
+    impl LogStorage for FlakyStorage {
+        fn append(&mut self, bytes: &[u8]) -> Result<()> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                if self.tear {
+                    self.inner.append(&bytes[..bytes.len() / 2])?;
+                }
+                return Err(Error::Transient { site: "test", fault: "flake" });
+            }
+            self.inner.append(bytes)
+        }
+
+        fn read_all(&mut self) -> Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+
+        fn storage_len(&mut self) -> Result<u64> {
+            self.inner.storage_len()
+        }
+
+        fn truncate_to(&mut self, len: u64) -> Result<()> {
+            self.inner.truncate_to(len)
+        }
+    }
+
+    #[test]
+    fn torn_appends_are_repaired_and_retried() {
+        let wal = Wal::new(FlakyStorage { inner: MemStorage::new(), failures_left: 2, tear: true });
+        for rec in sample_records() {
+            wal.log(&rec).unwrap();
+        }
+        let mut seen = Vec::new();
+        let report = wal
+            .replay(|r| {
+                seen.push(r);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.records, 4, "torn prefixes must not survive the retry");
+        assert!(!report.torn_tail);
+        assert_eq!(seen, sample_records());
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_leaves_clean_log() {
+        let wal = Wal::new(FlakyStorage {
+            inner: MemStorage::new(),
+            failures_left: 100, // more than any budget
+            tear: true,
+        });
+        wal.log(&LogRecord::Commit { txn: 7 }).unwrap_err();
+        // The failed append must not have left garbage behind.
+        let report = wal.replay(|_| Ok(())).unwrap();
+        assert_eq!(report.records, 0);
+        assert!(!report.torn_tail);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! charge latency + size/bandwidth to the cluster ledger, so placement
 //! quality is measurable.
 
-use parking_lot::Mutex;
+use htapg_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use htapg_core::{Error, Result};
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::ledger::CostLedger;
 
 /// Interconnect cost parameters.
@@ -80,12 +81,28 @@ pub struct SimCluster {
     nodes: Vec<Node>,
     net: NetSpec,
     ledger: Arc<CostLedger>,
+    faults: Arc<FaultPlan>,
 }
 
 impl SimCluster {
     pub fn new(n: usize, net: NetSpec) -> Self {
         assert!(n > 0, "cluster needs at least one node");
-        SimCluster { nodes: (0..n).map(|_| Node::default()).collect(), net, ledger: Arc::new(CostLedger::new()) }
+        SimCluster {
+            nodes: (0..n).map(|_| Node::default()).collect(),
+            net,
+            ledger: Arc::new(CostLedger::new()),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Install a fault injector (defaults to [`FaultPlan::none`]). The
+    /// plan's down-node set governs [`Error::NodeUnreachable`] failures.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.faults
     }
 
     pub fn with_defaults(n: usize) -> Self {
@@ -117,9 +134,31 @@ impl SimCluster {
         self.ledger.charge_network(ns);
     }
 
+    /// Inject a cross-node message fault, if the plan says so: either the
+    /// message is dropped (transient) or it merely stalls (latency charged,
+    /// then delivered). Same-node traffic never faults.
+    fn roll_send(&self, from: NodeId, to: NodeId) -> Result<()> {
+        if from == to {
+            return Ok(());
+        }
+        if let Some(d) = self.faults.roll(FaultSite::ClusterSend) {
+            if d.entropy & 1 == 0 {
+                self.ledger.charge_network(self.net.latency_ns.saturating_mul(20));
+                self.faults.record(FaultSite::ClusterSend, d.op, "latency-spike");
+            } else {
+                self.faults.record(FaultSite::ClusterSend, d.op, "msg-drop");
+                return Err(Error::Transient { site: "cluster.send", fault: "msg-drop" });
+            }
+        }
+        Ok(())
+    }
+
     /// Ship a blob from one node to another (copies the data, charges the
     /// message).
     pub fn ship(&self, from: NodeId, key: &str, to: NodeId) -> Result<()> {
+        self.faults.check_node(from)?;
+        self.faults.check_node(to)?;
+        self.roll_send(from, to)?;
         let data = self
             .node(from)?
             .get(key)
@@ -131,6 +170,8 @@ impl SimCluster {
 
     /// Fetch a remote blob to the coordinator (node `at` asks node `from`).
     pub fn fetch(&self, at: NodeId, from: NodeId, key: &str) -> Result<Vec<u8>> {
+        self.faults.check_node(from)?;
+        self.roll_send(from, at)?;
         let data = self
             .node(from)?
             .get(key)

@@ -7,12 +7,13 @@
 //! is therefore modeled as much cheaper than random access, the property
 //! both engines exploit.
 
-use parking_lot::Mutex;
+use htapg_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use htapg_core::{Error, Result};
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::ledger::CostLedger;
 
 /// Cost parameters of one simulated spindle.
@@ -51,6 +52,7 @@ pub struct SimDisk {
     id: u32,
     spec: DiskSpec,
     ledger: Arc<CostLedger>,
+    faults: Arc<FaultPlan>,
     state: Mutex<DiskState>,
 }
 
@@ -60,6 +62,7 @@ impl SimDisk {
             id,
             spec,
             ledger: Arc::new(CostLedger::new()),
+            faults: FaultPlan::none(),
             state: Mutex::new(DiskState {
                 pages: HashMap::new(),
                 last_page: None,
@@ -68,6 +71,15 @@ impl SimDisk {
                 seeks: 0,
             }),
         }
+    }
+
+    /// Install a fault injector (defaults to [`FaultPlan::none`]).
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.faults
     }
 
     pub fn with_defaults(id: u32) -> Self {
@@ -106,6 +118,30 @@ impl SimDisk {
                 self.spec.page_bytes
             )));
         }
+        if let Some(d) = self.faults.roll(FaultSite::DiskWrite) {
+            match d.entropy % 3 {
+                0 => {
+                    // Latency spike: the write lands, but slowly.
+                    self.ledger.charge_disk(self.spec.seek_ns.saturating_mul(10));
+                    self.faults.record(FaultSite::DiskWrite, d.op, "latency-spike");
+                }
+                1 => {
+                    // Torn page: a prefix reaches the platter, then the
+                    // write fails. The stale/partial page stays visible.
+                    let keep = d.pick(data.len() as u64 + 1) as usize;
+                    let mut st = self.state.lock();
+                    self.charge_access(&mut st, page, keep);
+                    st.pages.insert(page, data[..keep].to_vec());
+                    st.writes += 1;
+                    self.faults.record(FaultSite::DiskWrite, d.op, "torn-write");
+                    return Err(Error::Transient { site: "disk.write", fault: "torn-write" });
+                }
+                _ => {
+                    self.faults.record(FaultSite::DiskWrite, d.op, "io-error");
+                    return Err(Error::Transient { site: "disk.write", fault: "io-error" });
+                }
+            }
+        }
         let mut st = self.state.lock();
         self.charge_access(&mut st, page, data.len());
         st.pages.insert(page, data.to_vec());
@@ -115,6 +151,16 @@ impl SimDisk {
 
     /// Read a page previously written.
     pub fn read_page(&self, page: PageId) -> Result<Vec<u8>> {
+        if let Some(d) = self.faults.roll(FaultSite::DiskRead) {
+            if d.entropy & 1 == 0 {
+                // Latency spike: retried sector read, then success.
+                self.ledger.charge_disk(self.spec.seek_ns.saturating_mul(10));
+                self.faults.record(FaultSite::DiskRead, d.op, "latency-spike");
+            } else {
+                self.faults.record(FaultSite::DiskRead, d.op, "io-error");
+                return Err(Error::Transient { site: "disk.read", fault: "io-error" });
+            }
+        }
         let mut st = self.state.lock();
         let data = st
             .pages
@@ -165,6 +211,13 @@ impl DiskArray {
 
     pub fn disk(&self, i: usize) -> &SimDisk {
         &self.disks[i]
+    }
+
+    /// Install one fault injector on every disk in the array.
+    pub fn set_fault_plan(&mut self, plan: &Arc<FaultPlan>) {
+        for d in &mut self.disks {
+            d.set_fault_plan(plan.clone());
+        }
     }
 
     /// The disk a page of a given stripe lands on: round-robin with an

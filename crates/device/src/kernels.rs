@@ -37,10 +37,7 @@ fn as_f64s(bytes: &[u8]) -> Result<Vec<f64>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(Error::Internal("buffer is not a packed f64 column".into()));
     }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    Ok(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
 }
 
 /// Sum a device-resident packed `f64` column with the two-pass Harris-style
@@ -102,7 +99,11 @@ pub fn reduce_sum_i64(device: &SimDevice, buf: BufferId) -> Result<i64> {
     )?;
     ex.charge_launch(
         LaunchConfig::new(1, FINAL_BLOCK),
-        KernelCost { work_items: REDUCE_GRID as u64, cycles_per_item: 4.0, bytes: REDUCE_GRID as u64 * 8 },
+        KernelCost {
+            work_items: REDUCE_GRID as u64,
+            cycles_per_item: 4.0,
+            bytes: REDUCE_GRID as u64 * 8,
+        },
     )?;
     Ok(sum)
 }
@@ -129,7 +130,11 @@ pub fn reduce_min_max_f64(device: &SimDevice, buf: BufferId) -> Result<(f64, f64
     )?;
     ex.charge_launch(
         LaunchConfig::new(1, FINAL_BLOCK),
-        KernelCost { work_items: REDUCE_GRID as u64, cycles_per_item: 4.0, bytes: REDUCE_GRID as u64 * 8 },
+        KernelCost {
+            work_items: REDUCE_GRID as u64,
+            cycles_per_item: 4.0,
+            bytes: REDUCE_GRID as u64 * 8,
+        },
     )?;
     Ok((min, max))
 }
@@ -154,7 +159,12 @@ pub fn map_f64(device: &SimDevice, buf: BufferId, f: impl Fn(f64) -> f64) -> Res
 
 /// Gather fixed-width elements at `positions` from a device column into a
 /// fresh device buffer (late materialization on the device).
-pub fn gather(device: &SimDevice, buf: BufferId, width: usize, positions: &[u64]) -> Result<BufferId> {
+pub fn gather(
+    device: &SimDevice,
+    buf: BufferId,
+    width: usize,
+    positions: &[u64],
+) -> Result<BufferId> {
     let ex = Executor::new(device);
     let out_len = positions.len() * width;
     let mut out = vec![0u8; out_len];
@@ -184,7 +194,11 @@ pub fn gather(device: &SimDevice, buf: BufferId, width: usize, positions: &[u64]
 
 /// Filter a packed `f64` column by a predicate, returning the qualifying
 /// positions (selection kernel with a host-side position list result).
-pub fn filter_f64(device: &SimDevice, buf: BufferId, pred: impl Fn(f64) -> bool) -> Result<Vec<u64>> {
+pub fn filter_f64(
+    device: &SimDevice,
+    buf: BufferId,
+    pred: impl Fn(f64) -> bool,
+) -> Result<Vec<u64>> {
     let ex = Executor::new(device);
     let positions = device.with_buffer(buf, |bytes| {
         let mut out = Vec::new();

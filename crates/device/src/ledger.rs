@@ -4,8 +4,14 @@
 //! sleeping. Figure 2's panels 3 and 4 differ only in whether transfer time
 //! is charged — the ledger keeps the categories separate so the harness can
 //! report either view.
+//!
+//! Snapshot arithmetic saturates: a delta between swapped snapshots clamps
+//! to zero and totals clamp to `u64::MAX` rather than wrapping, so cost
+//! reporting can never panic or produce nonsense from counter races.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use htapg_core::retry::BackoffClock;
 
 /// Accumulated virtual costs, by category.
 #[derive(Debug, Default)]
@@ -14,6 +20,7 @@ pub struct CostLedger {
     kernel_ns: AtomicU64,
     disk_ns: AtomicU64,
     network_ns: AtomicU64,
+    backoff_ns: AtomicU64,
     transfers: AtomicU64,
     kernel_launches: AtomicU64,
     bytes_to_device: AtomicU64,
@@ -27,6 +34,8 @@ pub struct CostSnapshot {
     pub kernel_ns: u64,
     pub disk_ns: u64,
     pub network_ns: u64,
+    /// Virtual wait time charged by retry backoff (fault recovery).
+    pub backoff_ns: u64,
     pub transfers: u64,
     pub kernel_launches: u64,
     pub bytes_to_device: u64,
@@ -34,9 +43,13 @@ pub struct CostSnapshot {
 }
 
 impl CostSnapshot {
-    /// Total virtual nanoseconds across all categories.
+    /// Total virtual nanoseconds across all categories (saturating).
     pub fn total_ns(&self) -> u64 {
-        self.transfer_ns + self.kernel_ns + self.disk_ns + self.network_ns
+        self.transfer_ns
+            .saturating_add(self.kernel_ns)
+            .saturating_add(self.disk_ns)
+            .saturating_add(self.network_ns)
+            .saturating_add(self.backoff_ns)
     }
 
     /// Device time excluding host↔device transfers (the Figure 2 panel 4
@@ -45,17 +58,20 @@ impl CostSnapshot {
         self.kernel_ns
     }
 
-    /// Costs accrued between `earlier` and `self`.
+    /// Costs accrued between `earlier` and `self`. Saturating: if the
+    /// snapshots are swapped (or a counter was reset in between), the delta
+    /// clamps to zero instead of wrapping.
     pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         CostSnapshot {
-            transfer_ns: self.transfer_ns - earlier.transfer_ns,
-            kernel_ns: self.kernel_ns - earlier.kernel_ns,
-            disk_ns: self.disk_ns - earlier.disk_ns,
-            network_ns: self.network_ns - earlier.network_ns,
-            transfers: self.transfers - earlier.transfers,
-            kernel_launches: self.kernel_launches - earlier.kernel_launches,
-            bytes_to_device: self.bytes_to_device - earlier.bytes_to_device,
-            bytes_from_device: self.bytes_from_device - earlier.bytes_from_device,
+            transfer_ns: self.transfer_ns.saturating_sub(earlier.transfer_ns),
+            kernel_ns: self.kernel_ns.saturating_sub(earlier.kernel_ns),
+            disk_ns: self.disk_ns.saturating_sub(earlier.disk_ns),
+            network_ns: self.network_ns.saturating_sub(earlier.network_ns),
+            backoff_ns: self.backoff_ns.saturating_sub(earlier.backoff_ns),
+            transfers: self.transfers.saturating_sub(earlier.transfers),
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+            bytes_to_device: self.bytes_to_device.saturating_sub(earlier.bytes_to_device),
+            bytes_from_device: self.bytes_from_device.saturating_sub(earlier.bytes_from_device),
         }
     }
 }
@@ -85,12 +101,18 @@ impl CostLedger {
         self.network_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Virtual retry-backoff wait (see `htapg_core::retry`).
+    pub fn charge_backoff(&self, ns: u64) {
+        self.backoff_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
             transfer_ns: self.transfer_ns.load(Ordering::Relaxed),
             kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
             disk_ns: self.disk_ns.load(Ordering::Relaxed),
             network_ns: self.network_ns.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
             transfers: self.transfers.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
             bytes_to_device: self.bytes_to_device.load(Ordering::Relaxed),
@@ -103,10 +125,19 @@ impl CostLedger {
         self.kernel_ns.store(0, Ordering::Relaxed);
         self.disk_ns.store(0, Ordering::Relaxed);
         self.network_ns.store(0, Ordering::Relaxed);
+        self.backoff_ns.store(0, Ordering::Relaxed);
         self.transfers.store(0, Ordering::Relaxed);
         self.kernel_launches.store(0, Ordering::Relaxed);
         self.bytes_to_device.store(0, Ordering::Relaxed);
         self.bytes_from_device.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Retry backoff is virtual wait: it lands in its own ledger category so
+/// fault-recovery time is visible separately from useful work.
+impl BackoffClock for CostLedger {
+    fn charge_backoff(&self, ns: u64) {
+        CostLedger::charge_backoff(self, ns);
     }
 }
 
@@ -148,9 +179,63 @@ mod tests {
     }
 
     #[test]
+    fn since_on_swapped_snapshots_clamps_to_zero() {
+        let l = CostLedger::new();
+        l.charge_kernel(10);
+        l.charge_disk(20);
+        let a = l.snapshot();
+        l.charge_kernel(5);
+        let b = l.snapshot();
+        // Arguments reversed: earlier.since(&later) must clamp, not wrap.
+        let d = a.since(&b);
+        assert_eq!(d.kernel_ns, 0);
+        assert_eq!(d.disk_ns, 0);
+        assert_eq!(d, CostSnapshot::default());
+    }
+
+    #[test]
+    fn total_ns_saturates_instead_of_overflowing() {
+        let s = CostSnapshot {
+            transfer_ns: u64::MAX,
+            kernel_ns: u64::MAX,
+            disk_ns: 1,
+            network_ns: 2,
+            backoff_ns: 3,
+            ..CostSnapshot::default()
+        };
+        assert_eq!(s.total_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn category_charges_sum_to_total() {
+        let l = CostLedger::new();
+        l.charge_transfer(11, 0, 0);
+        l.charge_kernel(13);
+        l.charge_disk(17);
+        l.charge_network(19);
+        l.charge_backoff(23);
+        let s = l.snapshot();
+        assert_eq!(
+            s.total_ns(),
+            s.transfer_ns + s.kernel_ns + s.disk_ns + s.network_ns + s.backoff_ns
+        );
+        assert_eq!(s.total_ns(), 11 + 13 + 17 + 19 + 23);
+    }
+
+    #[test]
+    fn backoff_charges_via_the_clock_trait() {
+        let l = CostLedger::new();
+        let clock: &dyn BackoffClock = &l;
+        clock.charge_backoff(500);
+        assert_eq!(l.snapshot().backoff_ns, 500);
+        assert_eq!(l.snapshot().total_ns(), 500);
+    }
+
+    #[test]
     fn reset_zeroes() {
         let l = CostLedger::new();
         l.charge_kernel(10);
+        l.charge_backoff(10);
         l.reset();
         assert_eq!(l.snapshot(), CostSnapshot::default());
     }

@@ -21,15 +21,22 @@
 //! All simulated time is *virtual*: it accumulates in [`ledger::CostLedger`]
 //! and never sleeps. Data operations are always executed for real, so
 //! results are exact; only durations are modeled.
+//!
+//! Every substrate can additionally be shaken by a seeded, deterministic
+//! fault injector ([`faults::FaultPlan`]) — disk I/O errors and torn
+//! writes, dropped cluster messages and down nodes, transfer failures,
+//! spurious OOM, failed kernel launches — with zero cost when disabled.
 
 pub mod cluster;
 pub mod disk;
+pub mod faults;
 pub mod kernels;
 pub mod ledger;
 pub mod memory;
 pub mod simt;
 pub mod spec;
 
+pub use faults::{FaultPlan, FaultRates, FaultSite, FaultyStorage};
 pub use ledger::CostLedger;
 pub use memory::{BufferId, SimDevice};
 pub use spec::DeviceSpec;

@@ -5,12 +5,13 @@
 //! column fits in device memory, or placement fails with
 //! [`Error::DeviceOutOfMemory`] and the caller falls back to the host.
 
-use parking_lot::Mutex;
+use htapg_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use htapg_core::{Error, Result};
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::ledger::CostLedger;
 use crate::spec::DeviceSpec;
 
@@ -32,12 +33,37 @@ pub struct SimDevice {
     id: u32,
     spec: DeviceSpec,
     ledger: Arc<CostLedger>,
+    faults: Arc<FaultPlan>,
     mem: Mutex<MemState>,
 }
 
 impl SimDevice {
     pub fn new(id: u32, spec: DeviceSpec) -> Self {
-        SimDevice { id, spec, ledger: Arc::new(CostLedger::new()), mem: Mutex::new(MemState::default()) }
+        SimDevice {
+            id,
+            spec,
+            ledger: Arc::new(CostLedger::new()),
+            faults: FaultPlan::none(),
+            mem: Mutex::new(MemState::default()),
+        }
+    }
+
+    /// Install a fault injector (defaults to [`FaultPlan::none`]).
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.faults
+    }
+
+    /// One transfer-fault roll, shared by every host↔device copy path.
+    fn roll_transfer(&self) -> Result<()> {
+        if let Some(d) = self.faults.roll(FaultSite::DeviceTransfer) {
+            self.faults.record(FaultSite::DeviceTransfer, d.op, "transfer-error");
+            return Err(Error::Transient { site: "device.transfer", fault: "transfer-error" });
+        }
+        Ok(())
     }
 
     pub fn with_defaults() -> Self {
@@ -76,6 +102,12 @@ impl SimDevice {
     /// Fails with [`Error::DeviceOutOfMemory`] when the capacity would be
     /// exceeded — allocation is all-or-nothing, never partial.
     pub fn alloc(&self, len: usize) -> Result<BufferId> {
+        if let Some(d) = self.faults.roll(FaultSite::DeviceAlloc) {
+            // Spurious OOM (fragmentation, a concurrent tenant): shaped as
+            // the error engines already degrade on.
+            self.faults.record(FaultSite::DeviceAlloc, d.op, "oom");
+            return Err(Error::DeviceOutOfMemory { requested: len, free: self.free_bytes() });
+        }
         let mut mem = self.mem.lock();
         if mem.used + len > self.spec.global_mem_bytes {
             return Err(Error::DeviceOutOfMemory {
@@ -103,15 +135,24 @@ impl SimDevice {
     }
 
     /// Allocate and upload host bytes, charging PCIe transfer time.
+    ///
+    /// All-or-nothing: a failed transfer frees the allocation, so a fault
+    /// never strands device memory.
     pub fn upload(&self, bytes: &[u8]) -> Result<BufferId> {
         let buf = self.alloc(bytes.len())?;
-        self.write(buf, 0, bytes)?;
-        Ok(buf)
+        match self.write(buf, 0, bytes) {
+            Ok(()) => Ok(buf),
+            Err(e) => {
+                let _ = self.free(buf);
+                Err(e)
+            }
+        }
     }
 
     /// Copy host bytes into an existing buffer at `offset`, charging PCIe
     /// transfer time.
     pub fn write(&self, buf: BufferId, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.roll_transfer()?;
         let mut mem = self.mem.lock();
         let data = mem
             .buffers
@@ -123,13 +164,13 @@ impl SimDevice {
             .ok_or_else(|| Error::Internal("device buffer overrun".into()))?;
         data[offset..end].copy_from_slice(bytes);
         drop(mem);
-        self.ledger
-            .charge_transfer(self.spec.transfer_ns(bytes.len()), bytes.len() as u64, 0);
+        self.ledger.charge_transfer(self.spec.transfer_ns(bytes.len()), bytes.len() as u64, 0);
         Ok(())
     }
 
     /// Copy a buffer back to the host, charging PCIe transfer time.
     pub fn download(&self, buf: BufferId) -> Result<Vec<u8>> {
+        self.roll_transfer()?;
         let mem = self.mem.lock();
         let data = mem
             .buffers
@@ -137,14 +178,14 @@ impl SimDevice {
             .ok_or_else(|| Error::Internal(format!("unknown device buffer {:?}", buf)))?
             .clone();
         drop(mem);
-        self.ledger
-            .charge_transfer(self.spec.transfer_ns(data.len()), 0, data.len() as u64);
+        self.ledger.charge_transfer(self.spec.transfer_ns(data.len()), 0, data.len() as u64);
         Ok(data)
     }
 
     /// Copy `len` bytes of a buffer back to the host, charging only that
     /// transfer (not the whole buffer).
     pub fn read_at(&self, buf: BufferId, offset: usize, len: usize) -> Result<Vec<u8>> {
+        self.roll_transfer()?;
         let mem = self.mem.lock();
         let data = mem
             .buffers

@@ -7,6 +7,7 @@
 
 use htapg_core::{Error, Result};
 
+use crate::faults::FaultSite;
 use crate::memory::SimDevice;
 
 /// A CUDA-style launch configuration.
@@ -82,6 +83,17 @@ impl<'d> Executor<'d> {
         Ok(())
     }
 
+    /// One launch-fault roll, shared by [`Self::launch`] and
+    /// [`Self::charge_launch`].
+    fn roll_launch(&self) -> Result<()> {
+        let plan = self.device.fault_plan();
+        if let Some(d) = plan.roll(FaultSite::KernelLaunch) {
+            plan.record(FaultSite::KernelLaunch, d.op, "launch-error");
+            return Err(Error::Transient { site: "device.launch", fault: "launch-error" });
+        }
+        Ok(())
+    }
+
     /// Launch `kernel` once per logical thread and charge the modeled cost.
     ///
     /// Returns the modeled duration in virtual nanoseconds. The closure runs
@@ -92,6 +104,7 @@ impl<'d> Executor<'d> {
         F: FnMut(ThreadIdx),
     {
         self.validate(cfg)?;
+        self.roll_launch()?;
         for block in 0..cfg.grid_blocks {
             for thread in 0..cfg.block_threads {
                 kernel(ThreadIdx { block, thread, block_dim: cfg.block_threads });
@@ -112,6 +125,7 @@ impl<'d> Executor<'d> {
     /// same time model (the hot path for large reductions).
     pub fn charge_launch(&self, cfg: LaunchConfig, cost: KernelCost) -> Result<u64> {
         self.validate(cfg)?;
+        self.roll_launch()?;
         let ns = self.device.spec().kernel_ns(
             cfg.total_threads(),
             cost.work_items.max(cfg.total_threads()),

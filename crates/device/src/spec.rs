@@ -85,7 +85,13 @@ impl DeviceSpec {
     /// compute = ceil(work / active_lanes) × cycles / clock;
     /// memory = bytes / bandwidth. Under-filled launches (threads < lanes)
     /// waste lanes — the GPUTx under-utilization effect.
-    pub fn kernel_ns(&self, threads: u64, work_items: u64, cycles_per_item: f64, bytes: u64) -> u64 {
+    pub fn kernel_ns(
+        &self,
+        threads: u64,
+        work_items: u64,
+        cycles_per_item: f64,
+        bytes: u64,
+    ) -> u64 {
         let active = threads.min(self.lanes() as u64).max(1);
         let waves = (work_items + active - 1) / active.max(1);
         let compute_s = waves as f64 * cycles_per_item / self.clock_hz;

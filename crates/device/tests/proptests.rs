@@ -1,8 +1,8 @@
-//! Property-based tests for the simulated-hardware substrates.
+//! Randomized property tests for the simulated-hardware substrates,
+//! driven by the deterministic in-repo [`Prng`] (seed honors `HTAPG_SEED`,
+//! printed on failure).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use htapg_core::prng::{check_cases, Prng};
 use htapg_device::cluster::SimCluster;
 use htapg_device::disk::SimDisk;
 use htapg_device::kernels::{self, tree_sum};
@@ -13,44 +13,57 @@ fn upload_f64(device: &SimDevice, values: &[f64]) -> htapg_device::BufferId {
     device.upload(&bytes).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_finite_f64(rng: &mut Prng) -> f64 {
+    loop {
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
 
-    #[test]
-    fn reduction_is_accurate_and_deterministic(values in vec(-1e6f64..1e6, 0..2000)) {
+#[test]
+fn reduction_is_accurate_and_deterministic() {
+    check_cases("reduction_is_accurate_and_deterministic", 64, 0xDE71_CE01, |_, rng| {
+        let values: Vec<f64> =
+            (0..rng.gen_range(0usize..2000)).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let device = SimDevice::with_defaults();
         let buf = upload_f64(&device, &values);
         let a = kernels::reduce_sum_f64(&device, buf).unwrap();
         let b = kernels::reduce_sum_f64(&device, buf).unwrap();
-        prop_assert_eq!(a.to_bits(), b.to_bits(), "bit-determinism");
+        assert_eq!(a.to_bits(), b.to_bits(), "bit-determinism");
         let reference: f64 = values.iter().sum();
-        prop_assert!((a - reference).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
+        assert!((a - reference).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
         // Tree order equals the kernel's result exactly for the same split.
-        prop_assert!((tree_sum(&values) - a).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
-    }
+        assert!((tree_sum(&values) - a).abs() <= 1e-9 * reference.abs().max(1.0) + 1e-6);
+    });
+}
 
-    #[test]
-    fn gather_matches_model(
-        values in vec(any::<f64>().prop_filter("no NaN", |v| !v.is_nan()), 1..200),
-        picks in vec(any::<u16>(), 0..50),
-    ) {
+#[test]
+fn gather_matches_model() {
+    check_cases("gather_matches_model", 64, 0xDE71_CE02, |_, rng| {
+        let values: Vec<f64> =
+            (0..rng.gen_range(1usize..200)).map(|_| arb_finite_f64(rng)).collect();
+        let picks: Vec<u16> =
+            (0..rng.gen_range(0usize..50)).map(|_| rng.next_u64() as u16).collect();
         let device = SimDevice::with_defaults();
         let buf = upload_f64(&device, &values);
-        let positions: Vec<u64> =
-            picks.iter().map(|&p| p as u64 % values.len() as u64).collect();
+        let positions: Vec<u64> = picks.iter().map(|&p| p as u64 % values.len() as u64).collect();
         let out = kernels::gather(&device, buf, 8, &positions).unwrap();
         let bytes = device.download(out).unwrap();
         let got: Vec<f64> =
             bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect();
         let want: Vec<f64> = positions.iter().map(|&p| values[p as usize]).collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn filter_matches_model(
-        values in vec(-100f64..100.0, 0..300),
-        threshold in -100f64..100.0,
-    ) {
+#[test]
+fn filter_matches_model() {
+    check_cases("filter_matches_model", 64, 0xDE71_CE03, |_, rng| {
+        let values: Vec<f64> =
+            (0..rng.gen_range(0usize..300)).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let threshold = rng.gen_range(-100.0..100.0);
         let device = SimDevice::with_defaults();
         let buf = upload_f64(&device, &values);
         let got = kernels::filter_f64(&device, buf, |v| v > threshold).unwrap();
@@ -60,11 +73,15 @@ proptest! {
             .filter(|(_, &v)| v > threshold)
             .map(|(i, _)| i as u64)
             .collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn allocator_accounting_never_drifts(sizes in vec(1usize..64_000, 1..40)) {
+#[test]
+fn allocator_accounting_never_drifts() {
+    check_cases("allocator_accounting_never_drifts", 64, 0xDE71_CE04, |_, rng| {
+        let sizes: Vec<usize> =
+            (0..rng.gen_range(1usize..40)).map(|_| rng.gen_range(1usize..64_000)).collect();
         let device = SimDevice::new(0, DeviceSpec::default());
         let mut live = Vec::new();
         let mut expected = 0usize;
@@ -72,32 +89,46 @@ proptest! {
             let buf = device.alloc(len).unwrap();
             expected += len;
             live.push((buf, len));
-            prop_assert_eq!(device.used_bytes(), expected);
+            assert_eq!(device.used_bytes(), expected);
             // Free every third allocation as we go.
             if i % 3 == 2 {
                 let (b, l) = live.remove(0);
                 device.free(b).unwrap();
                 expected -= l;
-                prop_assert_eq!(device.used_bytes(), expected);
+                assert_eq!(device.used_bytes(), expected);
             }
         }
         for (b, l) in live {
             device.free(b).unwrap();
             expected -= l;
         }
-        prop_assert_eq!(device.used_bytes(), 0);
-        prop_assert_eq!(expected, 0);
-    }
+        assert_eq!(device.used_bytes(), 0);
+        assert_eq!(expected, 0);
+    });
+}
 
-    #[test]
-    fn upload_download_identity(payload in vec(any::<u8>(), 0..8192)) {
+#[test]
+fn upload_download_identity() {
+    check_cases("upload_download_identity", 64, 0xDE71_CE05, |_, rng| {
+        let payload: Vec<u8> =
+            (0..rng.gen_range(0usize..8192)).map(|_| rng.next_u64() as u8).collect();
         let device = SimDevice::with_defaults();
         let buf = device.upload(&payload).unwrap();
-        prop_assert_eq!(device.download(buf).unwrap(), payload);
-    }
+        assert_eq!(device.download(buf).unwrap(), payload);
+    });
+}
 
-    #[test]
-    fn disk_pages_roundtrip(pages in vec((0u64..64, vec(any::<u8>(), 0..512)), 1..30)) {
+#[test]
+fn disk_pages_roundtrip() {
+    check_cases("disk_pages_roundtrip", 64, 0xDE71_CE06, |_, rng| {
+        let pages: Vec<(u64, Vec<u8>)> = (0..rng.gen_range(1usize..30))
+            .map(|_| {
+                let page = rng.gen_range(0u64..64);
+                let data: Vec<u8> =
+                    (0..rng.gen_range(0usize..512)).map(|_| rng.next_u64() as u8).collect();
+                (page, data)
+            })
+            .collect();
         let disk = SimDisk::with_defaults(0);
         let mut model = std::collections::HashMap::new();
         for (page, data) in &pages {
@@ -105,14 +136,25 @@ proptest! {
             model.insert(*page, data.clone());
         }
         for (page, data) in &model {
-            prop_assert_eq!(&disk.read_page(*page).unwrap(), data);
+            assert_eq!(&disk.read_page(*page).unwrap(), data);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cluster_blobs_roundtrip_and_ship(
-        blobs in vec(("k[a-z]{1,6}", vec(any::<u8>(), 0..256)), 1..20),
-    ) {
+#[test]
+fn cluster_blobs_roundtrip_and_ship() {
+    check_cases("cluster_blobs_roundtrip_and_ship", 64, 0xDE71_CE07, |_, rng| {
+        let blobs: Vec<(String, Vec<u8>)> = (0..rng.gen_range(1usize..20))
+            .map(|_| {
+                let len = rng.gen_range(1usize..=6);
+                let key: String = std::iter::once('k')
+                    .chain((0..len).map(|_| rng.gen_range(b'a'..=b'z') as char))
+                    .collect();
+                let data: Vec<u8> =
+                    (0..rng.gen_range(0usize..256)).map(|_| rng.next_u64() as u8).collect();
+                (key, data)
+            })
+            .collect();
         let cluster = SimCluster::with_defaults(3);
         let mut model = std::collections::HashMap::new();
         for (key, data) in &blobs {
@@ -123,11 +165,11 @@ proptest! {
         for (key, data) in &model {
             let home = cluster.place(key);
             // Fetch from the coordinator.
-            prop_assert_eq!(&cluster.fetch(0, home, key).unwrap(), data);
+            assert_eq!(&cluster.fetch(0, home, key).unwrap(), data);
             // Ship to another node and read it there.
             let dest = (home + 1) % 3;
             cluster.ship(home, key, dest).unwrap();
-            prop_assert_eq!(&cluster.node(dest).unwrap().get(key).unwrap(), data);
+            assert_eq!(&cluster.node(dest).unwrap().get(key).unwrap(), data);
         }
-    }
+    });
 }

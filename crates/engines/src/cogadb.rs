@@ -13,7 +13,7 @@
 //! HYPE-scheduled operator: a learned linear cost model per processor picks
 //! CPU or GPU, then observes the actual cost to refine itself.
 
-use parking_lot::Mutex;
+use htapg_core::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -352,10 +352,7 @@ impl StorageEngine for CogadbEngine {
             let mut by_heat: Vec<(u64, AttrId)> = schema
                 .attr_ids()
                 .filter(|&a| {
-                    !matches!(
-                        schema.ty(a),
-                        Ok(DataType::Text(_)) | Ok(DataType::Bool) | Err(_)
-                    )
+                    !matches!(schema.ty(a), Ok(DataType::Text(_)) | Ok(DataType::Bool) | Err(_))
                 })
                 .map(|a| (r.stats.scans(a), a))
                 .collect();
@@ -364,8 +361,7 @@ impl StorageEngine for CogadbEngine {
                 if heat == 0 {
                     break;
                 }
-                let needs_placement =
-                    r.replicas.get(&attr).is_none_or(|rep| rep.stale);
+                let needs_placement = r.replicas.get(&attr).is_none_or(|rep| rep.stale);
                 if !needs_placement {
                     continue;
                 }
@@ -394,7 +390,11 @@ mod tests {
     use htapg_device::DeviceSpec;
 
     fn schema() -> Schema {
-        Schema::of(&[("k", DataType::Int64), ("price", DataType::Float64), ("t", DataType::Text(4))])
+        Schema::of(&[
+            ("k", DataType::Int64),
+            ("price", DataType::Float64),
+            ("t", DataType::Text(4)),
+        ])
     }
 
     fn rec(i: i64) -> Record {

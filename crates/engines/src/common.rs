@@ -1,6 +1,6 @@
 //! Shared plumbing for engine implementations.
 
-use parking_lot::RwLock;
+use htapg_core::sync::RwLock;
 use std::sync::Arc;
 
 use htapg_core::{Error, RelationId, Result};
@@ -29,11 +29,7 @@ impl<T> Registry<T> {
 
     /// Clone the handle for a relation.
     pub fn get(&self, rel: RelationId) -> Result<Arc<RwLock<T>>> {
-        self.items
-            .read()
-            .get(rel as usize)
-            .cloned()
-            .ok_or(Error::UnknownRelation(rel))
+        self.items.read().get(rel as usize).cloned().ok_or(Error::UnknownRelation(rel))
     }
 
     /// Run `f` with shared access to the relation state.

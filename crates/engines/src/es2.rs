@@ -21,6 +21,7 @@ use std::sync::Arc;
 use htapg_core::adapt::AccessStats;
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
 use htapg_core::index::BPlusTree;
+use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::{
     AttrId, DataType, Error, Fragment, FragmentSpec, Linearization, Record, RelationId, Result,
     RowId, Schema, Value,
@@ -99,7 +100,12 @@ impl Es2Engine {
     }
 
     pub fn with_cluster(cluster: Arc<SimCluster>, partition_rows: u64) -> Self {
-        Es2Engine { cluster, rels: Registry::new(), partition_rows: partition_rows.max(1), coordinator: 0 }
+        Es2Engine {
+            cluster,
+            rels: Registry::new(),
+            partition_rows: partition_rows.max(1),
+            coordinator: 0,
+        }
     }
 
     pub fn cluster(&self) -> &Arc<SimCluster> {
@@ -118,9 +124,7 @@ impl Es2Engine {
 
     /// Record-centric lookup via the distributed secondary index.
     pub fn lookup_pk(&self, rel: RelationId, key: i64) -> Result<Option<RowId>> {
-        self.rels.read(rel, |r| {
-            Ok(r.pk_index.as_ref().and_then(|ix| ix.get(&key)).copied())
-        })
+        self.rels.read(rel, |r| Ok(r.pk_index.as_ref().and_then(|ix| ix.get(&key)).copied()))
     }
 
     fn charge_touch(&self, node: NodeId, bytes: usize) {
@@ -129,29 +133,42 @@ impl Es2Engine {
 
     fn persist(&self, r: &Es2Relation, group: usize, partition: u64) -> Result<()> {
         if let Some((node, frag)) = r.fragments.get(&(group, partition)) {
-            self.cluster
-                .node(*node)?
-                .put(r.blob_key(group, partition), blob_image(frag));
+            self.cluster.node(*node)?.put(r.blob_key(group, partition), blob_image(frag));
         }
         Ok(())
     }
 
     /// Replicate every partition blob (including open ones) onto the next
     /// node, for fault tolerance. Returns the number of blobs copied.
+    ///
+    /// Copies travel over [`SimCluster::ship`], so dropped messages are
+    /// retried with virtual backoff and down nodes are skipped (that
+    /// fragment simply stays un-replicated until the node returns).
     pub fn replicate(&self, rel: RelationId) -> Result<usize> {
         let nodes = self.cluster.len() as NodeId;
+        let policy = RetryPolicy::default();
         self.rels.write(rel, |r| {
             let mut copied = 0;
-            for (&(group, partition), (node, frag)) in r.fragments.iter() {
+            // Deterministic copy order (fault sequences must be replayable
+            // from a seed, so no HashMap iteration order here).
+            let mut keys: Vec<(usize, u64)> = r.fragments.keys().copied().collect();
+            keys.sort_unstable();
+            for (group, partition) in keys {
+                let (node, frag) = &r.fragments[&(group, partition)];
                 let key = r.blob_key(group, partition);
                 let image = blob_image(frag);
                 // Refresh the primary blob (open partitions included)…
                 self.cluster.node(*node)?.put(key.clone(), image.clone());
                 // …and copy it to the follower, charging the interconnect.
                 let follower = (*node + 1) % nodes;
-                self.cluster.charge_message(*node, follower, image.len());
-                self.cluster.node(follower)?.put(key, image);
-                copied += 1;
+                match with_retry(&policy, self.cluster.ledger(), || {
+                    self.cluster.ship(*node, &key, follower)
+                }) {
+                    Ok(()) => copied += 1,
+                    // Either endpoint down: degrade — skip this copy.
+                    Err(Error::NodeUnreachable { .. }) => {}
+                    Err(e) => return Err(e),
+                }
             }
             Ok(copied)
         })
@@ -163,24 +180,31 @@ impl Es2Engine {
     pub fn fail_node(&self, rel: RelationId, failed: NodeId) -> Result<usize> {
         let nodes = self.cluster.len() as NodeId;
         self.rels.write(rel, |r| {
-            let lost: Vec<(usize, u64)> = r
+            let mut lost: Vec<(usize, u64)> = r
                 .fragments
                 .iter()
                 .filter(|(_, (node, _))| *node == failed)
                 .map(|(&k, _)| k)
                 .collect();
+            // Deterministic recovery order for replayable fault sequences.
+            lost.sort_unstable();
             let schema = r.schema.clone();
             let mut recovered = 0;
             for (group, partition) in lost {
                 let key = r.blob_key(group, partition);
                 let follower = (failed + 1) % nodes;
-                let image = self.cluster.node(follower)?.get(&key).ok_or_else(|| {
-                    Error::Internal(format!(
+                // Fetch the replica image to the coordinator over the
+                // fault-aware path: dropped messages retry, a down follower
+                // means the partition is genuinely unreachable.
+                let image = with_retry(&RetryPolicy::default(), self.cluster.ledger(), || {
+                    self.cluster.fetch(self.coordinator, follower, &key)
+                })
+                .map_err(|e| match e {
+                    Error::Internal(_) => Error::Internal(format!(
                         "partition {key} lost with node {failed}: no replica on node {follower}"
-                    ))
+                    )),
+                    other => other,
                 })?;
-                // Charge fetching the replica image to the coordinator.
-                self.cluster.charge_message(follower, self.coordinator, image.len());
                 let (len, raw) = blob_parse(&image)?;
                 let spec = r.spec_for(&schema, group, partition);
                 let frag = Fragment::from_raw(
@@ -195,6 +219,20 @@ impl Es2Engine {
             }
             Ok(recovered)
         })
+    }
+
+    /// Recover every fragment homed on a node the cluster's fault plan
+    /// currently marks down, promoting the follower replicas
+    /// ([`Self::fail_node`] per down node). Graceful degradation for chaos
+    /// runs: after healing, reads are served by the surviving replicas.
+    pub fn heal_down_nodes(&self, rel: RelationId) -> Result<usize> {
+        let mut recovered = 0;
+        for node in 0..self.cluster.len() as NodeId {
+            if self.cluster.fault_plan().is_node_down(node) {
+                recovered += self.fail_node(rel, node)?;
+            }
+        }
+        Ok(recovered)
     }
 
     /// Rebuild the relation's fragments under new vertical groups.
@@ -242,19 +280,14 @@ impl Es2Engine {
             if !r.fragments.contains_key(&(gi, partition)) {
                 let spec = r.spec_for(&schema, gi, partition);
                 let node = self.node_for(r.rel, gi, partition);
-                r.fragments
-                    .insert((gi, partition), (node, Fragment::new(&schema, spec)?));
+                r.fragments.insert((gi, partition), (node, Fragment::new(&schema, spec)?));
             }
             let attrs = r.groups[gi].clone();
-            let values: Vec<Value> =
-                attrs.iter().map(|&a| record[a as usize].clone()).collect();
+            let values: Vec<Value> = attrs.iter().map(|&a| record[a as usize].clone()).collect();
             let (node, frag) = r.fragments.get_mut(&(gi, partition)).expect("ensured");
             frag.append(&schema, &values)?;
             let node = *node;
-            let width: usize = attrs
-                .iter()
-                .map(|&a| schema.width(a).unwrap_or(8))
-                .sum();
+            let width: usize = attrs.iter().map(|&a| schema.width(a).unwrap_or(8)).sum();
             self.charge_touch(node, width);
             if frag.is_full() {
                 self.persist(r, gi, partition)?;
@@ -415,8 +448,7 @@ impl StorageEngine for Es2Engine {
                     s + p > 0 && s as f64 / (s + p) as f64 >= 0.5
                 })
                 .collect();
-            let cold: Vec<AttrId> =
-                (0..arity as u16).filter(|a| !hot.contains(a)).collect();
+            let cold: Vec<AttrId> = (0..arity as u16).filter(|a| !hot.contains(a)).collect();
             let mut groups: Vec<Vec<AttrId>> = Vec::new();
             if !cold.is_empty() {
                 groups.push(cold);
@@ -571,10 +603,8 @@ mod tests {
         }
         // No replicate() call: losing a node that owns fragments must error
         // rather than silently serve stale data.
-        let owners: std::collections::HashSet<NodeId> = e
-            .rels
-            .read(rel, |r| Ok(r.fragments.values().map(|(n, _)| *n).collect()))
-            .unwrap();
+        let owners: std::collections::HashSet<NodeId> =
+            e.rels.read(rel, |r| Ok(r.fragments.values().map(|(n, _)| *n).collect())).unwrap();
         let victim = *owners.iter().next().unwrap();
         assert!(e.fail_node(rel, victim).is_err());
     }

@@ -14,9 +14,7 @@
 use std::sync::Arc;
 
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
-use htapg_core::{
-    AttrId, Error, Record, RelationId, Result, RowId, Schema, Value,
-};
+use htapg_core::{AttrId, Error, Record, RelationId, Result, RowId, Schema, Value};
 use htapg_device::simt::{Executor, KernelCost, LaunchConfig};
 use htapg_device::{BufferId, DeviceSpec, SimDevice};
 use htapg_taxonomy::{survey, Classification};

@@ -67,7 +67,13 @@ impl H2oEngine {
         LayoutTemplate::grouped(groups, None)
     }
 
-    fn workload_cost(&self, schema: &Schema, stats: &AccessStats, t: &LayoutTemplate, rows: u64) -> f64 {
+    fn workload_cost(
+        &self,
+        schema: &Schema,
+        stats: &AccessStats,
+        t: &LayoutTemplate,
+        rows: u64,
+    ) -> f64 {
         let scan_w: Vec<f64> =
             (0..schema.arity()).map(|a| stats.scans(a as AttrId) as f64).collect();
         let record_w = stats.total_point_reads() as f64 / schema.arity().max(1) as f64;
@@ -176,17 +182,17 @@ impl StorageEngine for H2oEngine {
                 })
                 .collect();
             candidates.push(dominant);
-            let current_cost = self.workload_cost(
-                &schema,
-                &r.stats,
-                &Self::template_for(&schema, &r.thin),
-                rows,
-            );
+            let current_cost =
+                self.workload_cost(&schema, &r.stats, &Self::template_for(&schema, &r.thin), rows);
             let best = candidates
                 .into_iter()
                 .map(|thin| {
-                    let cost =
-                        self.workload_cost(&schema, &r.stats, &Self::template_for(&schema, &thin), rows);
+                    let cost = self.workload_cost(
+                        &schema,
+                        &r.stats,
+                        &Self::template_for(&schema, &thin),
+                        rows,
+                    );
                     (thin, cost)
                 })
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

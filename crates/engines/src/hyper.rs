@@ -16,8 +16,8 @@
 use htapg_core::compress::{self, Compressed};
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
 use htapg_core::{
-    AttrId, Error, Fragment, FragmentSpec, Linearization, Record, RelationId, Result,
-    RowId, Schema, Value,
+    AttrId, Error, Fragment, FragmentSpec, Linearization, Record, RelationId, Result, RowId,
+    Schema, Value,
 };
 use htapg_taxonomy::{survey, Classification};
 
@@ -203,9 +203,8 @@ impl HyperEngine {
 
     /// Number of cold (compressed) chunks of a relation.
     pub fn cold_chunks(&self, rel: RelationId) -> Result<usize> {
-        self.rels.read(rel, |r| {
-            Ok(r.chunks.iter().filter(|c| matches!(c, Chunk::Cold { .. })).count())
-        })
+        self.rels
+            .read(rel, |r| Ok(r.chunks.iter().filter(|c| matches!(c, Chunk::Cold { .. })).count()))
     }
 
     /// Compressed vs raw footprint of cold data (compression ablation).
@@ -329,14 +328,18 @@ impl StorageEngine for HyperEngine {
                 let first = ci as u64 * r.chunk_rows;
                 match chunk {
                     Chunk::Hot { vectors, .. } => {
-                        vectors[attr as usize]
-                            .for_each_field(attr, |row, bytes| visit(row, &Value::decode(ty, bytes)))?;
+                        vectors[attr as usize].for_each_field(attr, |row, bytes| {
+                            visit(row, &Value::decode(ty, bytes))
+                        })?;
                     }
                     Chunk::Cold { columns, len } => match &columns[attr as usize] {
                         ColdColumn::Packed(block) => {
                             let values = compress::decode(block)?;
                             for (i, v) in values.iter().enumerate() {
-                                visit(first + i as u64, &Value::decode(ty, &u64_to_field(*v, width)));
+                                visit(
+                                    first + i as u64,
+                                    &Value::decode(ty, &u64_to_field(*v, width)),
+                                );
                             }
                         }
                         ColdColumn::Raw(bytes) => {
@@ -501,10 +504,7 @@ mod tests {
         e.maintain().unwrap();
         let (compressed, raw) = e.cold_footprint(rel).unwrap();
         assert!(compressed > 0);
-        assert!(
-            (compressed as f64) < raw as f64 * 0.8,
-            "compressed {compressed} vs raw {raw}"
-        );
+        assert!((compressed as f64) < raw as f64 * 0.8, "compressed {compressed} vs raw {raw}");
     }
 
     #[test]

@@ -48,12 +48,7 @@ impl HyriseEngine {
     /// attribute groups of the live layout.
     pub fn containers(&self, rel: RelationId) -> Result<Vec<Vec<AttrId>>> {
         self.rels.read(rel, |r| {
-            Ok(r.relation.layouts()[0]
-                .template()
-                .groups
-                .iter()
-                .map(|g| g.attrs.clone())
-                .collect())
+            Ok(r.relation.layouts()[0].template().groups.iter().map(|g| g.attrs.clone()).collect())
         })
     }
 }
@@ -250,10 +245,7 @@ mod tests {
         e.maintain().unwrap();
         let containers = e.containers(rel).unwrap();
         // The record-accessed attributes re-cluster into a fat container.
-        assert!(
-            containers.iter().any(|c| c.len() >= s.arity() - 2),
-            "containers: {containers:?}"
-        );
+        assert!(containers.iter().any(|c| c.len() >= s.arity() - 2), "containers: {containers:?}");
     }
 
     #[test]

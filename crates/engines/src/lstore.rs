@@ -20,9 +20,7 @@ use std::sync::Arc;
 
 use htapg_core::compress::{self, Compressed};
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
-use htapg_core::{
-    AttrId, Error, Record, RelationId, Result, RowId, Schema, Value,
-};
+use htapg_core::{AttrId, Error, Record, RelationId, Result, RowId, Schema, Value};
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -87,7 +85,12 @@ impl Column {
 
     /// Value as of timestamp `ts`: newest version (tail then archive chain)
     /// with `entry.ts <= ts`, else the base value.
-    fn read_as_of(&self, row: RowId, ts: u64, pool: &dyn Fn(usize) -> TailEntry) -> Result<Vec<u8>> {
+    fn read_as_of(
+        &self,
+        row: RowId,
+        ts: u64,
+        pool: &dyn Fn(usize) -> TailEntry,
+    ) -> Result<Vec<u8>> {
         // Chains are threaded through a single conceptual version pool:
         // active tail indices are offset after the archive.
         let mut cur = self.latest.get(&row).map(|&i| i + self.archive.len());
@@ -359,7 +362,8 @@ impl StorageEngine for LStoreEngine {
             let mut r = handle.write();
             let rows = r.rows;
             for col in &mut r.columns {
-                if col.tail.is_empty() && col.compressed_rows + (col.base_raw.len() / col.width.max(1)) as u64 == rows
+                if col.tail.is_empty()
+                    && col.compressed_rows + (col.base_raw.len() / col.width.max(1)) as u64 == rows
                 {
                     // Nothing to merge and base already covers all rows.
                     if col.packable && (col.base_raw.len() / col.width.max(1)) < BASE_BLOCK_ROWS {
@@ -403,11 +407,8 @@ impl StorageEngine for LStoreEngine {
                 // Link each row's earliest first-update entry (prev == None,
                 // ts > 0) to its base snapshot, then append the snapshots.
                 let snap_base = col.archive.len();
-                let snap_idx: HashMap<RowId, usize> = snapshots
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (e.row, snap_base + i))
-                    .collect();
+                let snap_idx: HashMap<RowId, usize> =
+                    snapshots.iter().enumerate().map(|(i, e)| (e.row, snap_base + i)).collect();
                 for e in col.archive.iter_mut() {
                     if e.prev.is_none() && e.ts > 0 {
                         if let Some(&si) = snap_idx.get(&e.row) {
@@ -420,8 +421,7 @@ impl StorageEngine for LStoreEngine {
                 // Rebuild the base: compressed blocks + raw remainder.
                 if col.packable {
                     col.base_blocks.clear();
-                    let mut packed: Vec<u64> =
-                        latest_bytes.iter().map(|b| pack_u64(b)).collect();
+                    let mut packed: Vec<u64> = latest_bytes.iter().map(|b| pack_u64(b)).collect();
                     let full_blocks = packed.len() / BASE_BLOCK_ROWS;
                     let rest = packed.split_off(full_blocks * BASE_BLOCK_ROWS);
                     for chunk in packed.chunks(BASE_BLOCK_ROWS) {
@@ -519,10 +519,7 @@ mod tests {
         assert_eq!(e.read_field(rel, 3, 1).unwrap(), Value::Float64(1003.0));
         // History survives the merge.
         assert_eq!(e.read_field_as_of(rel, 3, 1, t_before).unwrap(), Value::Float64(3.0));
-        assert_eq!(
-            e.read_field_as_of(rel, 3, 1, t_after).unwrap(),
-            Value::Float64(1003.0)
-        );
+        assert_eq!(e.read_field_as_of(rel, 3, 1, t_after).unwrap(), Value::Float64(1003.0));
     }
 
     #[test]
@@ -556,8 +553,7 @@ mod tests {
             .read(rel, |r| {
                 let col = &r.columns[0];
                 assert!(!col.base_blocks.is_empty(), "base must be block-compressed");
-                let compressed: usize =
-                    col.base_blocks.iter().map(|b| b.compressed_bytes()).sum();
+                let compressed: usize = col.base_blocks.iter().map(|b| b.compressed_bytes()).sum();
                 let raw = col.compressed_rows as usize * col.width;
                 assert!(compressed * 4 < raw, "{compressed} vs {raw}");
                 Ok(())

@@ -14,11 +14,13 @@
 use std::sync::Arc;
 
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::{
     AccessHint, AttrId, LayoutTemplate, Record, Relation, RelationId, Result, RowId, Schema,
     Scheme, Value,
 };
 use htapg_device::disk::{DiskArray, DiskSpec};
+use htapg_device::FaultPlan;
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -53,13 +55,66 @@ impl MirrorsEngine {
         MirrorsEngine { rels: Registry::new(), array: Arc::new(DiskArray::new(n, spec)) }
     }
 
+    /// Like [`Self::with_disks`], with a fault injector installed on every
+    /// spindle of the array (chaos testing).
+    pub fn with_fault_plan(n: usize, spec: DiskSpec, plan: &Arc<FaultPlan>) -> Self {
+        assert!(n >= 2, "mirroring needs at least two disks");
+        let mut array = DiskArray::new(n, spec);
+        array.set_fault_plan(plan);
+        MirrorsEngine { rels: Registry::new(), array: Arc::new(array) }
+    }
+
     pub fn array(&self) -> &Arc<DiskArray> {
         &self.array
     }
 
+    /// Pages of a relation persisted so far (both mirrors).
+    pub fn persisted_pages(&self, rel: RelationId) -> Result<u64> {
+        self.rels.read(rel, |r| Ok(r.persisted_pages))
+    }
+
+    /// Read one persisted page image back, preferring the stripe-0 copy and
+    /// degrading to the stripe-1 mirror when the first spindle faults — the
+    /// availability payoff of keeping "a copy of the relation" on each disk.
+    /// Transient faults are retried per spindle (backoff charged to that
+    /// disk's ledger) before falling over.
+    pub fn read_persisted_page(&self, rel: RelationId, page: u64) -> Result<Vec<u8>> {
+        let key = ((rel as u64) << 40) | page;
+        // Every page image of a relation has the same footprint; a shorter
+        // image is a torn leftover of a failed write and must not be served.
+        let expect = self.rels.read(rel, |r| {
+            let page_bytes = self.array.disk(0).spec().page_bytes;
+            let footprint = (r.relation.schema().tuple_width() as u64 * r.rows_per_page) as usize;
+            Ok(footprint.min(page_bytes))
+        })?;
+        let policy = RetryPolicy::default();
+        let mut last_err = None;
+        for stripe in 0..2u32 {
+            let disk = self.array.place(stripe, page);
+            match with_retry(&policy, disk.ledger(), || disk.read_page(key)) {
+                Ok(image) if image.len() == expect => return Ok(image),
+                Ok(torn) => {
+                    last_err = Some(htapg_core::Error::Internal(format!(
+                        "torn page image on disk {}: {} of {expect} bytes",
+                        disk.id(),
+                        torn.len()
+                    )))
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("two stripes attempted"))
+    }
+
     /// Persist freshly completed pages of both mirrors onto the array.
+    ///
+    /// Each spindle's write retries transient faults with virtual backoff;
+    /// a page is considered durable when at least one mirror holds it, so a
+    /// single dead stripe degrades redundancy, not availability. Only when
+    /// *both* copies fail does persistence error out.
     fn persist_completed(&self, r: &mut MirroredRelation) -> Result<()> {
         let complete = r.relation.row_count() / r.rows_per_page;
+        let policy = RetryPolicy::default();
         while r.persisted_pages < complete {
             let page = r.persisted_pages;
             let key = ((r.rel as u64) << 40) | page;
@@ -67,11 +122,21 @@ impl MirrorsEngine {
             // striping (what Fractured Mirrors is about) keeps the two
             // copies on different spindles.
             let page_bytes = self.array.disk(0).spec().page_bytes;
-            let footprint =
-                (r.relation.schema().tuple_width() as u64 * r.rows_per_page) as usize;
+            let footprint = (r.relation.schema().tuple_width() as u64 * r.rows_per_page) as usize;
             let image = vec![0u8; footprint.min(page_bytes)];
-            self.array.place(0, page).write_page(key, &image)?;
-            self.array.place(1, page).write_page(key, &image)?;
+            let mut survivors = 0;
+            let mut last_err = None;
+            for stripe in 0..2u32 {
+                let disk = self.array.place(stripe, page);
+                match with_retry(&policy, disk.ledger(), || disk.write_page(key, &image)) {
+                    Ok(()) => survivors += 1,
+                    Err(e) if e.is_transient() => last_err = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            if survivors == 0 {
+                return Err(last_err.expect("both stripes faulted"));
+            }
             r.persisted_pages += 1;
         }
         Ok(())
@@ -95,12 +160,8 @@ impl StorageEngine for MirrorsEngine {
             vec![LayoutTemplate::nsm(&schema), LayoutTemplate::dsm(&schema)],
             Scheme::Replication,
         )?;
-        let rel = self.rels.add(MirroredRelation {
-            rel: 0,
-            relation,
-            rows_per_page,
-            persisted_pages: 0,
-        });
+        let rel =
+            self.rels.add(MirroredRelation { rel: 0, relation, rows_per_page, persisted_pages: 0 });
         self.rels.write(rel, |r| {
             r.rel = rel;
             Ok(())

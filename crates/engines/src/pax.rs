@@ -8,7 +8,7 @@
 //! pool of decoded pages. Completed pages are written through to
 //! [`SimDisk`]; reads outside the pool fault pages in, charging disk time.
 
-use parking_lot::RwLock;
+use htapg_core::sync::RwLock;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -54,7 +54,13 @@ impl PaxRelation {
         }
     }
 
-    fn pool_insert(&mut self, page: u64, frag: Fragment, disk: &SimDisk, rel_evictions: &mut usize) -> Result<()> {
+    fn pool_insert(
+        &mut self,
+        page: u64,
+        frag: Fragment,
+        disk: &SimDisk,
+        rel_evictions: &mut usize,
+    ) -> Result<()> {
         if self.pool.len() >= self.pool_capacity {
             if let Some(old) = self.pool_order.pop_front() {
                 // Pages are written through on completion and on update, so
@@ -71,18 +77,21 @@ impl PaxRelation {
 
     /// Get the fragment for `page`, faulting it in from disk if needed.
     fn fetch_page(&mut self, page: u64, disk: &SimDisk) -> Result<&mut Fragment> {
-        let open_covers = self
-            .open
-            .as_ref()
-            .is_some_and(|o| o.spec().first_row / self.rows_per_page == page);
+        let open_covers =
+            self.open.as_ref().is_some_and(|o| o.spec().first_row / self.rows_per_page == page);
         if open_covers {
             return Ok(self.open.as_mut().expect("checked above"));
         }
         if !self.pool.contains_key(&page) {
             let bytes = disk.read_page(page_key(self.rel, page))?;
             let spec = self.page_spec(page);
-            let frag =
-                Fragment::from_raw(&self.schema, spec, bytes, self.rows_per_page, Location::Disk(disk.id()))?;
+            let frag = Fragment::from_raw(
+                &self.schema,
+                spec,
+                bytes,
+                self.rows_per_page,
+                Location::Disk(disk.id()),
+            )?;
             let mut evictions = 0;
             self.pool_insert(page, frag, disk, &mut evictions)?;
         } else {
@@ -134,7 +143,6 @@ impl PaxEngine {
     pub fn evictions(&self) -> usize {
         *self.evictions.read()
     }
-
 }
 
 impl StorageEngine for PaxEngine {
@@ -242,10 +250,8 @@ impl StorageEngine for PaxEngine {
             let schema = r.schema.clone();
             let rows_per_page = r.rows_per_page;
             let rel_id = r.rel;
-            let is_open = r
-                .open
-                .as_ref()
-                .is_some_and(|o| o.spec().first_row / rows_per_page == page);
+            let is_open =
+                r.open.as_ref().is_some_and(|o| o.spec().first_row / rows_per_page == page);
             let frag = r.fetch_page(page, &disk)?;
             frag.write_value(&schema, row, attr, value)?;
             if !is_open {
@@ -303,10 +309,7 @@ mod tests {
 
     #[test]
     fn crud_across_pages() {
-        let e = PaxEngine::with_config(
-            DiskSpec { page_bytes: 256, ..DiskSpec::default() },
-            4,
-        );
+        let e = PaxEngine::with_config(DiskSpec { page_bytes: 256, ..DiskSpec::default() }, 4);
         let rel = e.create_relation(schema()).unwrap();
         // 256 / 16 = 16 rows per page; 100 rows = 6 completed pages + open.
         for i in 0..100 {

@@ -278,10 +278,7 @@ impl StorageEngine for PelotonEngine {
                 return Err(Error::UnknownRow(row));
             }
             let g = &r.groups[r.group_of(row)];
-            r.schema
-                .attr_ids()
-                .map(|a| g.tile_for(a).read_value(&r.schema, row, a))
-                .collect()
+            r.schema.attr_ids().map(|a| g.tile_for(a).read_value(&r.schema, row, a)).collect()
         })
     }
 
@@ -362,8 +359,7 @@ impl StorageEngine for PelotonEngine {
                 let tile_rows = r.tile_rows;
                 let (full, quiet, rowwise) = {
                     let g = &mut r.groups[gi];
-                    let out =
-                        (g.len() == tile_rows, g.updates_since_maintain == 0, g.rowwise);
+                    let out = (g.len() == tile_rows, g.updates_since_maintain == 0, g.rowwise);
                     g.updates_since_maintain = 0;
                     out
                 };
@@ -455,9 +451,8 @@ mod tests {
         // The same logical-tile code materializes from both layouts.
         for (range, _rowwise) in [(0..4u64, false), (8..12u64, true)] {
             // group 0 is columnar, group 1 row-wise — same code path.
-            let recs = e
-                .with_logical_tile(rel, range.clone(), vec![1, 0], |t| t.materialize())
-                .unwrap();
+            let recs =
+                e.with_logical_tile(rel, range.clone(), vec![1, 0], |t| t.materialize()).unwrap();
             for (i, row) in range.enumerate() {
                 assert_eq!(recs[i], vec![Value::Float64(row as f64), Value::Int64(row as i64)]);
             }

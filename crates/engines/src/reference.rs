@@ -21,12 +21,13 @@
 //! (challenge b.iii). Committed versions are merged into the base layouts
 //! by [`StorageEngine::maintain`].
 
-use parking_lot::RwLock as PRwLock;
+use htapg_core::sync::RwLock as PRwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use htapg_core::adapt::{AccessStats, Advisor, AdvisorConfig};
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::txn::{MvStore, Timestamp, Txn, TxnManager};
 use htapg_core::wal::{LogRecord, LogStorage, ReplayReport, Wal, WalSink};
 use htapg_core::{
@@ -112,7 +113,10 @@ impl ReferenceEngine {
             rels: Registry::new(),
             mgr: Arc::new(TxnManager::new()),
             device,
-            advisor: Advisor::new(AdvisorConfig { chunk_rows: Some(chunk_rows), ..Default::default() }),
+            advisor: Advisor::new(AdvisorConfig {
+                chunk_rows: Some(chunk_rows),
+                ..Default::default()
+            }),
             improvement_threshold: 0.10,
             chunk_rows,
             maint_lock: PRwLock::new(()),
@@ -237,13 +241,7 @@ impl ReferenceEngine {
                 // Mark the device copy stale; done lazily via maintain.
                 let _ = rep;
             }
-            self.log(&LogRecord::Update {
-                rel,
-                row,
-                attr,
-                value: value.clone(),
-                txn: txn.id,
-            })?;
+            self.log(&LogRecord::Update { rel, row, attr, value: value.clone(), txn: txn.id })?;
             r.overlay.put(txn, (row, attr), value)
         })
     }
@@ -333,17 +331,35 @@ impl ReferenceEngine {
     }
 
     /// Sum a delegated column on the device (errors if no fresh replica;
-    /// call [`StorageEngine::maintain`] first).
+    /// call [`StorageEngine::maintain`] first). Transient launch faults are
+    /// retried with virtual backoff charged to the device ledger.
     pub fn sum_column_device(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
         let device = self.device.clone();
         self.rels.read(rel, |r| {
-            let rep = r
-                .replicas
-                .get(&attr)
-                .filter(|rep| !rep.stale)
-                .ok_or_else(|| Error::Internal(format!("no fresh device replica of attr {attr}")))?;
-            kernels::reduce_sum_f64(&device, rep.buf)
+            let rep = r.replicas.get(&attr).filter(|rep| !rep.stale).ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {attr}"))
+            })?;
+            with_retry(&RetryPolicy::default(), device.ledger(), || {
+                kernels::reduce_sum_f64(&device, rep.buf)
+            })
         })
+    }
+
+    /// Sum a column wherever it can be answered: on the device when a fresh
+    /// replica exists and the kernel (after retries) succeeds, otherwise on
+    /// the host from the current snapshot. Graceful degradation — a faulty
+    /// device costs speed, never availability or correctness.
+    pub fn sum_column_auto(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        let fresh =
+            self.rels.read(rel, |r| Ok(r.replicas.get(&attr).is_some_and(|rep| !rep.stale)))?;
+        if fresh {
+            match self.sum_column_device(rel, attr) {
+                Ok(sum) => return Ok(sum),
+                Err(e) if e.is_transient() => {} // fall through to the host
+                Err(e) => return Err(e),
+            }
+        }
+        self.sum_column_as_of(rel, attr, self.mgr.now())
     }
 
     // ------------------------------------------------------------------
@@ -587,10 +603,7 @@ impl StorageEngine for ReferenceEngine {
                 // Reclaim: dead versions no snapshot can need, then whole
                 // chains whose newest committed value now lives in the base
                 // (bounded by the oldest active transaction's snapshot).
-                let horizon = self
-                    .mgr
-                    .oldest_active_start()
-                    .unwrap_or_else(|| self.mgr.now());
+                let horizon = self.mgr.oldest_active_start().unwrap_or_else(|| self.mgr.now());
                 report.versions_pruned += r.overlay.vacuum(horizon);
                 report.versions_pruned += r.overlay.prune_merged(horizon);
             }
@@ -610,12 +623,8 @@ impl StorageEngine for ReferenceEngine {
             }
             // Evict replicas of columns no longer delegated (the device
             // re-assignment loop of Figure 1 runs both ways).
-            let evict: Vec<AttrId> = r
-                .replicas
-                .keys()
-                .copied()
-                .filter(|a| !r.delegated.contains(a))
-                .collect();
+            let evict: Vec<AttrId> =
+                r.replicas.keys().copied().filter(|a| !r.delegated.contains(a)).collect();
             for attr in evict {
                 if let Some(old) = r.replicas.remove(&attr) {
                     device.free(old.buf)?;
@@ -636,12 +645,17 @@ impl StorageEngine for ReferenceEngine {
                 if let Some(old) = r.replicas.remove(&attr) {
                     device.free(old.buf)?;
                 }
-                match device.upload(&bytes) {
+                match with_retry(&RetryPolicy::default(), device.ledger(), || device.upload(&bytes))
+                {
                     Ok(buf) => {
                         r.replicas.insert(attr, DeviceReplica { buf, stale: false });
                         report.fragments_moved += 1;
                     }
                     Err(Error::DeviceOutOfMemory { .. }) => break,
+                    // Persistent transient fault (retries exhausted): skip
+                    // placement — the column stays host-resident and the
+                    // next maintain() tries again.
+                    Err(e) if e.is_transient() => {}
                     Err(e) => return Err(e),
                 }
             }

@@ -84,9 +84,7 @@ fn decode(bytes: &[u8], ty: DataType) -> Value {
 pub fn select(batches: &[Batch], attr: u16, pred: impl Fn(&Value) -> bool) -> Result<Vec<RowId>> {
     let mut out = Vec::new();
     for b in batches {
-        let col = b
-            .column_of(attr)
-            .ok_or(htapg_core::Error::UnknownAttribute(attr))?;
+        let col = b.column_of(attr).ok_or(htapg_core::Error::UnknownAttribute(attr))?;
         for (v, &row) in col.iter().zip(&b.rows) {
             if pred(v) {
                 out.push(row);
@@ -100,9 +98,7 @@ pub fn select(batches: &[Batch], attr: u16, pred: impl Fn(&Value) -> bool) -> Re
 pub fn sum_f64(batches: &[Batch], attr: u16) -> Result<f64> {
     let mut acc = 0.0;
     for b in batches {
-        let col = b
-            .column_of(attr)
-            .ok_or(htapg_core::Error::UnknownAttribute(attr))?;
+        let col = b.column_of(attr).ok_or(htapg_core::Error::UnknownAttribute(attr))?;
         for v in col {
             acc += v.as_f64()?;
         }
@@ -132,11 +128,8 @@ mod tests {
         ]);
         let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
         for i in 0..n {
-            l.append(
-                &s,
-                &vec![Value::Int64(i), Value::Float64(i as f64), Value::Text("t".into())],
-            )
-            .unwrap();
+            l.append(&s, &vec![Value::Int64(i), Value::Float64(i as f64), Value::Text("t".into())])
+                .unwrap();
         }
         (s, l)
     }

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::{DataType, Error, Layout, Result};
 use htapg_device::kernels;
 use htapg_device::{BufferId, SimDevice};
@@ -79,6 +80,10 @@ fn pack_f64(layout: &Layout, attr: u16, ty: DataType) -> Result<(Vec<u8>, u64)> 
 
 /// Upload one column to the device ("all or nothing": fails with
 /// [`Error::DeviceOutOfMemory`] if it does not fit, and nothing is placed).
+///
+/// Transient transfer faults are retried with virtual backoff charged to
+/// the device ledger; a failed upload frees its allocation, so nothing is
+/// ever left behind.
 pub fn upload_column(
     device: &Arc<SimDevice>,
     layout: &Layout,
@@ -86,15 +91,26 @@ pub fn upload_column(
     ty: DataType,
 ) -> Result<DeviceColumn> {
     let (bytes, rows) = pack_f64(layout, attr, ty)?;
-    let buf = device.upload(&bytes)?;
-    Ok(DeviceColumn { device: device.clone(), buf, rows, ty: DataType::Float64 })
+    let policy = RetryPolicy::default();
+    let buf = device.alloc(bytes.len())?;
+    match with_retry(&policy, device.ledger(), || device.write(buf, 0, &bytes)) {
+        Ok(()) => Ok(DeviceColumn { device: device.clone(), buf, rows, ty: DataType::Float64 }),
+        Err(e) => {
+            let _ = device.free(buf);
+            Err(e)
+        }
+    }
 }
 
 /// Sum a device-resident column with the paper's reduction kernel.
-/// Charges only kernel time (the column is already resident).
+/// Charges only kernel time (the column is already resident). Transient
+/// launch faults are retried (the kernels allocate nothing before
+/// charging, so a retried reduction is safe).
 pub fn device_sum(col: &DeviceColumn) -> Result<f64> {
     debug_assert_eq!(col.ty, DataType::Float64);
-    kernels::reduce_sum_f64(&col.device, col.buf)
+    with_retry(&RetryPolicy::default(), col.device.ledger(), || {
+        kernels::reduce_sum_f64(&col.device, col.buf)
+    })
 }
 
 /// One-shot offload: upload, sum, free. Returns
@@ -133,8 +149,7 @@ mod tests {
     fn offload_matches_host_sum() {
         let (_, l) = setup(10_000);
         let device = Arc::new(SimDevice::with_defaults());
-        let (sum, transfer_ns, kernel_ns) =
-            offload_sum(&device, &l, 1, DataType::Float64).unwrap();
+        let (sum, transfer_ns, kernel_ns) = offload_sum(&device, &l, 1, DataType::Float64).unwrap();
         let expect: f64 = (0..10_000).map(|i| i as f64 * 0.5).sum();
         assert!((sum - expect).abs() < 1e-6 * expect);
         assert!(transfer_ns > 0);

@@ -178,8 +178,7 @@ pub fn group_sum_f64(
         slot.0 += v;
         slot.1 += 1;
     }
-    let mut out: Vec<(i64, f64, u64)> =
-        groups.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
+    let mut out: Vec<(i64, f64, u64)> = groups.into_iter().map(|(k, (s, c))| (k, s, c)).collect();
     out.sort_unstable_by_key(|(k, _, _)| *k);
     Ok(out)
 }
@@ -202,7 +201,8 @@ mod tests {
     fn joins_agree_with_nested_loop() {
         let (_, left) = layout_with_keys(&[1, 2, 2, 3, 5, 7, 7, 7]);
         let (_, right) = layout_with_keys(&[2, 2, 3, 4, 7, 9]);
-        let oracle = nested_loop_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
+        let oracle =
+            nested_loop_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
         let hashed = hash_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
         let merged = merge_join(&left, 0, DataType::Int64, &right, 0, DataType::Int64).unwrap();
         assert_eq!(hashed, oracle);

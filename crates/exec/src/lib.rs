@@ -21,8 +21,8 @@
 //!   "column-store / device" series).
 
 pub mod bulk;
-pub mod join;
 pub mod device_exec;
+pub mod join;
 pub mod materialize;
 pub mod scan;
 pub mod threading;

@@ -295,7 +295,11 @@ mod tests {
     fn sum_is_layout_and_policy_invariant() {
         let n = 10_000i64;
         let expect: f64 = (0..n).map(|i| i as f64 * 0.25).sum();
-        for template in [LayoutTemplate::nsm as fn(&Schema) -> _, LayoutTemplate::dsm, LayoutTemplate::dsm_emulated] {
+        for template in [
+            LayoutTemplate::nsm as fn(&Schema) -> _,
+            LayoutTemplate::dsm,
+            LayoutTemplate::dsm_emulated,
+        ] {
             let (_, l) = filled(template, n);
             for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
                 let got = sum_column_f64_typed(&l, 1, DataType::Float64, policy).unwrap();
@@ -317,8 +321,7 @@ mod tests {
         let positions: Vec<u64> = (0..1000).step_by(7).collect();
         let expect: f64 = positions.iter().map(|&i| i as f64 * 0.25).sum();
         for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
-            let got =
-                sum_at_positions_f64(&l, 1, DataType::Float64, &positions, policy).unwrap();
+            let got = sum_at_positions_f64(&l, 1, DataType::Float64, &positions, policy).unwrap();
             assert!((got - expect).abs() < 1e-9);
         }
     }
@@ -327,9 +330,8 @@ mod tests {
     fn filter_and_count_agree() {
         let (_, l) = filled(LayoutTemplate::dsm, 500);
         let pos = filter_positions(&l, 1, DataType::Float64, |v| v >= 100.0).unwrap();
-        let cnt =
-            count_where(&l, 1, DataType::Float64, ThreadingPolicy::multi8(), |v| v >= 100.0)
-                .unwrap();
+        let cnt = count_where(&l, 1, DataType::Float64, ThreadingPolicy::multi8(), |v| v >= 100.0)
+            .unwrap();
         assert_eq!(pos.len() as u64, cnt);
         // price = i * 0.25 >= 100 → i >= 400.
         assert_eq!(pos.first(), Some(&400));
@@ -373,8 +375,7 @@ mod tests {
         for i in 0..1000i64 {
             l.append(&s, &vec![Value::Int64(i)]).unwrap();
         }
-        let got =
-            sum_column_f64_typed(&l, 0, DataType::Int64, ThreadingPolicy::multi8()).unwrap();
+        let got = sum_column_f64_typed(&l, 0, DataType::Int64, ThreadingPolicy::multi8()).unwrap();
         assert_eq!(got, (0..1000i64).sum::<i64>() as f64);
     }
 }

@@ -56,7 +56,13 @@ pub fn blockwise(n: u64, parts: usize) -> Vec<(u64, u64)> {
 /// `Single` executes inline with one block covering everything — "no thread
 /// management involved at all". `Multi` uses scoped threads, so `work` may
 /// borrow from the caller.
-pub fn run_blocks<T, F>(n: u64, policy: ThreadingPolicy, work: F, combine: impl Fn(T, T) -> T, identity: T) -> T
+pub fn run_blocks<T, F>(
+    n: u64,
+    policy: ThreadingPolicy,
+    work: F,
+    combine: impl Fn(T, T) -> T,
+    identity: T,
+) -> T
 where
     T: Send,
     F: Fn(u64, u64) -> T + Sync,
@@ -72,14 +78,11 @@ where
         ThreadingPolicy::Multi { threads } => {
             let blocks = blockwise(n, threads);
             let work = &work;
-            let results: Vec<T> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = blocks
-                    .iter()
-                    .map(|&(lo, hi)| s.spawn(move |_| work(lo, hi)))
-                    .collect();
+            let results: Vec<T> = std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    blocks.iter().map(|&(lo, hi)| s.spawn(move || work(lo, hi))).collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("thread scope");
+            });
             results.into_iter().fold(identity, combine)
         }
     }

@@ -88,9 +88,7 @@ impl<C: Operator> Project<C> {
 impl<C: Operator> Operator for Project<C> {
     fn next(&mut self) -> Result<Option<Record>> {
         match self.child.next()? {
-            Some(rec) => {
-                Ok(Some(self.attrs.iter().map(|&a| rec[a as usize].clone()).collect()))
-            }
+            Some(rec) => Ok(Some(self.attrs.iter().map(|&a| rec[a as usize].clone()).collect())),
             None => Ok(None),
         }
     }
@@ -241,7 +239,11 @@ impl<C: Operator> Operator for TopK<C> {
                         .enumerate()
                         .max_by(|(_, a), (_, b)| {
                             let ord = value_cmp(&a[attr], &b[attr]);
-                            if desc { ord.reverse() } else { ord }
+                            if desc {
+                                ord.reverse()
+                            } else {
+                                ord
+                            }
                         })
                         .map(|(i, _)| i)
                         .expect("non-empty");
@@ -250,7 +252,11 @@ impl<C: Operator> Operator for TopK<C> {
             }
             heap.sort_by(|a, b| {
                 let ord = value_cmp(&a[attr], &b[attr]);
-                if desc { ord.reverse() } else { ord }
+                if desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
             });
             self.buffered = heap.into_iter();
         }
@@ -393,11 +399,7 @@ mod tests {
         let recs = collect(pipeline).unwrap();
         assert_eq!(
             recs,
-            vec![
-                vec![Value::Float64(0.0)],
-                vec![Value::Float64(2.0)],
-                vec![Value::Float64(4.0)]
-            ]
+            vec![vec![Value::Float64(0.0)], vec![Value::Float64(2.0)], vec![Value::Float64(4.0)]]
         );
     }
 
@@ -445,17 +447,15 @@ mod tests {
     fn hash_join_operator_concatenates_matches() {
         let (s, l) = setup(10);
         // Self-join on k: every row matches exactly itself.
-        let joined =
-            collect(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
+        let joined = collect(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
         assert_eq!(joined.len(), 10);
         for rec in &joined {
             assert_eq!(rec.len(), 4, "left ++ right arity");
             assert_eq!(rec[0], rec[2], "join keys equal");
         }
         // Join against a filtered side: only even keys survive.
-        let evens = Filter::new(Scan::new(&l, &s), |r| {
-            matches!(r[0], Value::Int64(k) if k % 2 == 0)
-        });
+        let evens =
+            Filter::new(Scan::new(&l, &s), |r| matches!(r[0], Value::Int64(k) if k % 2 == 0));
         let joined = collect(HashJoinOp::new(evens, Scan::new(&l, &s), 0, 0)).unwrap();
         assert_eq!(joined.len(), 5);
     }
@@ -463,8 +463,7 @@ mod tests {
     #[test]
     fn volcano_join_agrees_with_bulk_join() {
         let (s, l) = setup(50);
-        let volcano =
-            count(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
+        let volcano = count(HashJoinOp::new(Scan::new(&l, &s), Scan::new(&l, &s), 0, 0)).unwrap();
         let bulk = crate::join::hash_join(
             &l,
             0,

@@ -1,10 +1,10 @@
-//! Property-based tests for the execution layer: the two processing models
-//! (Volcano and bulk) and all three join algorithms must agree on arbitrary
-//! data under arbitrary layouts and threading policies.
+//! Randomized property tests for the execution layer: the two processing
+//! models (Volcano and bulk) and all three join algorithms must agree on
+//! arbitrary data under arbitrary layouts and threading policies. Driven by
+//! the deterministic in-repo [`Prng`] (seed honors `HTAPG_SEED`, printed on
+//! failure).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use htapg_core::prng::{check_cases, Prng};
 use htapg_core::{DataType, Layout, LayoutTemplate, Schema, Value};
 use htapg_exec::scan::{column_stats, sum_column_f64_typed};
 use htapg_exec::threading::ThreadingPolicy;
@@ -23,8 +23,10 @@ fn build(template: LayoutTemplate, rows: &[(i64, f64)]) -> Layout {
     l
 }
 
-fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64)>> {
-    vec((-8i64..8, -100f64..100.0), 0..200)
+fn arb_rows(rng: &mut Prng) -> Vec<(i64, f64)> {
+    (0..rng.gen_range(0usize..200))
+        .map(|_| (rng.gen_range(-8i64..8), rng.gen_range(-100.0..100.0)))
+        .collect()
 }
 
 fn templates() -> Vec<LayoutTemplate> {
@@ -37,45 +39,44 @@ fn templates() -> Vec<LayoutTemplate> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sums_agree_across_models_layouts_policies(rows in arb_rows()) {
+#[test]
+fn sums_agree_across_models_layouts_policies() {
+    check_cases("sums_agree_across_models_layouts_policies", 48, 0xE8EC_0001, |_, rng| {
+        let rows = arb_rows(rng);
         let s = schema();
         let reference: f64 = rows.iter().map(|(_, v)| v).sum();
         for template in templates() {
             let layout = build(template, &rows);
             for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
                 let scan = sum_column_f64_typed(&layout, 1, DataType::Float64, policy).unwrap();
-                prop_assert!((scan - reference).abs() < 1e-6);
+                assert!((scan - reference).abs() < 1e-6);
             }
             let vol = volcano::sum_f64(volcano::Scan::new(&layout, &s), 1).unwrap();
-            prop_assert!((vol - reference).abs() < 1e-6);
+            assert!((vol - reference).abs() < 1e-6);
             let batches = bulk::scan_batches(&layout, &s, &[1], 32).unwrap();
             let blk = bulk::sum_f64(&batches, 1).unwrap();
-            prop_assert!((blk - reference).abs() < 1e-6);
-            let stats = column_stats(&layout, 1, DataType::Float64, ThreadingPolicy::Single).unwrap();
-            prop_assert_eq!(stats.count, rows.len() as u64);
-            prop_assert!((stats.sum - reference).abs() < 1e-6);
+            assert!((blk - reference).abs() < 1e-6);
+            let stats =
+                column_stats(&layout, 1, DataType::Float64, ThreadingPolicy::Single).unwrap();
+            assert_eq!(stats.count, rows.len() as u64);
+            assert!((stats.sum - reference).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn joins_agree_on_arbitrary_keys(
-        left in arb_rows(),
-        right in arb_rows(),
-    ) {
-        let s = schema();
-        let _ = s;
+#[test]
+fn joins_agree_on_arbitrary_keys() {
+    check_cases("joins_agree_on_arbitrary_keys", 48, 0xE8EC_0002, |_, rng| {
+        let left = arb_rows(rng);
+        let right = arb_rows(rng);
         let l = build(LayoutTemplate::dsm_emulated(&schema()), &left);
         let r = build(LayoutTemplate::nsm(&schema()), &right);
         let oracle =
             join::nested_loop_join(&l, 0, DataType::Int64, &r, 0, DataType::Int64).unwrap();
         let hashed = join::hash_join(&l, 0, DataType::Int64, &r, 0, DataType::Int64).unwrap();
         let merged = join::merge_join(&l, 0, DataType::Int64, &r, 0, DataType::Int64).unwrap();
-        prop_assert_eq!(&hashed, &oracle);
-        prop_assert_eq!(&merged, &oracle);
+        assert_eq!(&hashed, &oracle);
+        assert_eq!(&merged, &oracle);
         // Volcano join counts the same number of matches.
         let vol = volcano::count(volcano::HashJoinOp::new(
             volcano::Scan::new(&l, &schema()),
@@ -84,27 +85,33 @@ proptest! {
             0,
         ))
         .unwrap();
-        prop_assert_eq!(vol as usize, oracle.len());
-    }
+        assert_eq!(vol as usize, oracle.len());
+    });
+}
 
-    #[test]
-    fn group_sum_partitions_the_total(rows in arb_rows()) {
+#[test]
+fn group_sum_partitions_the_total() {
+    check_cases("group_sum_partitions_the_total", 48, 0xE8EC_0003, |_, rng| {
+        let rows = arb_rows(rng);
         let l = build(LayoutTemplate::dsm_emulated(&schema()), &rows);
-        let groups =
-            join::group_sum_f64(&l, 0, DataType::Int64, 1, DataType::Float64).unwrap();
+        let groups = join::group_sum_f64(&l, 0, DataType::Int64, 1, DataType::Float64).unwrap();
         let total: f64 = rows.iter().map(|(_, v)| v).sum();
         let group_total: f64 = groups.iter().map(|(_, s, _)| s).sum();
-        prop_assert!((total - group_total).abs() < 1e-6);
+        assert!((total - group_total).abs() < 1e-6);
         let count_total: u64 = groups.iter().map(|(_, _, c)| c).sum();
-        prop_assert_eq!(count_total, rows.len() as u64);
+        assert_eq!(count_total, rows.len() as u64);
         // Keys are distinct and sorted.
         for w in groups.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
+            assert!(w[0].0 < w[1].0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn filter_positions_match_volcano_filter(rows in arb_rows(), threshold in -100f64..100.0) {
+#[test]
+fn filter_positions_match_volcano_filter() {
+    check_cases("filter_positions_match_volcano_filter", 48, 0xE8EC_0004, |_, rng| {
+        let rows = arb_rows(rng);
+        let threshold = rng.gen_range(-100.0..100.0);
         let s = schema();
         let l = build(LayoutTemplate::pax(&s, 8), &rows);
         let positions =
@@ -115,9 +122,9 @@ proptest! {
             move |rec| matches!(rec[1], Value::Float64(x) if x > threshold),
         ))
         .unwrap();
-        prop_assert_eq!(positions.len(), vol.len());
+        assert_eq!(positions.len(), vol.len());
         for (&p, rec) in positions.iter().zip(&vol) {
-            prop_assert_eq!(&l.read_record(&s, p).unwrap(), rec);
+            assert_eq!(&l.read_record(&s, p).unwrap(), rec);
         }
-    }
+    });
 }

@@ -44,18 +44,14 @@ impl Requirement {
             Requirement::StrongFlexibleLayouts => {
                 "(1) at least constrained strong flexible layout support"
             }
-            Requirement::ResponsiveAdaptability => {
-                "(2) layout responsive to changes in workloads"
-            }
+            Requirement::ResponsiveAdaptability => "(2) layout responsive to changes in workloads",
             Requirement::MixedLocationDistributedLocality => {
                 "(3) mixed data location and distributed data locality"
             }
             Requirement::NsmAndDsmLinearization => {
                 "(4) fragmentation linearization that covers NSM and DSM"
             }
-            Requirement::BuiltInMultiLayout => {
-                "(5) built-in multi layout handling for relations"
-            }
+            Requirement::BuiltInMultiLayout => "(5) built-in multi layout handling for relations",
             Requirement::DelegationScheme => "(6) fragment scheme supports delegation",
         }
     }
@@ -73,15 +69,9 @@ impl Requirement {
                 c.data_location == DataLocation::Mixed
                     && c.data_locality == DataLocality::Distributed
             }
-            Requirement::NsmAndDsmLinearization => {
-                c.fragment_linearization.covers_nsm_and_dsm()
-            }
-            Requirement::BuiltInMultiLayout => {
-                c.layout_handling == LayoutHandling::MultiBuiltIn
-            }
-            Requirement::DelegationScheme => {
-                c.fragment_scheme == FragmentScheme::DelegationBased
-            }
+            Requirement::NsmAndDsmLinearization => c.fragment_linearization.covers_nsm_and_dsm(),
+            Requirement::BuiltInMultiLayout => c.layout_handling == LayoutHandling::MultiBuiltIn,
+            Requirement::DelegationScheme => c.fragment_scheme == FragmentScheme::DelegationBased,
         }
     }
 }
@@ -101,22 +91,14 @@ impl Checklist {
 
     /// Requirements the engine fails.
     pub fn missing(&self) -> Vec<Requirement> {
-        self.results
-            .iter()
-            .filter(|(_, ok)| !ok)
-            .map(|(r, _)| *r)
-            .collect()
+        self.results.iter().filter(|(_, ok)| !ok).map(|(r, _)| *r).collect()
     }
 
     /// Human-readable report.
     pub fn render(&self) -> String {
         let mut out = format!("reference-design check for {}:\n", self.engine);
         for (req, ok) in &self.results {
-            out.push_str(&format!(
-                "  [{}] {}\n",
-                if *ok { "x" } else { " " },
-                req.description()
-            ));
+            out.push_str(&format!("  [{}] {}\n", if *ok { "x" } else { " " }, req.description()));
         }
         out.push_str(&format!(
             "  => {}\n",

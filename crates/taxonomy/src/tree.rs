@@ -114,10 +114,7 @@ pub fn figure4() -> Node {
             ),
             Node::inner(
                 "Fragment Scheme",
-                vec![
-                    Node::leaf("Replication-Based"),
-                    Node::leaf("Delegation-Based"),
-                ],
+                vec![Node::leaf("Replication-Based"), Node::leaf("Delegation-Based")],
             ),
         ],
     )

@@ -180,14 +180,14 @@ pub fn run_concurrent(
     };
 
     let wall = Instant::now();
-    let (oltp, olap) = crossbeam::thread::scope(|s| {
+    let (oltp, olap) = std::thread::scope(|s| {
         let oltp_handles: Vec<_> = (0..oltp_threads.max(1))
-            .map(|_| s.spawn(|_| run_class(&oltp_ops, &oltp_cursor)))
+            .map(|_| s.spawn(|| run_class(&oltp_ops, &oltp_cursor)))
             .collect();
         let olap_handles: Vec<_> = (0..olap_threads.max(1))
-            .map(|_| s.spawn(|_| run_class(&olap_ops, &olap_cursor)))
+            .map(|_| s.spawn(|| run_class(&olap_ops, &olap_cursor)))
             .collect();
-        let fold = |hs: Vec<crossbeam::thread::ScopedJoinHandle<'_, ClassMetrics>>| {
+        let fold = |hs: Vec<std::thread::ScopedJoinHandle<'_, ClassMetrics>>| {
             hs.into_iter().map(|h| h.join().expect("worker")).fold(
                 ClassMetrics::default(),
                 |mut acc, m| {
@@ -200,8 +200,7 @@ pub fn run_concurrent(
             )
         };
         (fold(oltp_handles), fold(olap_handles))
-    })
-    .expect("driver scope");
+    });
     HtapReport { oltp, olap, wall_ns: wall.elapsed().as_nanos() as u64 }
 }
 
@@ -237,9 +236,9 @@ mod tests {
     use crate::queries::{mixed_stream, MixConfig};
     use crate::tpcc::Generator;
     use htapg_core::engine::MaintenanceReport;
+    use htapg_core::sync::RwLock;
     use htapg_core::{AttrId, LayoutTemplate, Record, Relation, RowId, Schema, Value};
     use htapg_taxonomy::{survey, Classification};
-    use parking_lot::RwLock;
 
     /// Minimal engine for driver tests.
     struct Mem {
@@ -328,7 +327,13 @@ mod tests {
         let engine = Mem::new();
         let gen = Generator::new(1);
         let rel = load_customers(&engine, &gen, 300).unwrap();
-        let ops = mixed_stream(&gen, 3, 300, 400, &MixConfig { olap_fraction: 0.05, ..Default::default() });
+        let ops = mixed_stream(
+            &gen,
+            3,
+            300,
+            400,
+            &MixConfig { olap_fraction: 0.05, ..Default::default() },
+        );
         let report = run_concurrent(&engine, rel, &ops, 4, 1);
         assert_eq!(report.oltp.ops + report.olap.ops, 400);
         assert_eq!(report.oltp.errors + report.olap.errors, 0);

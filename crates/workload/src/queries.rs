@@ -1,9 +1,7 @@
 //! Query streams: the record-centric (Q1) and attribute-centric (Q2)
 //! operations of Section II, plus mixed HTAP streams.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use htapg_core::prng::Prng;
 use htapg_core::{AttrId, RowId, Value};
 
 use crate::tpcc::{customer_attr, Generator};
@@ -36,7 +34,7 @@ impl Op {
 
 /// Draw `k` distinct sorted positions from `0..n` (the paper's "sorted
 /// position lists" produced by the upstream join).
-pub fn sorted_positions(rng: &mut impl Rng, n: u64, k: usize) -> Vec<RowId> {
+pub fn sorted_positions(rng: &mut Prng, n: u64, k: usize) -> Vec<RowId> {
     if n == 0 {
         return Vec::new();
     }
@@ -81,7 +79,7 @@ impl Default for MixConfig {
 /// Generate a deterministic mixed HTAP stream of `len` ops over a table of
 /// `rows` rows, with NURand-skewed OLTP keys.
 pub fn mixed_stream(gen: &Generator, seed: u64, rows: u64, len: usize, cfg: &MixConfig) -> Vec<Op> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         if rng.gen_bool(cfg.olap_fraction) {
@@ -107,7 +105,7 @@ pub fn mixed_stream(gen: &Generator, seed: u64, rows: u64, len: usize, cfg: &Mix
 /// A pure record-centric stream: repeated materializations of `k` rows,
 /// as in Figure 2's first panel.
 pub fn materialize_stream(seed: u64, rows: u64, k: usize, reps: usize) -> Vec<Op> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..reps).map(|_| Op::Materialize(sorted_positions(&mut rng, rows, k))).collect()
 }
 
@@ -117,7 +115,7 @@ mod tests {
 
     #[test]
     fn sorted_positions_are_sorted_and_distinct() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let pos = sorted_positions(&mut rng, 1_000_000, 150);
         assert_eq!(pos.len(), 150);
         for w in pos.windows(2) {
@@ -128,7 +126,7 @@ mod tests {
 
     #[test]
     fn positions_capped_by_table_size() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         assert_eq!(sorted_positions(&mut rng, 10, 150).len(), 10);
         assert!(sorted_positions(&mut rng, 0, 5).is_empty());
     }

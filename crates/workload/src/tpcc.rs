@@ -9,9 +9,7 @@
 //! independently hold identical data (the cross-engine equivalence tests
 //! rely on this). Key selection uses TPC-C's NURand skew.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use htapg_core::prng::Prng;
 use htapg_core::{DataType, Record, Schema, Value};
 
 /// Customer attribute indices (by name, for readable call sites).
@@ -102,7 +100,7 @@ pub fn c_last(num: u32) -> String {
 }
 
 /// TPC-C non-uniform random: NURand(A, x, y) with run-time constant `c`.
-pub fn nurand(rng: &mut impl Rng, a: u64, c: u64, x: u64, y: u64) -> u64 {
+pub fn nurand(rng: &mut Prng, a: u64, c: u64, x: u64, y: u64) -> u64 {
     let r1 = rng.gen_range(0..=a);
     let r2 = rng.gen_range(x..=y);
     (((r1 | r2) + c) % (y - x + 1)) + x
@@ -121,8 +119,8 @@ impl Generator {
         Generator { seed, c_const: seed.wrapping_mul(0x9E3779B9) % 256 }
     }
 
-    fn rng_for(&self, stream: u64, index: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F) ^ index)
+    fn rng_for(&self, stream: u64, index: u64) -> Prng {
+        Prng::seed_from_u64(self.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F) ^ index)
     }
 
     /// The `i`-th customer record (index-deterministic).
@@ -134,11 +132,11 @@ impl Generator {
             Value::Int32((i % 4) as i32 + 1),
             Value::Text(format!("f{:03}", rng.gen_range(0..1000))),
             Value::Text("OE".into()),
-            Value::Text(c_last(rng.gen_range(0..1000))),
+            Value::Text(c_last(rng.gen_range(0u32..1000))),
             Value::Text(format!("s{:03}", rng.gen_range(0..1000))),
             Value::Text(format!("t{:03}", rng.gen_range(0..1000))),
             Value::Text(format!("c{:02}", rng.gen_range(0..100))),
-            Value::Text(["CA", "NY", "TX", "WA"][rng.gen_range(0..4)].into()),
+            Value::Text(["CA", "NY", "TX", "WA"][rng.gen_range(0usize..4)].into()),
             Value::Text(format!("{:04}", rng.gen_range(0..10000))),
             Value::Text(format!("{:05}", rng.gen_range(0..100000))),
             Value::Date(rng.gen_range(10_000..20_000)),
@@ -167,7 +165,7 @@ impl Generator {
 
     /// A NURand-skewed customer row id in `0..n` (hot keys get more
     /// traffic, as TPC-C prescribes).
-    pub fn skewed_row(&self, rng: &mut impl Rng, n: u64) -> u64 {
+    pub fn skewed_row(&self, rng: &mut Prng, n: u64) -> u64 {
         if n == 0 {
             return 0;
         }
@@ -239,7 +237,7 @@ mod tests {
     #[test]
     fn nurand_stays_in_range_and_skews() {
         let g = Generator::new(1);
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Prng::seed_from_u64(99);
         let n = 10_000u64;
         let mut counts = vec![0u32; 16];
         for _ in 0..20_000 {
@@ -269,9 +267,8 @@ mod tests {
     fn expected_sum_matches_manual() {
         let g = Generator::new(11);
         let n = 500;
-        let manual: f64 = (0..n)
-            .map(|i| g.item(i)[item_attr::I_PRICE as usize].as_f64().unwrap())
-            .sum();
+        let manual: f64 =
+            (0..n).map(|i| g.item(i)[item_attr::I_PRICE as usize].as_f64().unwrap()).sum();
         assert_eq!(g.expected_item_price_sum(n), manual);
     }
 }

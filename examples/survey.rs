@@ -32,9 +32,15 @@ fn main() {
         let chk = reference::check(c);
         let missing: Vec<String> =
             chk.missing().iter().map(|r| r.description().to_string()).collect();
-        println!("{:<16} {}", c.name, if missing.is_empty() { "READY".to_string() } else {
-            format!("not yet — misses {}", missing.join("; "))
-        });
+        println!(
+            "{:<16} {}",
+            c.name,
+            if missing.is_empty() {
+                "READY".to_string()
+            } else {
+                format!("not yet — misses {}", missing.join("; "))
+            }
+        );
     }
 
     println!("\n…and the reference design:");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-6d8293f96c82758c.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-6d8293f96c82758c: tests/adaptivity.rs
+
+tests/adaptivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptivity-714f0c388bfe1d2c.d: tests/adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptivity-714f0c388bfe1d2c.rmeta: tests/adaptivity.rs Cargo.toml
+
+tests/adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

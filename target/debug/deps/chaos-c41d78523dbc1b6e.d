@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-c41d78523dbc1b6e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-c41d78523dbc1b6e: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_placement-63c3745373d887e3.d: tests/device_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_placement-63c3745373d887e3.rmeta: tests/device_placement.rs Cargo.toml
+
+tests/device_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

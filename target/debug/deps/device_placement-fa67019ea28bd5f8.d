@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_placement-fa67019ea28bd5f8.d: tests/device_placement.rs
+
+/root/repo/target/debug/deps/device_placement-fa67019ea28bd5f8: tests/device_placement.rs
+
+tests/device_placement.rs:

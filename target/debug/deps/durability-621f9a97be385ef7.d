@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-621f9a97be385ef7.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-621f9a97be385ef7: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-bd014e296ff89837.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-bd014e296ff89837: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-85aae848e9ab0f8f.d: crates/bench/benches/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-85aae848e9ab0f8f.rmeta: crates/bench/benches/figure2.rs Cargo.toml
+
+crates/bench/benches/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htap_concurrency-cdb1c9a027a08ed2.d: tests/htap_concurrency.rs
+
+/root/repo/target/debug/deps/htap_concurrency-cdb1c9a027a08ed2: tests/htap_concurrency.rs
+
+tests/htap_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htap_concurrency-ed5f0465f9d89cd1.d: tests/htap_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtap_concurrency-ed5f0465f9d89cd1.rmeta: tests/htap_concurrency.rs Cargo.toml
+
+tests/htap_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

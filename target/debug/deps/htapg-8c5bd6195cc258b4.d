@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htapg-8c5bd6195cc258b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/htapg-8c5bd6195cc258b4: src/lib.rs
+
+src/lib.rs:

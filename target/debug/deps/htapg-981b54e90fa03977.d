@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htapg-981b54e90fa03977.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtapg-981b54e90fa03977.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtapg-981b54e90fa03977.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htapg_bench-2b290368a630cf99.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_bench-2b290368a630cf99.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htapg_bench-7d49e9b16fa427f9.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/htapg_bench-7d49e9b16fa427f9: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htapg_bench-bb07d79905de6fec.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libhtapg_bench-bb07d79905de6fec.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+/root/repo/target/debug/deps/libhtapg_bench-bb07d79905de6fec.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htapg_device-c310d67442fb7ffb.d: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs
+
+/root/repo/target/debug/deps/htapg_device-c310d67442fb7ffb: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/cluster.rs:
+crates/device/src/disk.rs:
+crates/device/src/faults.rs:
+crates/device/src/kernels.rs:
+crates/device/src/ledger.rs:
+crates/device/src/memory.rs:
+crates/device/src/simt.rs:
+crates/device/src/spec.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/htapg_device-c8bd1ae13b87b279.d: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_device-c8bd1ae13b87b279.rmeta: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/cluster.rs:
+crates/device/src/disk.rs:
+crates/device/src/faults.rs:
+crates/device/src/kernels.rs:
+crates/device/src/ledger.rs:
+crates/device/src/memory.rs:
+crates/device/src/simt.rs:
+crates/device/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

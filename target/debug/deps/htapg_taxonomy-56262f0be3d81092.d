@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/htapg_taxonomy-56262f0be3d81092.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_taxonomy-56262f0be3d81092.rmeta: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs Cargo.toml
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/props.rs:
+crates/taxonomy/src/reference.rs:
+crates/taxonomy/src/survey.rs:
+crates/taxonomy/src/table.rs:
+crates/taxonomy/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htapg_taxonomy-5e8ddcad92289418.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/debug/deps/htapg_taxonomy-5e8ddcad92289418: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/props.rs:
+crates/taxonomy/src/reference.rs:
+crates/taxonomy/src/survey.rs:
+crates/taxonomy/src/table.rs:
+crates/taxonomy/src/tree.rs:

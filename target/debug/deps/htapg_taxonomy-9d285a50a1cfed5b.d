@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htapg_taxonomy-9d285a50a1cfed5b.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/debug/deps/libhtapg_taxonomy-9d285a50a1cfed5b.rlib: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/debug/deps/libhtapg_taxonomy-9d285a50a1cfed5b.rmeta: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/props.rs:
+crates/taxonomy/src/reference.rs:
+crates/taxonomy/src/survey.rs:
+crates/taxonomy/src/table.rs:
+crates/taxonomy/src/tree.rs:

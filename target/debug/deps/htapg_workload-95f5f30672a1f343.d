@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htapg_workload-95f5f30672a1f343.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_workload-95f5f30672a1f343.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

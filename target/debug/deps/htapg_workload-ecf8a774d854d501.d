@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htapg_workload-ecf8a774d854d501.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/debug/deps/htapg_workload-ecf8a774d854d501: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:

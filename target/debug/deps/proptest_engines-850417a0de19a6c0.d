@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_engines-850417a0de19a6c0.d: tests/proptest_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_engines-850417a0de19a6c0.rmeta: tests/proptest_engines.rs Cargo.toml
+
+tests/proptest_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

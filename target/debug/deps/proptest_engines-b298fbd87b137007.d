@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engines-b298fbd87b137007.d: tests/proptest_engines.rs
+
+/root/repo/target/debug/deps/proptest_engines-b298fbd87b137007: tests/proptest_engines.rs
+
+tests/proptest_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-160db800e307366c.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-160db800e307366c: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

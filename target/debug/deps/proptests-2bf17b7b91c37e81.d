@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2bf17b7b91c37e81.d: crates/device/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2bf17b7b91c37e81.rmeta: crates/device/tests/proptests.rs Cargo.toml
+
+crates/device/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

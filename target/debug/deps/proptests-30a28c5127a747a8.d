@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-30a28c5127a747a8.d: crates/device/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-30a28c5127a747a8: crates/device/tests/proptests.rs
+
+crates/device/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-59222a395c3e855d.d: crates/exec/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-59222a395c3e855d: crates/exec/tests/proptests.rs
+
+crates/exec/tests/proptests.rs:

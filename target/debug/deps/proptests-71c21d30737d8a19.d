@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-71c21d30737d8a19.d: crates/exec/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-71c21d30737d8a19.rmeta: crates/exec/tests/proptests.rs Cargo.toml
+
+crates/exec/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

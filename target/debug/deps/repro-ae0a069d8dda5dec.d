@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ae0a069d8dda5dec.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ae0a069d8dda5dec: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d317d7eae3ad161b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d317d7eae3ad161b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1be870f978d7c886.d: tests/table1.rs
+
+/root/repo/target/debug/deps/table1-1be870f978d7c886: tests/table1.rs
+
+tests/table1.rs:

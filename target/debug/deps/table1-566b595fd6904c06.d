@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-566b595fd6904c06.d: tests/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-566b595fd6904c06.rmeta: tests/table1.rs Cargo.toml
+
+tests/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcc_transactions-f1bf5c1b35f9ccc5.d: tests/tpcc_transactions.rs
+
+/root/repo/target/debug/deps/tpcc_transactions-f1bf5c1b35f9ccc5: tests/tpcc_transactions.rs
+
+tests/tpcc_transactions.rs:

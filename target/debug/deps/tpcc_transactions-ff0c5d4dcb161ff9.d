@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpcc_transactions-ff0c5d4dcb161ff9.d: tests/tpcc_transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpcc_transactions-ff0c5d4dcb161ff9.rmeta: tests/tpcc_transactions.rs Cargo.toml
+
+tests/tpcc_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

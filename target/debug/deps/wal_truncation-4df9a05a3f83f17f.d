@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_truncation-4df9a05a3f83f17f.d: crates/core/tests/wal_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_truncation-4df9a05a3f83f17f.rmeta: crates/core/tests/wal_truncation.rs Cargo.toml
+
+crates/core/tests/wal_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

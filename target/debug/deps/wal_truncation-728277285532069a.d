@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_truncation-728277285532069a.d: crates/core/tests/wal_truncation.rs
+
+/root/repo/target/debug/deps/wal_truncation-728277285532069a: crates/core/tests/wal_truncation.rs
+
+crates/core/tests/wal_truncation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos-52ff794629eda144.d: examples/chaos.rs
+
+/root/repo/target/debug/examples/chaos-52ff794629eda144: examples/chaos.rs
+
+examples/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_offload-40e41e2454fddb21.d: examples/gpu_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_offload-40e41e2454fddb21.rmeta: examples/gpu_offload.rs Cargo.toml
+
+examples/gpu_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

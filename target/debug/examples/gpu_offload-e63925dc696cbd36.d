@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_offload-e63925dc696cbd36.d: examples/gpu_offload.rs
+
+/root/repo/target/debug/examples/gpu_offload-e63925dc696cbd36: examples/gpu_offload.rs
+
+examples/gpu_offload.rs:

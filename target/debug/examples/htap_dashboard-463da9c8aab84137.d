@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/htap_dashboard-463da9c8aab84137.d: examples/htap_dashboard.rs
+
+/root/repo/target/debug/examples/htap_dashboard-463da9c8aab84137: examples/htap_dashboard.rs
+
+examples/htap_dashboard.rs:

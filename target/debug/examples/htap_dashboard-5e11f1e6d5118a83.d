@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/htap_dashboard-5e11f1e6d5118a83.d: examples/htap_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhtap_dashboard-5e11f1e6d5118a83.rmeta: examples/htap_dashboard.rs Cargo.toml
+
+examples/htap_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3195a7af7946fdee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3195a7af7946fdee: examples/quickstart.rs
+
+examples/quickstart.rs:

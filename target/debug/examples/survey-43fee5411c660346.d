@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/survey-43fee5411c660346.d: examples/survey.rs
+
+/root/repo/target/debug/examples/survey-43fee5411c660346: examples/survey.rs
+
+examples/survey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/survey-bbc5643a5d257442.d: examples/survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsurvey-bbc5643a5d257442.rmeta: examples/survey.rs Cargo.toml
+
+examples/survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

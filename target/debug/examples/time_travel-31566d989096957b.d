@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/time_travel-31566d989096957b.d: examples/time_travel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtime_travel-31566d989096957b.rmeta: examples/time_travel.rs Cargo.toml
+
+examples/time_travel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

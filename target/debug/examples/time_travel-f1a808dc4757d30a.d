@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/time_travel-f1a808dc4757d30a.d: examples/time_travel.rs
+
+/root/repo/target/debug/examples/time_travel-f1a808dc4757d30a: examples/time_travel.rs
+
+examples/time_travel.rs:

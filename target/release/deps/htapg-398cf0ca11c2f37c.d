@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htapg-398cf0ca11c2f37c.d: src/lib.rs
+
+/root/repo/target/release/deps/libhtapg-398cf0ca11c2f37c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhtapg-398cf0ca11c2f37c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htapg_bench-1617efeb61b14ddc.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libhtapg_bench-1617efeb61b14ddc.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+/root/repo/target/release/deps/libhtapg_bench-1617efeb61b14ddc.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/htapg_taxonomy-f29bc1b7599c61ff.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/release/deps/libhtapg_taxonomy-f29bc1b7599c61ff.rlib: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/release/deps/libhtapg_taxonomy-f29bc1b7599c61ff.rmeta: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/props.rs:
+crates/taxonomy/src/reference.rs:
+crates/taxonomy/src/survey.rs:
+crates/taxonomy/src/table.rs:
+crates/taxonomy/src/tree.rs:

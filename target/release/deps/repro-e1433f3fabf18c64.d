@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e1433f3fabf18c64.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e1433f3fabf18c64: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-b72112e26159ade7.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-b72112e26159ade7: examples/chaos.rs
+
+examples/chaos.rs:

@@ -1,0 +1,257 @@
+//! Chaos suite: TPC-C-shaped workloads under escalating injected fault
+//! rates. Every simulated substrate is shaken by a seeded, deterministic
+//! [`FaultPlan`] — disk I/O errors and torn writes, dropped cluster
+//! messages and down nodes, transfer failures, spurious OOM, failed kernel
+//! launches — and the engines must absorb it:
+//!
+//! * whenever an engine reports success, its results are identical to the
+//!   fault-free run of the same workload;
+//! * recovery from a WAL written under injected torn appends loses only
+//!   uncommitted work;
+//! * every fault sequence is byte-identical across runs of the same seed
+//!   (failures print the seed: rerun with `HTAPG_SEED=<seed>`).
+
+use std::sync::Arc;
+
+use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::prng::env_seed;
+use htapg::core::wal::{MemStorage, Wal};
+use htapg::core::{Record, Value};
+use htapg::device::cluster::SimCluster;
+use htapg::device::disk::DiskSpec;
+use htapg::device::{FaultPlan, FaultRates, FaultSite, FaultyStorage, SimDevice};
+use htapg::engines::{Es2Engine, MirrorsEngine, ReferenceEngine};
+use htapg::workload::tpcc::{item_attr, item_schema, Generator};
+
+/// Escalating fault rates the acceptance criteria call for.
+const RATES: [f64; 3] = [0.0, 0.01, 0.1];
+const DEFAULT_SEED: u64 = 0xC4A0_5EED;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+// ---------------------------------------------------------------------
+// Workload runners: one deterministic op sequence per engine, returning
+// (analytic result, spot record, fault history).
+// ---------------------------------------------------------------------
+
+/// Reference engine: inserts, scan-driven delegation to a faulty device,
+/// update/maintain/sum rounds. Device faults degrade to host execution.
+fn run_reference(seed: u64, p: f64) -> (f64, Record, String) {
+    let plan = FaultPlan::seeded(seed, FaultRates::uniform(p));
+    let mut dev = SimDevice::with_defaults();
+    dev.set_fault_plan(plan.clone());
+    let engine = ReferenceEngine::with_device(Arc::new(dev));
+    let gen = Generator::new(seed ^ 0x17EA);
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..600 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    // Make the price column scan-hot so maintain() delegates it and places
+    // a replica on the (faulty) device.
+    for _ in 0..30 {
+        engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    }
+    engine.maintain().unwrap();
+    let mut sum = 0.0;
+    for round in 0..5u64 {
+        for k in 0..20u64 {
+            let row = (round * 97 + k * 13) % 600;
+            engine
+                .update_field(rel, row, item_attr::I_PRICE, &Value::Float64((row % 10) as f64))
+                .unwrap();
+        }
+        engine.maintain().unwrap();
+        for _ in 0..10 {
+            sum = engine.sum_column_auto(rel, item_attr::I_PRICE).unwrap();
+        }
+    }
+    let rec = engine.read_record(rel, 123).unwrap();
+    (sum, rec, plan.history_string())
+}
+
+/// Fractured Mirrors: inserts persist page images onto a faulty disk
+/// array; pages stay readable from whichever mirror survives.
+fn run_mirrors(seed: u64, p: f64) -> (f64, Vec<Vec<u8>>, String) {
+    let plan = FaultPlan::seeded(seed, FaultRates::uniform(p));
+    let spec = DiskSpec { page_bytes: 256, ..DiskSpec::default() };
+    let engine = MirrorsEngine::with_fault_plan(4, spec, &plan);
+    let gen = Generator::new(seed ^ 0x3A11);
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..200 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    for k in 0..40u64 {
+        engine
+            .update_field(rel, (k * 7) % 200, item_attr::I_PRICE, &Value::Float64(k as f64))
+            .unwrap();
+    }
+    let sum = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    let pages = engine.persisted_pages(rel).unwrap();
+    assert!(pages > 0, "workload must complete pages (HTAPG_SEED={seed})");
+    let images: Vec<Vec<u8>> =
+        (0..pages).map(|pg| engine.read_persisted_page(rel, pg).unwrap()).collect();
+    (sum, images, plan.history_string())
+}
+
+/// ES²: inserts across a faulty cluster, replication over the lossy
+/// interconnect, then a node crash healed from the follower replicas.
+fn run_es2(seed: u64, p: f64) -> (f64, Vec<Record>, String) {
+    let plan = FaultPlan::seeded(seed, FaultRates::uniform(p));
+    let mut cluster = SimCluster::with_defaults(4);
+    cluster.set_fault_plan(plan.clone());
+    let engine = Es2Engine::with_cluster(Arc::new(cluster), 16);
+    let gen = Generator::new(seed ^ 0xE52);
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..120 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    engine.replicate(rel).unwrap();
+    // Crash node 1; the engine recovers its fragments from the followers.
+    plan.mark_node_down(1);
+    engine.heal_down_nodes(rel).unwrap();
+    let sum = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    let recs: Vec<Record> = (0..120).map(|row| engine.read_record(rel, row).unwrap()).collect();
+    plan.mark_node_up(1);
+    (sum, recs, plan.history_string())
+}
+
+// ---------------------------------------------------------------------
+// (a) Success implies fault-free results, at every escalation step.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reference_engine_matches_fault_free_run_at_every_rate() {
+    let seed = env_seed(DEFAULT_SEED);
+    let (want_sum, want_rec, h0) = run_reference(seed, RATES[0]);
+    assert!(h0.is_empty(), "rate 0 must inject nothing (HTAPG_SEED={seed})");
+    for &p in &RATES[1..] {
+        let (sum, rec, history) = run_reference(seed, p);
+        assert!(
+            close(sum, want_sum),
+            "rate {p}: sum {sum} != fault-free {want_sum} (HTAPG_SEED={seed})"
+        );
+        assert_eq!(rec, want_rec, "rate {p}: record diverged (HTAPG_SEED={seed})");
+        if p >= 0.1 {
+            assert!(!history.is_empty(), "rate {p} injected nothing (HTAPG_SEED={seed})");
+        }
+    }
+}
+
+#[test]
+fn mirrors_engine_matches_fault_free_run_at_every_rate() {
+    let seed = env_seed(DEFAULT_SEED);
+    let (want_sum, want_images, h0) = run_mirrors(seed, RATES[0]);
+    assert!(h0.is_empty(), "rate 0 must inject nothing (HTAPG_SEED={seed})");
+    for &p in &RATES[1..] {
+        let (sum, images, history) = run_mirrors(seed, p);
+        assert_eq!(sum, want_sum, "rate {p}: sum diverged (HTAPG_SEED={seed})");
+        assert_eq!(images, want_images, "rate {p}: page images diverged (HTAPG_SEED={seed})");
+        if p >= 0.1 {
+            assert!(!history.is_empty(), "rate {p} injected nothing (HTAPG_SEED={seed})");
+        }
+    }
+}
+
+#[test]
+fn es2_engine_matches_fault_free_run_at_every_rate() {
+    let seed = env_seed(DEFAULT_SEED);
+    let (want_sum, want_recs, h0) = run_es2(seed, RATES[0]);
+    assert!(h0.is_empty(), "rate 0 must inject nothing (HTAPG_SEED={seed})");
+    for &p in &RATES[1..] {
+        let (sum, recs, _history) = run_es2(seed, p);
+        assert_eq!(sum, want_sum, "rate {p}: sum diverged (HTAPG_SEED={seed})");
+        assert_eq!(recs, want_recs, "rate {p}: records diverged (HTAPG_SEED={seed})");
+    }
+}
+
+// ---------------------------------------------------------------------
+// (b) A WAL written under injected torn appends loses only uncommitted
+// work on recovery.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_written_under_torn_appends_recovers_all_committed_work() {
+    let seed = env_seed(DEFAULT_SEED);
+    let plan = FaultPlan::seeded(seed, FaultRates { wal_append: 0.05, ..FaultRates::none() });
+    let wal = Arc::new(Wal::new(FaultyStorage::new(MemStorage::new(), plan.clone())));
+    let gen = Generator::new(seed ^ 0x0A1);
+
+    let engine = ReferenceEngine::new();
+    engine.attach_wal(wal.clone());
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..300 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    for k in 0..50u64 {
+        engine.update_field(rel, k % 300, item_attr::I_PRICE, &Value::Float64(k as f64)).unwrap();
+    }
+    let txn = engine.begin();
+    engine.txn_update(rel, &txn, 5, item_attr::I_PRICE, Value::Float64(500.0)).unwrap();
+    engine.txn_commit(rel, &txn).unwrap();
+    let want_sum = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    assert!(plan.ops_at(FaultSite::WalAppend) > 0);
+    assert!(!plan.history().is_empty(), "no WAL faults injected (HTAPG_SEED={seed})");
+    drop(engine); // the crash
+
+    // Every torn append was repaired and retried: the log replays clean and
+    // committed work is complete.
+    let recovered = ReferenceEngine::new();
+    let report = recovered.recover_from(&wal).unwrap();
+    assert!(!report.torn_tail, "repaired log must replay clean (HTAPG_SEED={seed})");
+    assert_eq!(recovered.row_count(rel).unwrap(), 300);
+    assert_eq!(recovered.read_field(rel, 5, item_attr::I_PRICE).unwrap(), Value::Float64(500.0));
+    let got = recovered.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    assert!((got - want_sum).abs() < 1e-9, "{got} vs {want_sum} (HTAPG_SEED={seed})");
+
+    // A crash mid-append that nothing can repair: tear into the final
+    // Commit frame. Recovery loses exactly that transaction, nothing else.
+    let engine2 = ReferenceEngine::new();
+    engine2.recover_from(&wal).unwrap();
+    engine2.attach_wal(wal.clone());
+    let t2 = engine2.begin();
+    engine2.txn_update(rel, &t2, 6, item_attr::I_PRICE, Value::Float64(600.0)).unwrap();
+    engine2.txn_commit(rel, &t2).unwrap();
+    wal.storage().lock().inner_mut().tear_tail(5);
+
+    let recovered2 = ReferenceEngine::new();
+    let report2 = recovered2.recover_from(&wal).unwrap();
+    assert!(report2.torn_tail, "a torn tail must be reported (HTAPG_SEED={seed})");
+    assert_ne!(
+        recovered2.read_field(rel, 6, item_attr::I_PRICE).unwrap(),
+        Value::Float64(600.0),
+        "uncommitted-by-the-log work must be discarded (HTAPG_SEED={seed})"
+    );
+    let got2 = recovered2.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    assert!((got2 - want_sum).abs() < 1e-9, "{got2} vs {want_sum} (HTAPG_SEED={seed})");
+}
+
+// ---------------------------------------------------------------------
+// (c) Fault sequences are reproducible: same seed, same bytes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_sequences_are_byte_identical_across_runs_of_one_seed() {
+    let seed = env_seed(DEFAULT_SEED);
+
+    let (s1, r1, h1) = run_reference(seed, 0.1);
+    let (s2, r2, h2) = run_reference(seed, 0.1);
+    assert_eq!(h1, h2, "reference fault sequence diverged (HTAPG_SEED={seed})");
+    assert_eq!(r1, r2);
+    assert!(close(s1, s2), "{s1} vs {s2} (HTAPG_SEED={seed})");
+
+    let (m1, i1, mh1) = run_mirrors(seed, 0.1);
+    let (m2, i2, mh2) = run_mirrors(seed, 0.1);
+    assert_eq!(mh1, mh2, "mirrors fault sequence diverged (HTAPG_SEED={seed})");
+    assert_eq!((m1, i1.len()), (m2, i2.len()));
+
+    let (e1, c1, eh1) = run_es2(seed, 0.1);
+    let (e2, c2, eh2) = run_es2(seed, 0.1);
+    assert_eq!(eh1, eh2, "es2 fault sequence diverged (HTAPG_SEED={seed})");
+    assert_eq!((e1, c1.len()), (e2, c2.len()));
+
+    // A different seed shakes a different sequence out of the same ops.
+    let (_, _, other) = run_mirrors(seed ^ 0x5EED_CAFE, 0.1);
+    assert_ne!(mh1, other, "distinct seeds must produce distinct sequences");
+}

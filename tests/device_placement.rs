@@ -52,9 +52,8 @@ fn gputx_relations_live_and_die_on_the_device() {
     let used = engine.device().used_bytes();
     assert!(used >= 5_000 * 28, "columns resident on device: {used}");
     // Bulk transactions with the result pool in host memory.
-    let pool = engine
-        .execute_batch(rel, &[TxOp::Read { row: 0 }, TxOp::Read { row: 4_999 }])
-        .unwrap();
+    let pool =
+        engine.execute_batch(rel, &[TxOp::Read { row: 0 }, TxOp::Read { row: 4_999 }]).unwrap();
     assert_eq!(pool.len(), 2);
     assert_eq!(pool[0], gen.item(0));
     assert_eq!(pool[1], gen.item(4_999));

@@ -4,10 +4,8 @@
 //! updates, point reads, scans, and interleaved maintenance runs against
 //! all engines plus a trivially correct oracle.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::prng::check_cases;
 use htapg::core::{Record, Value};
 use htapg::engines::{all_surveyed_engines, PlainEngine, ReferenceEngine};
 use htapg::workload::tpcc::{item_attr, item_schema, Generator};
@@ -20,16 +18,20 @@ fn engines_under_test() -> Vec<Box<dyn StorageEngine>> {
 
 #[test]
 fn randomized_workload_equivalence() {
+    // One randomized case; the seed honors HTAPG_SEED and is printed on
+    // failure so CI logs are directly reproducible.
+    check_cases("randomized_workload_equivalence", 1, 99, |_, rng| {
+        randomized_workload_equivalence_case(rng)
+    });
+}
+
+fn randomized_workload_equivalence_case(rng: &mut htapg::core::prng::Prng) {
     let gen = Generator::new(1234);
-    let mut rng = StdRng::seed_from_u64(99);
     let oracle = PlainEngine::row_store();
     let engines = engines_under_test();
 
     let oracle_rel = oracle.create_relation(item_schema()).unwrap();
-    let rels: Vec<_> = engines
-        .iter()
-        .map(|e| e.create_relation(item_schema()).unwrap())
-        .collect();
+    let rels: Vec<_> = engines.iter().map(|e| e.create_relation(item_schema()).unwrap()).collect();
 
     let mut rows = 0u64;
     // Seed rows so updates have targets.
@@ -139,9 +141,7 @@ fn errors_are_uniform_across_engines() {
             engine.name()
         );
         assert!(
-            engine
-                .update_field(rel, 0, item_attr::I_PRICE, &Value::Text("x".into()))
-                .is_err(),
+            engine.update_field(rel, 0, item_attr::I_PRICE, &Value::Text("x".into())).is_err(),
             "{} bad type",
             engine.name()
         );

@@ -52,9 +52,7 @@ fn reference_engine_snapshots_preserve_invariants_under_transfers() {
     let rel = load_customers(engine.as_ref(), &gen, rows).unwrap();
     // Normalize balances to a known total.
     for i in 0..rows {
-        engine
-            .update_field(rel, i, customer_attr::C_BALANCE, &Value::Float64(100.0))
-            .unwrap();
+        engine.update_field(rel, i, customer_attr::C_BALANCE, &Value::Float64(100.0)).unwrap();
     }
     engine.maintain().unwrap();
     let total = 100.0 * rows as f64;
@@ -76,16 +74,24 @@ fn reference_engine_snapshots_preserve_invariants_under_transfers() {
                 }
                 let txn = engine.begin();
                 let result = (|| -> Result<(), Error> {
-                    let va = engine
-                        .txn_read(rel, &txn, a, customer_attr::C_BALANCE)?
-                        .as_f64()
-                        .unwrap();
-                    let vb = engine
-                        .txn_read(rel, &txn, b, customer_attr::C_BALANCE)?
-                        .as_f64()
-                        .unwrap();
-                    engine.txn_update(rel, &txn, a, customer_attr::C_BALANCE, Value::Float64(va - 1.0))?;
-                    engine.txn_update(rel, &txn, b, customer_attr::C_BALANCE, Value::Float64(vb + 1.0))?;
+                    let va =
+                        engine.txn_read(rel, &txn, a, customer_attr::C_BALANCE)?.as_f64().unwrap();
+                    let vb =
+                        engine.txn_read(rel, &txn, b, customer_attr::C_BALANCE)?.as_f64().unwrap();
+                    engine.txn_update(
+                        rel,
+                        &txn,
+                        a,
+                        customer_attr::C_BALANCE,
+                        Value::Float64(va - 1.0),
+                    )?;
+                    engine.txn_update(
+                        rel,
+                        &txn,
+                        b,
+                        customer_attr::C_BALANCE,
+                        Value::Float64(vb + 1.0),
+                    )?;
                     Ok(())
                 })();
                 match result {
@@ -107,10 +113,7 @@ fn reference_engine_snapshots_preserve_invariants_under_transfers() {
     for _ in 0..50 {
         let ts = engine.txn_manager().now();
         let sum = engine.sum_column_as_of(rel, customer_attr::C_BALANCE, ts).unwrap();
-        assert!(
-            (sum - total).abs() < 1e-6,
-            "snapshot sum {sum} broke the invariant {total}"
-        );
+        assert!((sum - total).abs() < 1e-6, "snapshot sum {sum} broke the invariant {total}");
     }
     stop.store(true, Ordering::Relaxed);
     let committed: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
@@ -132,9 +135,7 @@ fn long_snapshot_is_stable_during_write_burst() {
     let snapshot = engine.txn_manager().now();
     let before = engine.sum_column_as_of(rel, customer_attr::C_BALANCE, snapshot).unwrap();
     for i in 0..500 {
-        engine
-            .update_field(rel, i, customer_attr::C_BALANCE, &Value::Float64(0.0))
-            .unwrap();
+        engine.update_field(rel, i, customer_attr::C_BALANCE, &Value::Float64(0.0)).unwrap();
         if i % 100 == 0 {
             // Even maintenance (merging!) must not disturb the snapshot…
             // unless the GC horizon passed it, which it cannot while we keep

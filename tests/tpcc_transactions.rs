@@ -95,10 +95,7 @@ fn payments_are_atomic_under_snapshot_reads() {
                 (bal - expect_bal).abs() < 1e-6,
                 "row {row}: balance {bal} vs cnt {cnt} (expected {expect_bal})"
             );
-            assert!(
-                (ytd - 1000.0 * cnt).abs() < 1e-6,
-                "row {row}: ytd {ytd} vs cnt {cnt}"
-            );
+            assert!((ytd - 1000.0 * cnt).abs() < 1e-6, "row {row}: ytd {ytd} vs cnt {cnt}");
         }
     }
     stop.store(true, Ordering::Relaxed);
