@@ -1,0 +1,24 @@
+//! Executor micro-benchmarks: spawn-per-call threads vs the persistent
+//! morsel pool vs single-threaded, at 1e3 / 1e5 / 1e7 rows.
+//!
+//! Quick by default; raise `HTAPG_BENCH_MS` for careful per-series numbers.
+
+use htapg_bench::micro::Group;
+use htapg_bench::pool::THREADS;
+use htapg_exec::pool::spawn_blocks;
+use htapg_exec::threading::{run_blocks, ThreadingPolicy};
+
+fn main() {
+    for rows in [1_000u64, 100_000, 10_000_000] {
+        let data: Vec<f64> = (0..rows).map(|i| (i % 97) as f64 * 0.5).collect();
+        let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
+        let mut group = Group::new(&format!("executor_sum_{rows}_rows"));
+        group
+            .bench("single", || run_blocks(rows, ThreadingPolicy::Single, work, |a, b| a + b, 0.0));
+        group.bench("pooled_multi8", || {
+            run_blocks(rows, ThreadingPolicy::Multi { threads: THREADS }, work, |a, b| a + b, 0.0)
+        });
+        group.bench("spawn_multi8", || spawn_blocks(rows, THREADS, work, |a, b| a + b, 0.0));
+        group.finish();
+    }
+}

@@ -1,14 +1,14 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [table1] [fig2] [fig3] [fig4] [reference-check] [ablations] [all]
+//! repro [--quick] [--seed N] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
 //! shrinks the Figure 2 sweeps for fast smoke runs. Build with `--release`
 //! for meaningful CPU timings.
 
-use htapg_bench::{ablation, fig2};
+use htapg_bench::{ablation, fig2, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -227,6 +227,32 @@ fn main() {
              simulator's modeled time — see DESIGN.md substitutions)\n"
         );
         print!("{}", fig2::run_figure2(quick, seed));
+    }
+    if want("pool") {
+        section("Executor crossover — spawn-per-call vs persistent pool vs single");
+        let points = pool::measure(&pool::sweep_sizes(quick), if quick { 3 } else { 7 });
+        let rows: Vec<(u64, Vec<f64>)> =
+            points.iter().map(|p| (p.rows, vec![p.single_ms, p.pooled_ms, p.spawn_ms])).collect();
+        print!(
+            "{}",
+            render_sweep(
+                "f64 column sum, wall ms (8-way parallel series)",
+                "#rows",
+                &["single", "pooled_multi8", "spawn_multi8"],
+                &rows,
+            )
+        );
+        let show = |label: &str, x: Option<u64>| match x {
+            Some(rows) => println!("{label}: {rows} rows"),
+            None => println!("{label}: not reached in this sweep"),
+        };
+        show("pooled multi first beats single at", pool::pooled_crossover(&points));
+        show("spawn-per-call multi first beats single at", pool::spawn_crossover(&points));
+        let path = "BENCH_pool.json";
+        match std::fs::write(path, pool::to_json(&points)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
     }
     if (all && !quick) || picked.contains(&"ablations") {
         section("Ablations A1–A7");

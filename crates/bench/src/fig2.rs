@@ -290,8 +290,13 @@ mod tests {
     }
 
     #[test]
-    fn tiny_queries_prefer_single_threaded() {
-        // Finding (i): thread management dominates tiny position lists.
+    fn tiny_queries_no_longer_pay_thread_management() {
+        // Finding (i): under spawn-per-call execution, thread management
+        // dominates tiny position lists. The persistent morsel pool makes
+        // that cost a property of the scheduler: a one-morsel input runs
+        // inline, so Multi ties Single and beats the spawn-per-call
+        // baseline outright.
+        use htapg_exec::pool::spawn_blocks;
         let gen = Generator::new(9);
         let n = 100_000;
         let pair = build_items(&gen, n);
@@ -299,9 +304,39 @@ mod tests {
         let positions = sorted_positions(&mut rng, n, POSITIONS);
         let ms = panel_sum_tiny(&pair, &positions, 5);
         let [col_multi, col_single, _, _] = [ms[0], ms[1], ms[2], ms[3]];
+        // The pre-pool executor, measured on the same 150 positions.
+        let spawn_multi = min_time_ms(5, || {
+            let s = spawn_blocks(
+                positions.len() as u64,
+                8,
+                |lo, hi| {
+                    sum_at_positions_f64(
+                        &pair.columns,
+                        item_attr::I_PRICE,
+                        DataType::Float64,
+                        &positions[lo as usize..hi as usize],
+                        ThreadingPolicy::Single,
+                    )
+                    .unwrap()
+                },
+                |a, b| a + b,
+                0.0,
+            );
+            assert!(s.is_finite());
+        });
         assert!(
-            col_single < col_multi,
-            "single {col_single:.4}ms should beat multi {col_multi:.4}ms on 150 positions"
+            col_single < spawn_multi,
+            "single {col_single:.4}ms should beat spawn-per-call multi {spawn_multi:.4}ms \
+             on 150 positions (the paper's finding i)"
+        );
+        assert!(
+            col_multi < spawn_multi,
+            "pooled multi {col_multi:.4}ms should beat spawn-per-call multi {spawn_multi:.4}ms \
+             on 150 positions"
+        );
+        assert!(
+            col_multi <= col_single * 4.0,
+            "pooled multi {col_multi:.4}ms should tie single {col_single:.4}ms on one morsel"
         );
     }
 }

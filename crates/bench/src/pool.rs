@@ -1,0 +1,155 @@
+//! Executor crossover study: spawn-per-call threads vs the persistent
+//! morsel pool vs single-threaded, swept over input sizes.
+//!
+//! Finding (i) of the paper says thread management dominates tiny inputs;
+//! the persistent pool turns that from a per-query tax into a scheduler
+//! property (one-morsel inputs run inline). This module measures where
+//! each executor starts to pay off on the current host and feeds both the
+//! `pool` bench target and `repro`'s `BENCH_pool.json`.
+
+use crate::min_time_ms;
+use htapg_exec::pool::spawn_blocks;
+use htapg_exec::threading::{run_blocks, ThreadingPolicy};
+
+/// The paper's multi-threaded setting, reused for every parallel series.
+pub const THREADS: usize = 8;
+
+/// Wall-time of the three executors at one input size.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolPoint {
+    pub rows: u64,
+    /// `ThreadingPolicy::Single` — sequential morsel fold, no management.
+    pub single_ms: f64,
+    /// `ThreadingPolicy::Multi { 8 }` on the persistent pool.
+    pub pooled_ms: f64,
+    /// The pre-pool executor: 8 scoped threads spawned per call.
+    pub spawn_ms: f64,
+}
+
+/// The standard sweep ladder (1e3 .. 1e7 rows); `quick` stops at 1e5.
+pub fn sweep_sizes(quick: bool) -> Vec<u64> {
+    let all = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000];
+    let n = if quick { 3 } else { all.len() };
+    all[..n].to_vec()
+}
+
+/// Time a f64 column sum under all three executors at each size.
+pub fn measure(sizes: &[u64], reps: usize) -> Vec<PoolPoint> {
+    sizes
+        .iter()
+        .map(|&rows| {
+            let data: Vec<f64> = (0..rows).map(|i| (i % 97) as f64 * 0.5).collect();
+            let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
+            let single_ms = min_time_ms(reps, || {
+                run_blocks(rows, ThreadingPolicy::Single, work, |a, b| a + b, 0.0)
+            });
+            let pooled_ms = min_time_ms(reps, || {
+                run_blocks(
+                    rows,
+                    ThreadingPolicy::Multi { threads: THREADS },
+                    work,
+                    |a, b| a + b,
+                    0.0,
+                )
+            });
+            let spawn_ms =
+                min_time_ms(reps, || spawn_blocks(rows, THREADS, work, |a, b| a + b, 0.0));
+            PoolPoint { rows, single_ms, pooled_ms, spawn_ms }
+        })
+        .collect()
+}
+
+/// Smallest swept size at which `pick(point)` beats single-threaded by a
+/// real margin (5%, to keep timer noise on inline-tied tiny inputs from
+/// registering as a win).
+fn crossover(points: &[PoolPoint], pick: impl Fn(&PoolPoint) -> f64) -> Option<u64> {
+    points.iter().find(|p| pick(p) < p.single_ms * 0.95).map(|p| p.rows)
+}
+
+/// Input size above which the pooled executor wins over `Single`.
+pub fn pooled_crossover(points: &[PoolPoint]) -> Option<u64> {
+    crossover(points, |p| p.pooled_ms)
+}
+
+/// Input size above which even spawn-per-call wins over `Single`.
+pub fn spawn_crossover(points: &[PoolPoint]) -> Option<u64> {
+    crossover(points, |p| p.spawn_ms)
+}
+
+/// Render the sweep as a `BENCH_pool.json` document (no external JSON
+/// crate in the workspace, so the document is formatted by hand).
+pub fn to_json(points: &[PoolPoint]) -> String {
+    let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"pool_crossover\",\n");
+    out.push_str(&format!("  \"threads\": {THREADS},\n"));
+    out.push_str("  \"series\": [\"single_ms\", \"pooled_ms\", \"spawn_ms\"],\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"single_ms\": {:.6}, \"pooled_ms\": {:.6}, \"spawn_ms\": {:.6}}}{}\n",
+            p.rows,
+            p.single_ms,
+            p.pooled_ms,
+            p.spawn_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"pooled_beats_single_at_rows\": {},\n",
+        fmt_opt(pooled_crossover(points))
+    ));
+    out.push_str(&format!(
+        "  \"spawn_beats_single_at_rows\": {}\n",
+        fmt_opt(spawn_crossover(points))
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_beats_spawn_per_call_on_small_inputs() {
+        // The acceptance bar: on inputs of at most 1e4 rows the pooled
+        // executor must beat the spawn-per-call baseline — a 1e4-row input
+        // is below one morsel, so the pool runs it inline while the
+        // baseline still pays 8 thread spawns.
+        let points = measure(&[1_000, 10_000], 5);
+        for p in &points {
+            assert!(
+                p.pooled_ms < p.spawn_ms,
+                "pooled {:.4}ms should beat spawn-per-call {:.4}ms at {} rows",
+                p.pooled_ms,
+                p.spawn_ms,
+                p.rows
+            );
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let points = vec![
+            PoolPoint { rows: 1_000, single_ms: 0.001, pooled_ms: 0.001, spawn_ms: 0.2 },
+            PoolPoint { rows: 10_000_000, single_ms: 9.0, pooled_ms: 5.0, spawn_ms: 6.0 },
+        ];
+        let json = to_json(&points);
+        assert!(json.contains("\"bench\": \"pool_crossover\""));
+        assert!(json.contains("\"rows\": 10000000"));
+        assert!(json.contains("\"pooled_beats_single_at_rows\": 10000000"));
+        assert!(json.contains("\"spawn_beats_single_at_rows\": 10000000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn crossover_handles_no_win() {
+        let points =
+            vec![PoolPoint { rows: 1_000, single_ms: 0.001, pooled_ms: 0.002, spawn_ms: 0.2 }];
+        assert_eq!(pooled_crossover(&points), None);
+        assert_eq!(spawn_crossover(&points), None);
+        assert!(to_json(&points).contains("\"pooled_beats_single_at_rows\": null"));
+    }
+}

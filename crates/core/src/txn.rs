@@ -533,52 +533,36 @@ mod tests {
     #[test]
     fn concurrent_writers_distinct_keys() {
         let (mgr, store) = setup();
-        let store = Arc::new(store);
-        let mut handles = Vec::new();
-        for w in 0..8u64 {
-            let mgr = mgr.clone();
-            let store = store.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..200u64 {
-                    let t = mgr.begin();
-                    store.put(&t, w * 1000 + i, format!("{w}:{i}")).unwrap();
-                    store.commit(&t).unwrap();
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        // Eight logical writers on the executor pool; indices are claimed
+        // exactly once, so every writer's keys land regardless of how many
+        // pool threads actually participate.
+        htapg_exec::pool::run_tasks(8, 8, |w| {
+            for i in 0..200u64 {
+                let t = mgr.begin();
+                store.put(&t, w * 1000 + i, format!("{w}:{i}")).unwrap();
+                store.commit(&t).unwrap();
+            }
+        });
         assert_eq!(store.len_committed(), 8 * 200);
     }
 
     #[test]
     fn concurrent_writers_same_key_exactly_one_wins_per_round() {
         let (mgr, store) = setup();
-        let store = Arc::new(store);
-        let successes = Arc::new(AtomicU64::new(0));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let mgr = mgr.clone();
-            let store = store.clone();
-            let successes = successes.clone();
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..100 {
-                    let t = mgr.begin();
-                    match store.put(&t, 42, "x".into()) {
-                        Ok(()) => {
-                            store.commit(&t).unwrap();
-                            successes.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(Error::TxnConflict { .. }) => store.abort(&t).unwrap(),
-                        Err(e) => panic!("unexpected: {e}"),
+        let successes = AtomicU64::new(0);
+        htapg_exec::pool::run_tasks(8, 8, |_| {
+            for _ in 0..100 {
+                let t = mgr.begin();
+                match store.put(&t, 42, "x".into()) {
+                    Ok(()) => {
+                        store.commit(&t).unwrap();
+                        successes.fetch_add(1, Ordering::Relaxed);
                     }
+                    Err(Error::TxnConflict { .. }) => store.abort(&t).unwrap(),
+                    Err(e) => panic!("unexpected: {e}"),
                 }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+            }
+        });
         assert!(successes.load(Ordering::Relaxed) >= 1);
         let r = mgr.begin();
         assert_eq!(store.get(&r, &42), Some("x".into()));

@@ -830,34 +830,33 @@ mod tests {
     #[test]
     fn concurrent_htap_load_is_consistent() {
         let (e, rel) = loaded(200);
-        let e = Arc::new(e);
-        let mut handles = Vec::new();
-        for w in 0..4u64 {
-            let e = e.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..100u64 {
-                    let row = (w * 100 + i) % 200;
-                    let txn = e.begin();
-                    match e.txn_update(rel, &txn, row, 1, Value::Float64(1.0)) {
-                        Ok(()) => {
-                            e.txn_commit(rel, &txn).unwrap();
-                        }
-                        Err(Error::TxnConflict { .. }) => {
-                            e.txn_abort(rel, &txn).unwrap();
-                        }
-                        Err(e) => panic!("{e}"),
-                    }
+        // Five logical tasks on the executor pool: four transactional
+        // writers plus one analytic scanner, interleaving on however many
+        // pool threads are free.
+        htapg_exec::pool::run_tasks(5, 5, |w| {
+            if w == 4 {
+                // Concurrent analytic scans never error and never see torn
+                // data.
+                for _ in 0..20 {
+                    let sum = e.sum_column_f64(rel, 1).unwrap();
+                    assert!(sum.is_finite());
                 }
-            }));
-        }
-        // Concurrent analytic scans never error and never see torn data.
-        for _ in 0..20 {
-            let sum = e.sum_column_f64(rel, 1).unwrap();
-            assert!(sum.is_finite());
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+                return;
+            }
+            for i in 0..100u64 {
+                let row = (w * 100 + i) % 200;
+                let txn = e.begin();
+                match e.txn_update(rel, &txn, row, 1, Value::Float64(1.0)) {
+                    Ok(()) => {
+                        e.txn_commit(rel, &txn).unwrap();
+                    }
+                    Err(Error::TxnConflict { .. }) => {
+                        e.txn_abort(rel, &txn).unwrap();
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
         let final_sum = e.sum_column_f64(rel, 1).unwrap();
         // Some prefix of rows was set to 1.0; every value is either its
         // original i or 1.0 — the sum is bounded accordingly.

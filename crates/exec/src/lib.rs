@@ -3,9 +3,13 @@
 //! The execution layer: the operators and execution policies the paper's
 //! Figure 2 experiment varies.
 //!
+//! * [`pool`] — the persistent morsel-driven executor pool every parallel
+//!   operator runs on (lazily started, `HTAPG_THREADS`-sized, deterministic
+//!   morsel-order folds);
 //! * [`threading`] — single-threaded vs multi-threaded execution with
 //!   "blockwise partitioning of the input data (i.e., each thread operates
-//!   on one exclusive and subsequent list of input positions)";
+//!   on one exclusive and subsequent list of input positions)", scheduled
+//!   as fixed-size morsels on the pool;
 //! * [`scan`] — attribute-centric operators (column sums, filters) over
 //!   zero-copy [`htapg_core::ColumnView`]s;
 //! * [`join`] — hash, sort-merge, and nested-loop equi-joins producing the
@@ -24,6 +28,7 @@ pub mod bulk;
 pub mod device_exec;
 pub mod join;
 pub mod materialize;
+pub mod pool;
 pub mod scan;
 pub mod threading;
 pub mod volcano;

@@ -22,29 +22,25 @@ pub fn materialize(
     positions: &[RowId],
     policy: ThreadingPolicy,
 ) -> Result<Vec<Record>> {
-    let results = run_blocks(
+    // `run_blocks` folds morsel results in morsel order, so concatenation
+    // already reproduces the order of `positions`.
+    run_blocks(
         positions.len() as u64,
         policy,
-        |lo, hi| -> Result<Vec<(usize, Record)>> {
+        |lo, hi| -> Result<Vec<Record>> {
             let mut out = Vec::with_capacity((hi - lo) as usize);
-            for i in lo..hi {
-                let row = positions[i as usize];
-                out.push((i as usize, layout.read_record(schema, row)?));
+            for &row in &positions[lo as usize..hi as usize] {
+                out.push(layout.read_record(schema, row)?);
             }
             Ok(out)
         },
-        |acc: Result<Vec<(usize, Record)>>, part| {
+        |acc: Result<Vec<Record>>, part| {
             let mut acc = acc?;
             acc.extend(part?);
             Ok(acc)
         },
         Ok(Vec::with_capacity(positions.len())),
-    )?;
-    let mut out: Vec<Option<Record>> = vec![None; positions.len()];
-    for (i, rec) in results {
-        out[i] = Some(rec);
-    }
-    Ok(out.into_iter().map(|r| r.expect("every position materialized")).collect())
+    )
 }
 
 /// Materialize a projection (subset of attributes) at `positions`.
@@ -55,33 +51,27 @@ pub fn materialize_projection(
     positions: &[RowId],
     policy: ThreadingPolicy,
 ) -> Result<Vec<Record>> {
-    let results = run_blocks(
+    run_blocks(
         positions.len() as u64,
         policy,
-        |lo, hi| -> Result<Vec<(usize, Record)>> {
+        |lo, hi| -> Result<Vec<Record>> {
             let mut out = Vec::with_capacity((hi - lo) as usize);
-            for i in lo..hi {
-                let row = positions[i as usize];
+            for &row in &positions[lo as usize..hi as usize] {
                 let mut rec = Vec::with_capacity(attrs.len());
                 for &a in attrs {
                     rec.push(layout.read_value(schema, row, a)?);
                 }
-                out.push((i as usize, rec));
+                out.push(rec);
             }
             Ok(out)
         },
-        |acc: Result<Vec<(usize, Record)>>, part| {
+        |acc: Result<Vec<Record>>, part| {
             let mut acc = acc?;
             acc.extend(part?);
             Ok(acc)
         },
         Ok(Vec::with_capacity(positions.len())),
-    )?;
-    let mut out: Vec<Option<Record>> = vec![None; positions.len()];
-    for (i, rec) in results {
-        out[i] = Some(rec);
-    }
-    Ok(out.into_iter().map(|r| r.expect("every position materialized")).collect())
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,502 @@
+//! Persistent morsel-driven executor pool.
+//!
+//! Finding (i) of Figure 2 is that "thread-management costs dominate" on
+//! tiny inputs. The original executor *maximized* that cost: every parallel
+//! operator call spawned and joined fresh scoped threads. This module
+//! replaces spawn-per-call with a process-wide pool of persistent workers
+//! (HyPer-style morsel scheduling): workers park on a condition variable
+//! and pull fixed-size **morsels** ([`MORSEL_ROWS`] rows) off a shared
+//! atomic cursor, so
+//!
+//! * tiny inputs never touch a thread at all (one morsel ⇒ the calling
+//!   thread runs it inline — the crossover point becomes a property of the
+//!   scheduler, not of per-call spawn overhead), and
+//! * skewed inputs no longer straggle on one thread's static block (a slow
+//!   morsel delays one worker by at most one morsel, not by `n/threads`
+//!   rows).
+//!
+//! ## Sizing
+//!
+//! The pool is lazily initialized on first parallel use. Its size defaults
+//! to the host's available parallelism and can be pinned with the
+//! `HTAPG_THREADS` environment variable (read once, at initialization).
+//! The submitting thread always participates in its own job, so a job's
+//! total concurrency is `1 + min(requested - 1, pool size)` — with
+//! `HTAPG_THREADS=1` a two-participant configuration, the smallest that
+//! still exercises cross-thread scheduling.
+//!
+//! ## Determinism
+//!
+//! [`run_morsels`] records each morsel's result under its morsel index and
+//! folds them **in morsel order** after the job completes. The fold
+//! sequence is therefore identical for every pool size, every
+//! [`ThreadingPolicy`](crate::threading::ThreadingPolicy), and every
+//! scheduling interleaving — floating-point reductions are bit-for-bit
+//! reproducible across `Single`, `Multi { .. }`, and `HTAPG_THREADS`
+//! settings.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Morsel granularity in rows (~64K). Large enough that per-morsel
+/// bookkeeping (one `fetch_add`, one slot write) is noise against the scan
+/// itself; small enough that a straggling block re-balances across workers.
+pub const MORSEL_ROWS: u64 = 1 << 16;
+
+/// Environment variable pinning the pool's worker-thread count.
+pub const THREADS_ENV: &str = "HTAPG_THREADS";
+
+/// A type-erased borrowed task. Safety contract: the pointee must outlive
+/// every execution, which [`Pool::broadcast`] guarantees by blocking the
+/// submitter until all claiming workers have finished.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared execution is allowed) and its
+// lifetime is upheld by the broadcast protocol above.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One broadcast job: a task that up to `tickets` workers may join.
+struct Job {
+    task: TaskPtr,
+    /// Claims still available. Mutated only under the queue lock.
+    tickets: AtomicUsize,
+    /// Workers that claimed the job. Mutated only under the queue lock.
+    claimed: AtomicUsize,
+    /// Workers that finished running the task.
+    finished: AtomicUsize,
+    /// Submitter parks here until `finished == claimed`.
+    monitor: Mutex<()>,
+    complete: Condvar,
+    /// First panic payload out of any worker, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Signals idle workers that the queue is non-empty.
+    available: Condvar,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Pool state stays consistent across task panics (all mutation happens
+    // outside task code), so poisoning carries no information here.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The persistent worker pool. Obtain the process-wide instance with
+/// [`global`]; dedicated instances exist for tests only.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Pool {
+    /// Start a pool with `workers` persistent worker threads.
+    fn start(workers: usize) -> Pool {
+        let shared =
+            Arc::new(Shared { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
+        for i in 0..workers {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("htapg-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, workers }
+    }
+
+    /// Number of persistent worker threads (excluding submitting threads).
+    pub fn size(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `task` on up to `extra` pool workers *and* the calling thread;
+    /// return once the caller and every claiming worker have finished. The
+    /// task must be idempotent under concurrent execution (each invocation
+    /// typically drains a shared cursor). Worker panics are re-raised here,
+    /// after all participants have stopped touching the borrow.
+    pub fn broadcast(&self, extra: usize, task: &(dyn Fn() + Sync)) {
+        if extra == 0 || self.workers == 0 {
+            task();
+            return;
+        }
+        let job = Arc::new(Job {
+            task: TaskPtr(unsafe {
+                // SAFETY: erase the borrow's lifetime; this function does
+                // not return until every worker that claimed the job has
+                // finished executing it (the wait below), so the pointee
+                // strictly outlives all uses.
+                std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task)
+            }),
+            tickets: AtomicUsize::new(extra),
+            claimed: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            monitor: Mutex::new(()),
+            complete: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        relock(self.shared.queue.lock()).push_back(job.clone());
+        if extra == 1 {
+            self.shared.available.notify_one();
+        } else {
+            self.shared.available.notify_all();
+        }
+
+        // Participate: the submitter is always one of the workers, so a job
+        // makes progress even when every pool thread is busy elsewhere.
+        let caller_result = catch_unwind(AssertUnwindSafe(task));
+
+        // Revoke unclaimed tickets: after this, `claimed` is final.
+        {
+            let mut queue = relock(self.shared.queue.lock());
+            job.tickets.store(0, Ordering::Relaxed);
+            if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+                queue.remove(pos);
+            }
+        }
+        // Wait for claiming workers to leave the task (borrow safety).
+        {
+            let mut guard = relock(job.monitor.lock());
+            while job.finished.load(Ordering::Acquire) < job.claimed.load(Ordering::Acquire) {
+                guard = relock(job.complete.wait(guard));
+            }
+        }
+        let worker_panic = relock(job.panic.lock()).take();
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = relock(shared.queue.lock());
+            loop {
+                // Claim the front job: take one ticket; pop the job once
+                // the last ticket is gone. All under the queue lock, so a
+                // claim can never race the submitter's revocation.
+                if let Some(front) = queue.front() {
+                    let job = front.clone();
+                    let left = job.tickets.load(Ordering::Relaxed);
+                    debug_assert!(left > 0, "ticketless job left in queue");
+                    job.tickets.store(left - 1, Ordering::Relaxed);
+                    job.claimed.fetch_add(1, Ordering::Relaxed);
+                    if left == 1 {
+                        queue.pop_front();
+                    }
+                    break job;
+                }
+                queue = relock(shared.available.wait(queue));
+            }
+        };
+        // SAFETY: the submitter blocks until `finished == claimed`, and
+        // this worker was counted in `claimed` before the submitter could
+        // revoke; the pointee is live for the duration of this call.
+        let task = unsafe { &*job.task.0 };
+        let result = catch_unwind(AssertUnwindSafe(task));
+        if let Err(payload) = result {
+            relock(job.panic.lock()).get_or_insert(payload);
+        }
+        // Publish completion under the monitor so the submitter cannot
+        // miss the wakeup between its check and its wait.
+        let _guard = relock(job.monitor.lock());
+        job.finished.fetch_add(1, Ordering::Release);
+        job.complete.notify_all();
+    }
+}
+
+/// Worker count for the global pool: `HTAPG_THREADS` if set (clamped to
+/// ≥ 1), else the host's available parallelism.
+fn configured_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The process-wide pool, started on first use.
+pub fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::start(configured_threads()))
+}
+
+/// Sequentially fold `work` over the morsel partition of `0..n` — the
+/// `ThreadingPolicy::Single` path. Zero thread management; the morsel
+/// granularity matches [`run_morsels`] exactly so single- and
+/// multi-threaded folds are bit-for-bit identical.
+pub fn fold_morsels_seq<T>(
+    n: u64,
+    work: impl Fn(u64, u64) -> T,
+    combine: impl Fn(T, T) -> T,
+    identity: T,
+) -> T {
+    let mut acc = identity;
+    let mut lo = 0u64;
+    while lo < n {
+        let hi = n.min(lo + MORSEL_ROWS);
+        acc = combine(acc, work(lo, hi));
+        lo = hi;
+    }
+    acc
+}
+
+/// Morsel-driven parallel fold of `work` over `0..n` on the global pool,
+/// with at most `max_threads` participating threads (the caller plus up to
+/// `max_threads - 1` pool workers).
+///
+/// Results are combined **in morsel order**, so the output is bit-for-bit
+/// identical to [`fold_morsels_seq`] regardless of pool size or
+/// interleaving. Inputs of at most one morsel run inline on the caller —
+/// no scheduling, no atomics, no thread management at all.
+pub fn run_morsels<T, F>(
+    n: u64,
+    max_threads: usize,
+    work: F,
+    combine: impl Fn(T, T) -> T,
+    identity: T,
+) -> T
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    let morsels = n.div_ceil(MORSEL_ROWS);
+    if morsels <= 1 || max_threads <= 1 {
+        return fold_morsels_seq(n, work, combine, identity);
+    }
+    let pool = global();
+    let extra = (max_threads - 1).min(pool.size()).min(morsels as usize - 1);
+    if extra == 0 {
+        return fold_morsels_seq(n, work, combine, identity);
+    }
+    let cursor = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(morsels as usize));
+    pool.broadcast(extra, &|| loop {
+        let m = cursor.fetch_add(1, Ordering::Relaxed);
+        if m >= morsels {
+            break;
+        }
+        let lo = m * MORSEL_ROWS;
+        let hi = n.min(lo + MORSEL_ROWS);
+        let r = work(lo, hi);
+        relock(results.lock()).push((m, r));
+    });
+    let mut parts = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    parts.sort_unstable_by_key(|(m, _)| *m);
+    parts.into_iter().fold(identity, |acc, (_, r)| combine(acc, r))
+}
+
+/// Run `count` logical tasks (indices `0..count`) on the pool with at most
+/// `max_threads` participating threads. Each index is claimed exactly once;
+/// workers that finish early steal the remaining indices, so every task
+/// completes no matter how few pool threads are free. The replacement for
+/// hand-rolled `spawn`-one-thread-per-worker loops (HTAP driver classes,
+/// transaction stress tests).
+pub fn run_tasks(count: u64, max_threads: usize, task: impl Fn(u64) + Sync) {
+    if count == 0 {
+        return;
+    }
+    let body = {
+        let cursor = AtomicU64::new(0);
+        let task = &task;
+        move || loop {
+            let t = cursor.fetch_add(1, Ordering::Relaxed);
+            if t >= count {
+                break;
+            }
+            task(t);
+        }
+    };
+    if count == 1 || max_threads <= 1 {
+        body();
+        return;
+    }
+    let pool = global();
+    let extra = (max_threads - 1).min(pool.size()).min(count as usize - 1);
+    if extra == 0 {
+        body();
+        return;
+    }
+    pool.broadcast(extra, &body);
+}
+
+/// The pre-pool executor, verbatim: spawn `threads` scoped threads, one
+/// static contiguous block each, join, fold. Kept **only** as the
+/// spawn-per-call baseline the `pool` bench and the `repro` crossover
+/// measurement compare against; operators must not call this.
+pub fn spawn_blocks<T, F>(
+    n: u64,
+    threads: usize,
+    work: F,
+    combine: impl Fn(T, T) -> T,
+    identity: T,
+) -> T
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    let blocks = crate::threading::blockwise(n, threads);
+    let work = &work;
+    let results: Vec<T> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            blocks.iter().map(|&(lo, hi)| s.spawn(move || work(lo, hi))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    results.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_inputs_run_inline() {
+        // One morsel: no pool interaction, exact sequential result.
+        let data: Vec<u64> = (0..1000).collect();
+        let sum = run_morsels(
+            1000,
+            8,
+            |lo, hi| data[lo as usize..hi as usize].iter().sum::<u64>(),
+            |a, b| a + b,
+            0u64,
+        );
+        assert_eq!(sum, (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn large_inputs_match_sequential_bit_for_bit() {
+        let n = 1_000_000u64;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
+        let seq = fold_morsels_seq(n, work, |a, b| a + b, 0.0f64);
+        for threads in [2usize, 3, 8, 16] {
+            let par = run_morsels(n, threads, work, |a, b| a + b, 0.0f64);
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn morsel_partition_covers_exactly_once() {
+        let n = 3 * MORSEL_ROWS + 17;
+        let covered = run_morsels(n, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn run_tasks_claims_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+        run_tasks(32, 8, |t| {
+            hits[t as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        for (t, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {t}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_completes_with_more_tasks_than_threads() {
+        let done = AtomicU64::new(0);
+        run_tasks(100, 2, |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_broadcasts_do_not_interfere() {
+        // Two jobs submitted from two submitter threads share the pool.
+        let a: Vec<u64> = (0..(2 * MORSEL_ROWS)).collect();
+        let b: Vec<u64> = (0..(2 * MORSEL_ROWS)).map(|i| i * 3).collect();
+        std::thread::scope(|s| {
+            let ha = s.spawn(|| {
+                run_morsels(
+                    a.len() as u64,
+                    8,
+                    |lo, hi| a[lo as usize..hi as usize].iter().sum::<u64>(),
+                    |x, y| x + y,
+                    0u64,
+                )
+            });
+            let hb = s.spawn(|| {
+                run_morsels(
+                    b.len() as u64,
+                    8,
+                    |lo, hi| b[lo as usize..hi as usize].iter().sum::<u64>(),
+                    |x, y| x + y,
+                    0u64,
+                )
+            });
+            assert_eq!(ha.join().unwrap(), a.iter().sum::<u64>());
+            assert_eq!(hb.join().unwrap(), b.iter().sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_gracefully() {
+        // A morsel body that itself runs a parallel fold must not deadlock.
+        let inner: Vec<u64> = (0..(2 * MORSEL_ROWS)).collect();
+        let outer = run_morsels(
+            2 * MORSEL_ROWS,
+            4,
+            |lo, hi| {
+                run_morsels(
+                    hi - lo,
+                    2,
+                    |l, h| inner[(lo + l) as usize..(lo + h) as usize].iter().sum::<u64>(),
+                    |a, b| a + b,
+                    0u64,
+                )
+            },
+            |a, b| a + b,
+            0u64,
+        );
+        assert_eq!(outer, inner.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_submitter() {
+        let n = 4 * MORSEL_ROWS;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_morsels(
+                n,
+                8,
+                |lo, _| {
+                    if lo >= MORSEL_ROWS {
+                        panic!("boom at {lo}");
+                    }
+                    1u64
+                },
+                |a, b| a + b,
+                0u64,
+            )
+        }));
+        assert!(result.is_err(), "panic must cross the pool boundary");
+        // The pool survives the panic and keeps serving jobs.
+        let ok = run_morsels(n, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
+        assert_eq!(ok, n);
+    }
+
+    #[test]
+    fn spawn_blocks_matches_pool_fold() {
+        let data: Vec<u64> = (0..200_000).collect();
+        let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<u64>();
+        let spawned = spawn_blocks(data.len() as u64, 8, work, |a, b| a + b, 0u64);
+        let pooled = run_morsels(data.len() as u64, 8, work, |a, b| a + b, 0u64);
+        assert_eq!(spawned, pooled);
+    }
+
+    #[test]
+    fn global_pool_has_at_least_one_worker() {
+        assert!(global().size() >= 1);
+    }
+}

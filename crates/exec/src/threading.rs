@@ -1,4 +1,4 @@
-//! Threading policies: single-threaded vs blockwise multi-threaded.
+//! Threading policies: single-threaded vs morsel-driven multi-threaded.
 //!
 //! Section II-B fixes multi-threaded runs to "8 threads with blockwise
 //! partitioning of the input data (i.e., each thread operates on one
@@ -7,6 +7,15 @@
 //! main thread". Finding (i): "on a tiny number of records ... sequential
 //! execution outperforms multi-threaded execution since thread-management
 //! costs dominate."
+//!
+//! [`run_blocks`] preserves those semantics — `Single` runs inline on the
+//! calling thread, `Multi { threads }` caps the number of participating
+//! threads (the paper's 8-thread setting is `threads = 8` total) — but is
+//! implemented on the persistent morsel-driven [`pool`](crate::pool)
+//! instead of spawn-per-call scoped threads: partitions are exclusive,
+//! subsequent [`MORSEL_ROWS`](crate::pool::MORSEL_ROWS)-row position
+//! ranges pulled off a shared cursor, and per-morsel results are folded in
+//! morsel order, so every policy produces bit-for-bit identical results.
 
 /// How an operator parallelizes over its input positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +43,8 @@ impl ThreadingPolicy {
 
 /// Split `n` items into `parts` contiguous blocks (first blocks get the
 /// remainder). Returns `(start, end)` pairs; empty blocks are omitted.
+/// Static partitioning survives only in the spawn-per-call baseline
+/// ([`crate::pool::spawn_blocks`]); the operators schedule morsels.
 pub fn blockwise(n: u64, parts: usize) -> Vec<(u64, u64)> {
     let parts = parts.max(1) as u64;
     let base = n / parts;
@@ -50,12 +61,16 @@ pub fn blockwise(n: u64, parts: usize) -> Vec<(u64, u64)> {
     out
 }
 
-/// Run `work` over blockwise partitions of `0..n` under `policy` and fold
-/// the per-block results with `combine`.
+/// Run `work` over morsel partitions of `0..n` under `policy` and fold the
+/// per-morsel results with `combine`, in morsel order.
 ///
-/// `Single` executes inline with one block covering everything — "no thread
-/// management involved at all". `Multi` uses scoped threads, so `work` may
-/// borrow from the caller.
+/// `Single` executes inline — "no thread management involved at all".
+/// `Multi { threads }` runs on the persistent pool with at most `threads`
+/// participating threads (the caller plus pool workers); `work` may borrow
+/// from the caller, which blocks until the fold completes. Both paths fold
+/// the identical morsel partition in the identical order, so results are
+/// bit-for-bit equal across every policy and pool size. Inputs of at most
+/// one morsel never touch the pool at all.
 pub fn run_blocks<T, F>(
     n: u64,
     policy: ThreadingPolicy,
@@ -68,22 +83,9 @@ where
     F: Fn(u64, u64) -> T + Sync,
 {
     match policy {
-        ThreadingPolicy::Single => {
-            if n == 0 {
-                identity
-            } else {
-                combine(identity, work(0, n))
-            }
-        }
+        ThreadingPolicy::Single => crate::pool::fold_morsels_seq(n, work, combine, identity),
         ThreadingPolicy::Multi { threads } => {
-            let blocks = blockwise(n, threads);
-            let work = &work;
-            let results: Vec<T> = std::thread::scope(|s| {
-                let handles: Vec<_> =
-                    blocks.iter().map(|&(lo, hi)| s.spawn(move || work(lo, hi))).collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            });
-            results.into_iter().fold(identity, combine)
+            crate::pool::run_morsels(n, threads, work, combine, identity)
         }
     }
 }
@@ -130,6 +132,26 @@ mod tests {
     fn run_blocks_empty_input() {
         let r = run_blocks(0, ThreadingPolicy::multi8(), |_, _| 1u64, |a, b| a + b, 0);
         assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn run_blocks_policies_are_bit_identical() {
+        // Floating-point fold order is fixed by the morsel partition, so
+        // every policy produces the same bits — not just "close" sums.
+        let data: Vec<f64> = (0..300_000).map(|i| (i as f64).cos()).collect();
+        let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
+        let single =
+            run_blocks(data.len() as u64, ThreadingPolicy::Single, work, |a, b| a + b, 0.0);
+        for threads in [2usize, 8, 32] {
+            let multi = run_blocks(
+                data.len() as u64,
+                ThreadingPolicy::Multi { threads },
+                work,
+                |a, b| a + b,
+                0.0,
+            );
+            assert_eq!(multi.to_bits(), single.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -65,6 +65,77 @@ fn sums_agree_across_models_layouts_policies() {
 }
 
 #[test]
+fn policies_are_bit_identical_on_arbitrary_layouts() {
+    // The executor-pool determinism guarantee, as a property: every
+    // threading policy folds the identical morsel partition in the
+    // identical order, so sums and stats are bit-for-bit equal — not
+    // merely within epsilon — on any layout, at any size. Sizes straddle
+    // the morsel boundary (64K rows) so both the inline path and the real
+    // pooled path are exercised.
+    check_cases("policies_are_bit_identical_on_arbitrary_layouts", 9, 0xE8EC_0005, |case, rng| {
+        let n = match case % 3 {
+            0 => rng.gen_range(0usize..512),
+            1 => rng.gen_range(65_530usize..65_545),
+            _ => rng.gen_range(130_000usize..140_000),
+        };
+        let rows: Vec<(i64, f64)> =
+            (0..n).map(|_| (rng.gen_range(-8i64..8), rng.gen_range(-100.0..100.0))).collect();
+        let all = templates();
+        let template = all[rng.gen_range(0usize..all.len())].clone();
+        let layout = build(template, &rows);
+        let single_sum =
+            sum_column_f64_typed(&layout, 1, DataType::Float64, ThreadingPolicy::Single).unwrap();
+        let single_stats =
+            column_stats(&layout, 1, DataType::Float64, ThreadingPolicy::Single).unwrap();
+        let positions =
+            htapg_exec::scan::filter_positions(&layout, 1, DataType::Float64, |v| v > 0.0).unwrap();
+        let single_pos_sum = htapg_exec::scan::sum_at_positions_f64(
+            &layout,
+            1,
+            DataType::Float64,
+            &positions,
+            ThreadingPolicy::Single,
+        )
+        .unwrap();
+        for threads in [2usize, 8, 32] {
+            let policy = ThreadingPolicy::Multi { threads };
+            let sum = sum_column_f64_typed(&layout, 1, DataType::Float64, policy).unwrap();
+            assert_eq!(sum.to_bits(), single_sum.to_bits(), "sum, threads={threads}");
+            let stats = column_stats(&layout, 1, DataType::Float64, policy).unwrap();
+            assert_eq!(stats.count, single_stats.count, "count, threads={threads}");
+            assert_eq!(
+                stats.sum.to_bits(),
+                single_stats.sum.to_bits(),
+                "stats.sum, threads={threads}"
+            );
+            assert_eq!(
+                stats.min.to_bits(),
+                single_stats.min.to_bits(),
+                "stats.min, threads={threads}"
+            );
+            assert_eq!(
+                stats.max.to_bits(),
+                single_stats.max.to_bits(),
+                "stats.max, threads={threads}"
+            );
+            let hits =
+                htapg_exec::scan::count_where(&layout, 1, DataType::Float64, policy, |v| v > 0.0)
+                    .unwrap();
+            assert_eq!(hits, positions.len() as u64, "count_where, threads={threads}");
+            let pos_sum = htapg_exec::scan::sum_at_positions_f64(
+                &layout,
+                1,
+                DataType::Float64,
+                &positions,
+                policy,
+            )
+            .unwrap();
+            assert_eq!(pos_sum.to_bits(), single_pos_sum.to_bits(), "pos sum, threads={threads}");
+        }
+    });
+}
+
+#[test]
 fn joins_agree_on_arbitrary_keys() {
     check_cases("joins_agree_on_arbitrary_keys", 48, 0xE8EC_0002, |_, rng| {
         let left = arb_rows(rng);

@@ -7,10 +7,12 @@
 //! write-intensive transactional queries."
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use htapg_core::engine::{StorageEngine, StorageEngineExt};
 use htapg_core::{RelationId, Result};
+use htapg_exec::pool;
 
 use crate::queries::Op;
 
@@ -45,6 +47,13 @@ impl ClassMetrics {
         self.ops += 1;
         self.total_ns += ns;
         self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: ClassMetrics) {
+        self.ops += other.ops;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.errors += other.errors;
     }
 }
 
@@ -150,6 +159,13 @@ pub fn run_sequential(engine: &dyn StorageEngine, rel: RelationId, ops: &[Op]) -
 /// Concurrent HTAP run: `oltp_threads` workers drain the transactional ops
 /// while `olap_threads` workers drain the analytic ops, all against the
 /// same engine.
+///
+/// The workers are logical tasks on the persistent
+/// [`htapg_exec::pool`] — nothing is spawned per call. The first
+/// `oltp_threads` tasks start on the transactional queue, the rest on the
+/// analytic queue; a task whose queue drains helps the other, so every op
+/// completes no matter how many pool threads are actually free, and
+/// metrics are attributed by the *op's* class rather than the worker's.
 pub fn run_concurrent(
     engine: &dyn StorageEngine,
     rel: RelationId,
@@ -161,47 +177,45 @@ pub fn run_concurrent(
     let olap_ops: Vec<&Op> = ops.iter().filter(|o| o.is_analytic()).collect();
     let oltp_cursor = AtomicU64::new(0);
     let olap_cursor = AtomicU64::new(0);
-
-    let run_class = |pool: &[&Op], cursor: &AtomicU64| -> ClassMetrics {
-        let mut m = ClassMetrics::default();
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
-            if i >= pool.len() {
-                break;
-            }
-            let t = Instant::now();
-            let r = execute_op(engine, rel, pool[i]);
-            m.record(t.elapsed().as_nanos() as u64);
-            if r.is_err() {
-                m.errors += 1;
-            }
-        }
-        m
-    };
+    let oltp_total = Mutex::new(ClassMetrics::default());
+    let olap_total = Mutex::new(ClassMetrics::default());
+    let oltp_threads = oltp_threads.max(1);
+    let workers = oltp_threads + olap_threads.max(1);
 
     let wall = Instant::now();
-    let (oltp, olap) = std::thread::scope(|s| {
-        let oltp_handles: Vec<_> = (0..oltp_threads.max(1))
-            .map(|_| s.spawn(|| run_class(&oltp_ops, &oltp_cursor)))
-            .collect();
-        let olap_handles: Vec<_> = (0..olap_threads.max(1))
-            .map(|_| s.spawn(|| run_class(&olap_ops, &olap_cursor)))
-            .collect();
-        let fold = |hs: Vec<std::thread::ScopedJoinHandle<'_, ClassMetrics>>| {
-            hs.into_iter().map(|h| h.join().expect("worker")).fold(
-                ClassMetrics::default(),
-                |mut acc, m| {
-                    acc.ops += m.ops;
-                    acc.total_ns += m.total_ns;
-                    acc.max_ns = acc.max_ns.max(m.max_ns);
-                    acc.errors += m.errors;
-                    acc
-                },
-            )
+    pool::run_tasks(workers as u64, workers, |task| {
+        let mut oltp_local = ClassMetrics::default();
+        let mut olap_local = ClassMetrics::default();
+        let queues: [(&[&Op], &AtomicU64); 2] = if (task as usize) < oltp_threads {
+            [(&oltp_ops, &oltp_cursor), (&olap_ops, &olap_cursor)]
+        } else {
+            [(&olap_ops, &olap_cursor), (&oltp_ops, &oltp_cursor)]
         };
-        (fold(oltp_handles), fold(olap_handles))
+        for (queue, cursor) in queues {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= queue.len() {
+                    break;
+                }
+                let op = queue[i];
+                let t = Instant::now();
+                let r = execute_op(engine, rel, op);
+                let ns = t.elapsed().as_nanos() as u64;
+                let m = if op.is_analytic() { &mut olap_local } else { &mut oltp_local };
+                m.record(ns);
+                if r.is_err() {
+                    m.errors += 1;
+                }
+            }
+        }
+        oltp_total.lock().expect("metrics lock").merge(oltp_local);
+        olap_total.lock().expect("metrics lock").merge(olap_local);
     });
-    HtapReport { oltp, olap, wall_ns: wall.elapsed().as_nanos() as u64 }
+    HtapReport {
+        oltp: oltp_total.into_inner().expect("metrics lock"),
+        olap: olap_total.into_inner().expect("metrics lock"),
+        wall_ns: wall.elapsed().as_nanos() as u64,
+    }
 }
 
 /// Load `n` generated customers into a fresh relation of `engine`.

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptivity-9b3dda0237e9600b.d: tests/adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptivity-9b3dda0237e9600b.rmeta: tests/adaptivity.rs Cargo.toml
+
+tests/adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

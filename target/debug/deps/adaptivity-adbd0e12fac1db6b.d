@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-adbd0e12fac1db6b.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-adbd0e12fac1db6b: tests/adaptivity.rs
+
+tests/adaptivity.rs:

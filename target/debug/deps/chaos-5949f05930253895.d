@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-5949f05930253895.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-5949f05930253895: tests/chaos.rs
+
+tests/chaos.rs:

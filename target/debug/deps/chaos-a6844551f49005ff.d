@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-a6844551f49005ff.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-a6844551f49005ff.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

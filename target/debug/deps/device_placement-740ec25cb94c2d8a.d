@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_placement-740ec25cb94c2d8a.d: tests/device_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_placement-740ec25cb94c2d8a.rmeta: tests/device_placement.rs Cargo.toml
+
+tests/device_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_placement-b33f2a79d8d3e1bc.d: tests/device_placement.rs
+
+/root/repo/target/debug/deps/device_placement-b33f2a79d8d3e1bc: tests/device_placement.rs
+
+tests/device_placement.rs:

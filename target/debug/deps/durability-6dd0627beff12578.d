@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-6dd0627beff12578.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-6dd0627beff12578: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durability-cbb2e5629c6b34de.d: tests/durability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurability-cbb2e5629c6b34de.rmeta: tests/durability.rs Cargo.toml
+
+tests/durability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

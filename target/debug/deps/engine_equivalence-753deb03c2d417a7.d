@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-753deb03c2d417a7.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-753deb03c2d417a7: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-de53b46788f8c80a.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-de53b46788f8c80a.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure2-d33f667e48e8ee56.d: crates/bench/benches/figure2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure2-d33f667e48e8ee56.rmeta: crates/bench/benches/figure2.rs Cargo.toml
+
+crates/bench/benches/figure2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htap_concurrency-34fddbf564e85c8f.d: tests/htap_concurrency.rs
+
+/root/repo/target/debug/deps/htap_concurrency-34fddbf564e85c8f: tests/htap_concurrency.rs
+
+tests/htap_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htap_concurrency-80cc4995e22bab73.d: tests/htap_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtap_concurrency-80cc4995e22bab73.rmeta: tests/htap_concurrency.rs Cargo.toml
+
+tests/htap_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

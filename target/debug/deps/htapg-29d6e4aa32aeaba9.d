@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htapg-29d6e4aa32aeaba9.d: src/lib.rs
+
+/root/repo/target/debug/deps/htapg-29d6e4aa32aeaba9: src/lib.rs
+
+src/lib.rs:

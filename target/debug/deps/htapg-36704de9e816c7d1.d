@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htapg-36704de9e816c7d1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg-36704de9e816c7d1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htapg-70b57d340b2d7ee7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtapg-70b57d340b2d7ee7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtapg-70b57d340b2d7ee7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htapg-dd58fa063e7cbe89.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg-dd58fa063e7cbe89.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

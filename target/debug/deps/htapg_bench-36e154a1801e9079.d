@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/htapg_bench-36e154a1801e9079.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/debug/deps/libhtapg_bench-36e154a1801e9079.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/debug/deps/libhtapg_bench-36e154a1801e9079.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/pool.rs:

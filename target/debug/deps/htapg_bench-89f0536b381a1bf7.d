@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/htapg_bench-89f0536b381a1bf7.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_bench-89f0536b381a1bf7.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htapg_bench-f3ec6dc277deb3c4.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/debug/deps/htapg_bench-f3ec6dc277deb3c4: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/pool.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/htapg_core-12f29d975fa8ef9c.d: crates/core/src/lib.rs crates/core/src/adapt.rs crates/core/src/compress.rs crates/core/src/costmodel.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fragment.rs crates/core/src/index/mod.rs crates/core/src/index/bptree.rs crates/core/src/index/hash.rs crates/core/src/layout.rs crates/core/src/prng.rs crates/core/src/relation.rs crates/core/src/retry.rs crates/core/src/schema.rs crates/core/src/scheme.rs crates/core/src/sync.rs crates/core/src/txn.rs crates/core/src/types.rs crates/core/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_core-12f29d975fa8ef9c.rmeta: crates/core/src/lib.rs crates/core/src/adapt.rs crates/core/src/compress.rs crates/core/src/costmodel.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/fragment.rs crates/core/src/index/mod.rs crates/core/src/index/bptree.rs crates/core/src/index/hash.rs crates/core/src/layout.rs crates/core/src/prng.rs crates/core/src/relation.rs crates/core/src/retry.rs crates/core/src/schema.rs crates/core/src/scheme.rs crates/core/src/sync.rs crates/core/src/txn.rs crates/core/src/types.rs crates/core/src/wal.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adapt.rs:
+crates/core/src/compress.rs:
+crates/core/src/costmodel.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/fragment.rs:
+crates/core/src/index/mod.rs:
+crates/core/src/index/bptree.rs:
+crates/core/src/index/hash.rs:
+crates/core/src/layout.rs:
+crates/core/src/prng.rs:
+crates/core/src/relation.rs:
+crates/core/src/retry.rs:
+crates/core/src/schema.rs:
+crates/core/src/scheme.rs:
+crates/core/src/sync.rs:
+crates/core/src/txn.rs:
+crates/core/src/types.rs:
+crates/core/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

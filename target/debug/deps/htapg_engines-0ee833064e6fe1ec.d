@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/htapg_engines-0ee833064e6fe1ec.d: crates/engines/src/lib.rs crates/engines/src/cogadb.rs crates/engines/src/common.rs crates/engines/src/emulated.rs crates/engines/src/es2.rs crates/engines/src/gputx.rs crates/engines/src/h2o.rs crates/engines/src/hyper.rs crates/engines/src/hyrise.rs crates/engines/src/lstore.rs crates/engines/src/mirrors.rs crates/engines/src/pax.rs crates/engines/src/peloton.rs crates/engines/src/plain.rs crates/engines/src/reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_engines-0ee833064e6fe1ec.rmeta: crates/engines/src/lib.rs crates/engines/src/cogadb.rs crates/engines/src/common.rs crates/engines/src/emulated.rs crates/engines/src/es2.rs crates/engines/src/gputx.rs crates/engines/src/h2o.rs crates/engines/src/hyper.rs crates/engines/src/hyrise.rs crates/engines/src/lstore.rs crates/engines/src/mirrors.rs crates/engines/src/pax.rs crates/engines/src/peloton.rs crates/engines/src/plain.rs crates/engines/src/reference.rs Cargo.toml
+
+crates/engines/src/lib.rs:
+crates/engines/src/cogadb.rs:
+crates/engines/src/common.rs:
+crates/engines/src/emulated.rs:
+crates/engines/src/es2.rs:
+crates/engines/src/gputx.rs:
+crates/engines/src/h2o.rs:
+crates/engines/src/hyper.rs:
+crates/engines/src/hyrise.rs:
+crates/engines/src/lstore.rs:
+crates/engines/src/mirrors.rs:
+crates/engines/src/pax.rs:
+crates/engines/src/peloton.rs:
+crates/engines/src/plain.rs:
+crates/engines/src/reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

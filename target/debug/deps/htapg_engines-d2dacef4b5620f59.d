@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/htapg_engines-d2dacef4b5620f59.d: crates/engines/src/lib.rs crates/engines/src/cogadb.rs crates/engines/src/common.rs crates/engines/src/emulated.rs crates/engines/src/es2.rs crates/engines/src/gputx.rs crates/engines/src/h2o.rs crates/engines/src/hyper.rs crates/engines/src/hyrise.rs crates/engines/src/lstore.rs crates/engines/src/mirrors.rs crates/engines/src/pax.rs crates/engines/src/peloton.rs crates/engines/src/plain.rs crates/engines/src/reference.rs
+
+/root/repo/target/debug/deps/htapg_engines-d2dacef4b5620f59: crates/engines/src/lib.rs crates/engines/src/cogadb.rs crates/engines/src/common.rs crates/engines/src/emulated.rs crates/engines/src/es2.rs crates/engines/src/gputx.rs crates/engines/src/h2o.rs crates/engines/src/hyper.rs crates/engines/src/hyrise.rs crates/engines/src/lstore.rs crates/engines/src/mirrors.rs crates/engines/src/pax.rs crates/engines/src/peloton.rs crates/engines/src/plain.rs crates/engines/src/reference.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/cogadb.rs:
+crates/engines/src/common.rs:
+crates/engines/src/emulated.rs:
+crates/engines/src/es2.rs:
+crates/engines/src/gputx.rs:
+crates/engines/src/h2o.rs:
+crates/engines/src/hyper.rs:
+crates/engines/src/hyrise.rs:
+crates/engines/src/lstore.rs:
+crates/engines/src/mirrors.rs:
+crates/engines/src/pax.rs:
+crates/engines/src/peloton.rs:
+crates/engines/src/plain.rs:
+crates/engines/src/reference.rs:

@@ -1,16 +1,17 @@
-/root/repo/target/debug/deps/htapg_exec-1f210abc5ae51f5f.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs Cargo.toml
+/root/repo/target/debug/deps/htapg_exec-1f210abc5ae51f5f.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhtapg_exec-1f210abc5ae51f5f.rmeta: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs Cargo.toml
+/root/repo/target/debug/deps/libhtapg_exec-1f210abc5ae51f5f.rmeta: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs Cargo.toml
 
 crates/exec/src/lib.rs:
 crates/exec/src/bulk.rs:
 crates/exec/src/device_exec.rs:
 crates/exec/src/join.rs:
 crates/exec/src/materialize.rs:
+crates/exec/src/pool.rs:
 crates/exec/src/scan.rs:
 crates/exec/src/threading.rs:
 crates/exec/src/volcano.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/htapg_exec-4fd4c9ca2c0caa8c.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+/root/repo/target/debug/deps/htapg_exec-4fd4c9ca2c0caa8c.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
 
-/root/repo/target/debug/deps/htapg_exec-4fd4c9ca2c0caa8c: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+/root/repo/target/debug/deps/htapg_exec-4fd4c9ca2c0caa8c: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
 
 crates/exec/src/lib.rs:
 crates/exec/src/bulk.rs:
 crates/exec/src/device_exec.rs:
 crates/exec/src/join.rs:
 crates/exec/src/materialize.rs:
+crates/exec/src/pool.rs:
 crates/exec/src/scan.rs:
 crates/exec/src/threading.rs:
 crates/exec/src/volcano.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htapg_workload-9a0d307564babce9.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_workload-9a0d307564babce9.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

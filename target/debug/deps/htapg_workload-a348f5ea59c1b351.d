@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/htapg_workload-a348f5ea59c1b351.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/debug/deps/htapg_workload-a348f5ea59c1b351: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/htapg_workload-b609e91c38860db2.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/debug/deps/libhtapg_workload-b609e91c38860db2.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/debug/deps/libhtapg_workload-b609e91c38860db2.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:

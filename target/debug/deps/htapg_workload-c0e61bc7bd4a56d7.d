@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/htapg_workload-c0e61bc7bd4a56d7.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtapg_workload-c0e61bc7bd4a56d7.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

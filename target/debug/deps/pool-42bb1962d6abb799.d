@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool-42bb1962d6abb799.d: crates/bench/benches/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool-42bb1962d6abb799.rmeta: crates/bench/benches/pool.rs Cargo.toml
+
+crates/bench/benches/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_engines-4148bc8b2d614082.d: tests/proptest_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_engines-4148bc8b2d614082.rmeta: tests/proptest_engines.rs Cargo.toml
+
+tests/proptest_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_engines-4e565571aeda9bb1.d: tests/proptest_engines.rs
+
+/root/repo/target/debug/deps/proptest_engines-4e565571aeda9bb1: tests/proptest_engines.rs
+
+tests/proptest_engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dad36cbd8dfb9d30.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dad36cbd8dfb9d30: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

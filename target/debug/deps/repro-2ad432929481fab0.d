@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2ad432929481fab0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2ad432929481fab0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

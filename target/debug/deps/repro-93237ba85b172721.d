@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-93237ba85b172721.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-93237ba85b172721: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-e218f5c7a012f35a.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-e218f5c7a012f35a.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-5863f3f04b9c0a58.d: tests/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-5863f3f04b9c0a58.rmeta: tests/table1.rs Cargo.toml
+
+tests/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6f730586ba8adb29.d: tests/table1.rs
+
+/root/repo/target/debug/deps/table1-6f730586ba8adb29: tests/table1.rs
+
+tests/table1.rs:

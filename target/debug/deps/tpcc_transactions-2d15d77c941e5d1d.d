@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcc_transactions-2d15d77c941e5d1d.d: tests/tpcc_transactions.rs
+
+/root/repo/target/debug/deps/tpcc_transactions-2d15d77c941e5d1d: tests/tpcc_transactions.rs
+
+tests/tpcc_transactions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpcc_transactions-85b746b0f94bc88a.d: tests/tpcc_transactions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpcc_transactions-85b746b0f94bc88a.rmeta: tests/tpcc_transactions.rs Cargo.toml
+
+tests/tpcc_transactions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

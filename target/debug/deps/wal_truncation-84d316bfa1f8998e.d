@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_truncation-84d316bfa1f8998e.d: crates/core/tests/wal_truncation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_truncation-84d316bfa1f8998e.rmeta: crates/core/tests/wal_truncation.rs Cargo.toml
+
+crates/core/tests/wal_truncation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_truncation-fc7f3289e947c801.d: crates/core/tests/wal_truncation.rs
+
+/root/repo/target/debug/deps/wal_truncation-fc7f3289e947c801: crates/core/tests/wal_truncation.rs
+
+crates/core/tests/wal_truncation.rs:

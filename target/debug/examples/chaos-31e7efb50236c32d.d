@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos-31e7efb50236c32d.d: examples/chaos.rs
+
+/root/repo/target/debug/examples/chaos-31e7efb50236c32d: examples/chaos.rs
+
+examples/chaos.rs:

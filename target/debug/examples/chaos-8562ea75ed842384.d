@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos-8562ea75ed842384.d: examples/chaos.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos-8562ea75ed842384.rmeta: examples/chaos.rs Cargo.toml
+
+examples/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_offload-36b515d783373098.d: examples/gpu_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_offload-36b515d783373098.rmeta: examples/gpu_offload.rs Cargo.toml
+
+examples/gpu_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_offload-ca5d20d3623f8efc.d: examples/gpu_offload.rs
+
+/root/repo/target/debug/examples/gpu_offload-ca5d20d3623f8efc: examples/gpu_offload.rs
+
+examples/gpu_offload.rs:

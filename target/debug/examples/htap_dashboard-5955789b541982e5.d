@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/htap_dashboard-5955789b541982e5.d: examples/htap_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhtap_dashboard-5955789b541982e5.rmeta: examples/htap_dashboard.rs Cargo.toml
+
+examples/htap_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/htap_dashboard-761a35616c192f2c.d: examples/htap_dashboard.rs
+
+/root/repo/target/debug/examples/htap_dashboard-761a35616c192f2c: examples/htap_dashboard.rs
+
+examples/htap_dashboard.rs:

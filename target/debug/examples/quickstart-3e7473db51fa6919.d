@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-3e7473db51fa6919.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-3e7473db51fa6919.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ea7e8849a33fb2c2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ea7e8849a33fb2c2: examples/quickstart.rs
+
+examples/quickstart.rs:

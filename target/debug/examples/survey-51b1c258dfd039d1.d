@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/survey-51b1c258dfd039d1.d: examples/survey.rs
+
+/root/repo/target/debug/examples/survey-51b1c258dfd039d1: examples/survey.rs
+
+examples/survey.rs:

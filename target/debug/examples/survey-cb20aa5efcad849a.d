@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/survey-cb20aa5efcad849a.d: examples/survey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsurvey-cb20aa5efcad849a.rmeta: examples/survey.rs Cargo.toml
+
+examples/survey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

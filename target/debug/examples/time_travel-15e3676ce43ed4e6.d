@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/time_travel-15e3676ce43ed4e6.d: examples/time_travel.rs
+
+/root/repo/target/debug/examples/time_travel-15e3676ce43ed4e6: examples/time_travel.rs
+
+examples/time_travel.rs:

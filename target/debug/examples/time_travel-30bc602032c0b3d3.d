@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/time_travel-30bc602032c0b3d3.d: examples/time_travel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtime_travel-30bc602032c0b3d3.rmeta: examples/time_travel.rs Cargo.toml
+
+examples/time_travel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-fcfae32668afc9ac.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/engines-fcfae32668afc9ac: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

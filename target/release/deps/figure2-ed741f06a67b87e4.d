@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-ed741f06a67b87e4.d: crates/bench/benches/figure2.rs
+
+/root/repo/target/release/deps/figure2-ed741f06a67b87e4: crates/bench/benches/figure2.rs
+
+crates/bench/benches/figure2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htapg-cf911277e2d395fe.d: src/lib.rs
+
+/root/repo/target/release/deps/libhtapg-cf911277e2d395fe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhtapg-cf911277e2d395fe.rmeta: src/lib.rs
+
+src/lib.rs:

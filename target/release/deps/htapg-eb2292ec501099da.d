@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/htapg-eb2292ec501099da.d: src/lib.rs
+
+/root/repo/target/release/deps/htapg-eb2292ec501099da: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/htapg_bench-4c376c62857a59e2.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/release/deps/libhtapg_bench-4c376c62857a59e2.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/release/deps/libhtapg_bench-4c376c62857a59e2.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/htapg_bench-d3e56816e3efcc92.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+/root/repo/target/release/deps/htapg_bench-d3e56816e3efcc92: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig2.rs crates/bench/src/micro.rs crates/bench/src/pool.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/pool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/htapg_device-18a44abff779b612.d: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs
+
+/root/repo/target/release/deps/htapg_device-18a44abff779b612: crates/device/src/lib.rs crates/device/src/cluster.rs crates/device/src/disk.rs crates/device/src/faults.rs crates/device/src/kernels.rs crates/device/src/ledger.rs crates/device/src/memory.rs crates/device/src/simt.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/cluster.rs:
+crates/device/src/disk.rs:
+crates/device/src/faults.rs:
+crates/device/src/kernels.rs:
+crates/device/src/ledger.rs:
+crates/device/src/memory.rs:
+crates/device/src/simt.rs:
+crates/device/src/spec.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/htapg_exec-4a309bbf44017ab7.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+/root/repo/target/release/deps/htapg_exec-4a309bbf44017ab7.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
 
-/root/repo/target/release/deps/libhtapg_exec-4a309bbf44017ab7.rlib: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+/root/repo/target/release/deps/libhtapg_exec-4a309bbf44017ab7.rlib: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
 
-/root/repo/target/release/deps/libhtapg_exec-4a309bbf44017ab7.rmeta: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+/root/repo/target/release/deps/libhtapg_exec-4a309bbf44017ab7.rmeta: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
 
 crates/exec/src/lib.rs:
 crates/exec/src/bulk.rs:
 crates/exec/src/device_exec.rs:
 crates/exec/src/join.rs:
 crates/exec/src/materialize.rs:
+crates/exec/src/pool.rs:
 crates/exec/src/scan.rs:
 crates/exec/src/threading.rs:
 crates/exec/src/volcano.rs:

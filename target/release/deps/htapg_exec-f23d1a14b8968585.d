@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/htapg_exec-f23d1a14b8968585.d: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+
+/root/repo/target/release/deps/htapg_exec-f23d1a14b8968585: crates/exec/src/lib.rs crates/exec/src/bulk.rs crates/exec/src/device_exec.rs crates/exec/src/join.rs crates/exec/src/materialize.rs crates/exec/src/pool.rs crates/exec/src/scan.rs crates/exec/src/threading.rs crates/exec/src/volcano.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/bulk.rs:
+crates/exec/src/device_exec.rs:
+crates/exec/src/join.rs:
+crates/exec/src/materialize.rs:
+crates/exec/src/pool.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/threading.rs:
+crates/exec/src/volcano.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htapg_taxonomy-ea483820a476434b.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+/root/repo/target/release/deps/htapg_taxonomy-ea483820a476434b: crates/taxonomy/src/lib.rs crates/taxonomy/src/props.rs crates/taxonomy/src/reference.rs crates/taxonomy/src/survey.rs crates/taxonomy/src/table.rs crates/taxonomy/src/tree.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/props.rs:
+crates/taxonomy/src/reference.rs:
+crates/taxonomy/src/survey.rs:
+crates/taxonomy/src/table.rs:
+crates/taxonomy/src/tree.rs:

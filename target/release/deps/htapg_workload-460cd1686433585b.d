@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/htapg_workload-460cd1686433585b.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/release/deps/libhtapg_workload-460cd1686433585b.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/release/deps/libhtapg_workload-460cd1686433585b.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:

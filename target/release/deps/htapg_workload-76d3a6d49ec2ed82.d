@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/htapg_workload-76d3a6d49ec2ed82.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+/root/repo/target/release/deps/htapg_workload-76d3a6d49ec2ed82: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/queries.rs crates/workload/src/tpcc.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/queries.rs:
+crates/workload/src/tpcc.rs:

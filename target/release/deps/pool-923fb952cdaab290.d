@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool-923fb952cdaab290.d: crates/bench/benches/pool.rs
+
+/root/repo/target/release/deps/pool-923fb952cdaab290: crates/bench/benches/pool.rs
+
+crates/bench/benches/pool.rs:

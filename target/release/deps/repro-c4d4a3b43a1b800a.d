@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c4d4a3b43a1b800a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c4d4a3b43a1b800a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e27e6eaea6d662ce.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e27e6eaea6d662ce: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-c51c6ac4ba7148da.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-c51c6ac4ba7148da: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos-bb1ec1226ac3a693.d: examples/chaos.rs
+
+/root/repo/target/release/examples/chaos-bb1ec1226ac3a693: examples/chaos.rs
+
+examples/chaos.rs:

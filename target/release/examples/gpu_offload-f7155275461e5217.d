@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gpu_offload-f7155275461e5217.d: examples/gpu_offload.rs
+
+/root/repo/target/release/examples/gpu_offload-f7155275461e5217: examples/gpu_offload.rs
+
+examples/gpu_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/htap_dashboard-b934b04c69ddc9a1.d: examples/htap_dashboard.rs
+
+/root/repo/target/release/examples/htap_dashboard-b934b04c69ddc9a1: examples/htap_dashboard.rs
+
+examples/htap_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ffc5bf632b8e58d3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ffc5bf632b8e58d3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/survey-1cd93d37afe071f2.d: examples/survey.rs
+
+/root/repo/target/release/examples/survey-1cd93d37afe071f2: examples/survey.rs
+
+examples/survey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/time_travel-51709b0bd4298a39.d: examples/time_travel.rs
+
+/root/repo/target/release/examples/time_travel-51709b0bd4298a39: examples/time_travel.rs
+
+examples/time_travel.rs:

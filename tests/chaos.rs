@@ -167,6 +167,75 @@ fn es2_engine_matches_fault_free_run_at_every_rate() {
 }
 
 // ---------------------------------------------------------------------
+// (a') Fault absorption holds when the workload runs on the executor
+// pool: injected device faults are retried/degraded on whichever pool
+// worker hits them, not just on the main thread.
+// ---------------------------------------------------------------------
+
+/// Reference engine under device faults, driven concurrently on the
+/// persistent executor pool: three writers own disjoint row ranges, a
+/// fourth task runs analytic sums throughout. Returns the final
+/// (quiescent) sum and the fault history.
+fn run_reference_pooled(seed: u64, p: f64) -> (f64, String) {
+    let plan = FaultPlan::seeded(seed, FaultRates::uniform(p));
+    let mut dev = SimDevice::with_defaults();
+    dev.set_fault_plan(plan.clone());
+    let engine = ReferenceEngine::with_device(Arc::new(dev));
+    let gen = Generator::new(seed ^ 0x9001);
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..600 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    // Delegate the price column so analytic scans hit the faulty device.
+    for _ in 0..30 {
+        engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    }
+    engine.maintain().unwrap();
+    htapg::exec::pool::run_tasks(4, 4, |task| {
+        if task < 3 {
+            // Writers: each owns rows [task*200, task*200+200); final value
+            // per row is fixed, so the quiescent state is deterministic.
+            for k in 0..200u64 {
+                let row = task * 200 + k;
+                engine
+                    .update_field(rel, row, item_attr::I_PRICE, &Value::Float64((row % 10) as f64))
+                    .unwrap();
+            }
+        } else {
+            // Analytic class: sums must keep succeeding under faults (the
+            // device path degrades to host execution, never errors out).
+            // Writers revoke delegation, so re-maintain between bursts to
+            // keep scans landing on the faulty device.
+            for _ in 0..25 {
+                engine.maintain().unwrap();
+                let s = engine.sum_column_auto(rel, item_attr::I_PRICE).unwrap();
+                assert!(s.is_finite());
+            }
+        }
+    });
+    engine.maintain().unwrap();
+    let sum = engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap();
+    (sum, plan.history_string())
+}
+
+#[test]
+fn pooled_htap_load_matches_fault_free_run_at_every_rate() {
+    let seed = env_seed(DEFAULT_SEED);
+    let (want_sum, h0) = run_reference_pooled(seed, RATES[0]);
+    assert!(h0.is_empty(), "rate 0 must inject nothing (HTAPG_SEED={seed})");
+    for &p in &RATES[1..] {
+        let (sum, history) = run_reference_pooled(seed, p);
+        assert!(
+            close(sum, want_sum),
+            "rate {p}: pooled sum {sum} != fault-free {want_sum} (HTAPG_SEED={seed})"
+        );
+        if p >= 0.1 {
+            assert!(!history.is_empty(), "rate {p} injected nothing (HTAPG_SEED={seed})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // (b) A WAL written under injected torn appends loses only uncommitted
 // work on recovery.
 // ---------------------------------------------------------------------
