@@ -1,0 +1,40 @@
+//! GPU offload micro-benchmarks: synchronous offload vs the
+//! stream-overlapped pipeline vs a cache-warm repeat, at 1e5 / 1e6 / 1e7
+//! rows. These time the *simulator's* host cost (the virtual-ns study
+//! lives in `repro gpu_pipeline`); quick by default, raise
+//! `HTAPG_BENCH_MS` for careful per-series numbers.
+
+use std::sync::Arc;
+
+use htapg_bench::micro::Group;
+use htapg_core::{DataType, Layout, LayoutTemplate, Schema, Value};
+use htapg_device::{DeviceColumnCache, DeviceSpec, SimDevice};
+use htapg_exec::device_exec::{
+    cached_offload_sum, offload_sum, pipelined_offload_sum, PipelineConfig,
+};
+
+fn main() {
+    for rows in [100_000u64, 1_000_000, 10_000_000] {
+        let s = Schema::of(&[("price", DataType::Float64)]);
+        let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+        for i in 0..rows {
+            l.append(&s, &vec![Value::Float64((i % 1009) as f64 * 0.25)]).unwrap();
+        }
+        let device = Arc::new(SimDevice::new(0, DeviceSpec::unified()));
+        let cache = DeviceColumnCache::new(device.clone());
+        // Populate once so the cached series below measures warm hits.
+        cached_offload_sum(&cache, &l, 0, DataType::Float64, 0, 1, PipelineConfig::default())
+            .unwrap();
+        let mut group = Group::new(&format!("gpu_offload_sum_{rows}_rows"));
+        group.bench("serial", || offload_sum(&device, &l, 0, DataType::Float64).unwrap());
+        group.bench("pipelined", || {
+            pipelined_offload_sum(&device, &l, 0, DataType::Float64, PipelineConfig::default())
+                .unwrap()
+        });
+        group.bench("cached_warm", || {
+            cached_offload_sum(&cache, &l, 0, DataType::Float64, 0, 1, PipelineConfig::default())
+                .unwrap()
+        });
+        group.finish();
+    }
+}

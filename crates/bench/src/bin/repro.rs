@@ -1,14 +1,14 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [ablations] [all]
+//! repro [--quick] [--seed N] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
 //! shrinks the Figure 2 sweeps for fast smoke runs. Build with `--release`
 //! for meaningful CPU timings.
 
-use htapg_bench::{ablation, fig2, pool, render_sweep};
+use htapg_bench::{ablation, fig2, gpu_pipeline, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -250,6 +250,44 @@ fn main() {
         show("spawn-per-call multi first beats single at", pool::spawn_crossover(&points));
         let path = "BENCH_pool.json";
         match std::fs::write(path, pool::to_json(&points)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    if want("gpu_pipeline") {
+        section("GPU transfer pipeline — serial vs stream-overlapped vs cache-warm");
+        println!(
+            "(virtual ns from the cost ledger on the unified-memory device\n\
+             spec; deterministic, no repetitions needed)\n"
+        );
+        let points = gpu_pipeline::measure(&gpu_pipeline::sweep_sizes(quick));
+        let rows: Vec<(u64, Vec<f64>)> = points
+            .iter()
+            .map(|p| (p.rows, vec![p.serial_ns as f64, p.overlapped_ns as f64, p.warm_ns as f64]))
+            .collect();
+        print!(
+            "{}",
+            render_sweep(
+                "f64 column sum offload, virtual ns",
+                "#rows",
+                &["serial", "overlapped", "cache_warm"],
+                &rows,
+            )
+        );
+        for p in &points {
+            println!(
+                "{} rows: overlapped wall is {}% of serial; warm repeat uploaded {} bytes",
+                p.rows,
+                gpu_pipeline::overlap_pct(p),
+                p.warm_bytes_to_device
+            );
+        }
+        println!(
+            "warm repeats skip PCIe entirely: {}",
+            if gpu_pipeline::warm_skips_pcie(&points) { "YES" } else { "NO (regression!)" }
+        );
+        let path = "BENCH_gpu_pipeline.json";
+        match std::fs::write(path, gpu_pipeline::to_json(&points)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => println!("could not write {path}: {e}"),
         }

@@ -1,0 +1,197 @@
+//! GPU transfer pipeline study: synchronous offload vs the
+//! stream-overlapped double-buffered pipeline vs a cache-warm repeat,
+//! swept over column sizes.
+//!
+//! All three series are *virtual* nanoseconds from the cost ledger — the
+//! simulation is deterministic, so there is no timer noise and no need for
+//! repetitions. The sweep runs on [`DeviceSpec::unified`] (copy and
+//! compute bandwidths comparable), where overlap has room to help; on the
+//! default PCIe device the copy so dominates that Amdahl caps the win near
+//! the kernel share (see EXPERIMENTS.md). Feeds the `gpu_pipeline` bench
+//! target and `repro`'s `BENCH_gpu_pipeline.json`.
+
+use std::sync::Arc;
+
+use htapg_core::{DataType, Layout, LayoutTemplate, Schema, Value};
+use htapg_device::{DeviceColumnCache, DeviceSpec, SimDevice};
+use htapg_exec::device_exec::{
+    cached_offload_sum, offload_sum, pipelined_offload_sum, PipelineConfig,
+};
+
+/// Virtual-time cost of the three offload strategies at one column size.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuPipelinePoint {
+    pub rows: u64,
+    /// Synchronous upload-then-reduce: `transfer_ns + kernel_ns`.
+    pub serial_ns: u64,
+    /// Double-buffered pipeline: critical-path wall across both streams.
+    pub overlapped_ns: u64,
+    /// Cache-warm repeat of the same query: reduction only.
+    pub warm_ns: u64,
+    /// PCIe bytes the warm repeat charged — the cache contract says zero.
+    pub warm_bytes_to_device: u64,
+}
+
+/// The standard sweep ladder (1e5 .. 1e7 rows); `quick` stops at 1e6.
+pub fn sweep_sizes(quick: bool) -> Vec<u64> {
+    let all = [100_000u64, 1_000_000, 10_000_000];
+    let n = if quick { 2 } else { all.len() };
+    all[..n].to_vec()
+}
+
+fn price_layout(rows: u64) -> Layout {
+    let s = Schema::of(&[("price", DataType::Float64)]);
+    let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+    for i in 0..rows {
+        l.append(&s, &vec![Value::Float64((i % 1009) as f64 * 0.25)]).unwrap();
+    }
+    l
+}
+
+/// Charge all three strategies at each size on a unified-memory device.
+pub fn measure(sizes: &[u64]) -> Vec<GpuPipelinePoint> {
+    sizes
+        .iter()
+        .map(|&rows| {
+            let l = price_layout(rows);
+            let device = Arc::new(SimDevice::new(0, DeviceSpec::unified()));
+            let (serial_sum, transfer_ns, kernel_ns) =
+                offload_sum(&device, &l, 0, DataType::Float64).unwrap();
+            let (pipe_sum, overlapped_ns) =
+                pipelined_offload_sum(&device, &l, 0, DataType::Float64, PipelineConfig::default())
+                    .unwrap();
+            assert_eq!(serial_sum.to_bits(), pipe_sum.to_bits());
+            let cache = DeviceColumnCache::new(device.clone());
+            let cold = cached_offload_sum(
+                &cache,
+                &l,
+                0,
+                DataType::Float64,
+                0,
+                1,
+                PipelineConfig::default(),
+            )
+            .unwrap();
+            let before = device.ledger().snapshot();
+            let warm = cached_offload_sum(
+                &cache,
+                &l,
+                0,
+                DataType::Float64,
+                0,
+                1,
+                PipelineConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(cold.to_bits(), warm.to_bits());
+            let delta = device.ledger().snapshot().since(&before);
+            GpuPipelinePoint {
+                rows,
+                serial_ns: transfer_ns + kernel_ns,
+                overlapped_ns,
+                warm_ns: delta.kernel_ns,
+                warm_bytes_to_device: delta.bytes_to_device,
+            }
+        })
+        .collect()
+}
+
+/// Overlapped wall as a percentage of the serial wall (the acceptance bar
+/// for ≥1e7-row columns is ≤ 70 on unified memory).
+pub fn overlap_pct(p: &GpuPipelinePoint) -> u64 {
+    p.overlapped_ns * 100 / p.serial_ns.max(1)
+}
+
+/// True when every warm repeat in the sweep skipped PCIe entirely.
+pub fn warm_skips_pcie(points: &[GpuPipelinePoint]) -> bool {
+    points.iter().all(|p| p.warm_bytes_to_device == 0)
+}
+
+/// Render the sweep as a `BENCH_gpu_pipeline.json` document (no external
+/// JSON crate in the workspace, so the document is formatted by hand).
+pub fn to_json(points: &[GpuPipelinePoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"gpu_pipeline\",\n");
+    out.push_str("  \"device\": \"unified\",\n");
+    out.push_str(
+        "  \"series\": [\"serial_ns\", \"overlapped_ns\", \"warm_ns\", \
+         \"overlap_pct\", \"warm_bytes_to_device\"],\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rows\": {}, \"serial_ns\": {}, \"overlapped_ns\": {}, \
+             \"warm_ns\": {}, \"overlap_pct\": {}, \"warm_bytes_to_device\": {}}}{}\n",
+            p.rows,
+            p.serial_ns,
+            p.overlapped_ns,
+            p.warm_ns,
+            overlap_pct(p),
+            p.warm_bytes_to_device,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"warm_repeat_skips_pcie\": {}\n", warm_skips_pcie(points)));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_wins_and_warm_repeats_skip_pcie() {
+        let points = measure(&[1_000_000]);
+        let p = &points[0];
+        assert!(
+            p.overlapped_ns < p.serial_ns,
+            "overlap {} ns should beat serial {} ns",
+            p.overlapped_ns,
+            p.serial_ns
+        );
+        assert!(p.warm_ns < p.overlapped_ns, "warm repeat pays kernel time only");
+        assert_eq!(p.warm_bytes_to_device, 0);
+        assert!(warm_skips_pcie(&points));
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let points = vec![
+            GpuPipelinePoint {
+                rows: 100_000,
+                serial_ns: 1_000,
+                overlapped_ns: 600,
+                warm_ns: 200,
+                warm_bytes_to_device: 0,
+            },
+            GpuPipelinePoint {
+                rows: 10_000_000,
+                serial_ns: 100_000,
+                overlapped_ns: 54_000,
+                warm_ns: 20_000,
+                warm_bytes_to_device: 0,
+            },
+        ];
+        let json = to_json(&points);
+        assert!(json.contains("\"bench\": \"gpu_pipeline\""));
+        assert!(json.contains("\"rows\": 10000000"));
+        assert!(json.contains("\"overlap_pct\": 54"));
+        assert!(json.contains("\"warm_repeat_skips_pcie\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn leaked_pcie_bytes_are_reported() {
+        let points = vec![GpuPipelinePoint {
+            rows: 1,
+            serial_ns: 10,
+            overlapped_ns: 10,
+            warm_ns: 5,
+            warm_bytes_to_device: 8,
+        }];
+        assert!(!warm_skips_pcie(&points));
+        assert!(to_json(&points).contains("\"warm_repeat_skips_pcie\": false"));
+    }
+}

@@ -14,11 +14,24 @@ use htapg_core::{Error, Result};
 
 use crate::memory::{BufferId, SimDevice};
 use crate::simt::{Executor, KernelCost, LaunchConfig};
+use crate::stream::SimStream;
 
 /// The paper's reduction geometry.
 pub const REDUCE_GRID: u32 = 1024;
 pub const REDUCE_BLOCK: u32 = 512;
 pub const FINAL_BLOCK: u32 = 1024;
+
+/// Rows per segment of the canonical `REDUCE_GRID`-way segmentation of an
+/// `n`-row column. Fixed by the *total* row count — chunked pipelines reuse
+/// it so their partials are bit-identical to the single-shot reduction.
+pub fn reduce_seg_len(n: usize) -> usize {
+    n.div_ceil(REDUCE_GRID as usize).max(1)
+}
+
+/// Number of (non-empty) segments in the canonical segmentation of `n`.
+pub fn reduce_segments(n: usize) -> usize {
+    n.div_ceil(reduce_seg_len(n))
+}
 
 /// Pairwise (tree) summation of a slice — the deterministic order a
 /// shared-memory tree reduction produces.
@@ -77,6 +90,117 @@ pub fn reduce_sum_f64(device: &SimDevice, buf: BufferId) -> Result<f64> {
             bytes: (partials.len() * 8) as u64,
         },
     )?;
+    Ok(total)
+}
+
+/// Pass-1 partials for segments `[seg_lo, seg_hi)` of the canonical
+/// segmentation of a `total_rows` column, read from the (possibly still
+/// filling) buffer `buf` and charged as one launch on `stream`.
+///
+/// Because segment boundaries depend only on `total_rows`, a pipeline that
+/// covers `[0, reduce_segments(n))` in any chunking produces exactly the
+/// partials of [`reduce_sum_f64`]'s first pass — the bit-identity the
+/// property tests assert.
+pub fn reduce_partials_f64(
+    stream: &mut SimStream<'_>,
+    buf: BufferId,
+    total_rows: usize,
+    seg_lo: usize,
+    seg_hi: usize,
+) -> Result<Vec<f64>> {
+    segment_partials(stream, buf, total_rows, seg_lo, seg_hi, None)
+}
+
+/// Fused pass-1 partials: per segment, the tree sum of only the values
+/// satisfying `pred` — selection and aggregation in a single launch.
+pub fn filter_partials_f64(
+    stream: &mut SimStream<'_>,
+    buf: BufferId,
+    total_rows: usize,
+    seg_lo: usize,
+    seg_hi: usize,
+    pred: &dyn Fn(f64) -> bool,
+) -> Result<Vec<f64>> {
+    segment_partials(stream, buf, total_rows, seg_lo, seg_hi, Some(pred))
+}
+
+fn segment_partials(
+    stream: &mut SimStream<'_>,
+    buf: BufferId,
+    total_rows: usize,
+    seg_lo: usize,
+    seg_hi: usize,
+    pred: Option<&dyn Fn(f64) -> bool>,
+) -> Result<Vec<f64>> {
+    let device = stream.device();
+    let seg_len = reduce_seg_len(total_rows);
+    let lo_row = seg_lo * seg_len;
+    let hi_row = (seg_hi * seg_len).min(total_rows);
+    if seg_hi <= seg_lo {
+        return Ok(Vec::new());
+    }
+    let partials = device.with_buffer(buf, |bytes| {
+        if lo_row > hi_row || hi_row * 8 > bytes.len() {
+            return Err(Error::Internal("segment range beyond device buffer".into()));
+        }
+        let mut out = Vec::with_capacity(seg_hi - seg_lo);
+        let mut seg = Vec::with_capacity(seg_len);
+        for row_lo in (lo_row..hi_row).step_by(seg_len) {
+            let row_hi = (row_lo + seg_len).min(hi_row);
+            seg.clear();
+            for c in bytes[row_lo * 8..row_hi * 8].chunks_exact(8) {
+                let v = f64::from_le_bytes(c.try_into().unwrap());
+                if pred.is_none_or(|p| p(v)) {
+                    seg.push(v);
+                }
+            }
+            out.push(tree_sum(&seg));
+        }
+        Ok(out)
+    })??;
+    let rows = (hi_row - lo_row) as u64;
+    stream.charge_launch(
+        LaunchConfig::new((seg_hi - seg_lo).max(1) as u32, REDUCE_BLOCK),
+        KernelCost {
+            work_items: rows.max(1),
+            cycles_per_item: if pred.is_some() { 5.0 } else { 4.0 },
+            bytes: rows * 8,
+        },
+    )?;
+    Ok(partials)
+}
+
+/// Pass-2 final combine of pass-1 partials (1 block × [`FINAL_BLOCK`]
+/// threads), charged on `stream`. Same tree order as [`reduce_sum_f64`]'s
+/// final pass.
+pub fn reduce_final_f64(stream: &mut SimStream<'_>, partials: &[f64]) -> Result<f64> {
+    let total = tree_sum(partials);
+    stream.charge_launch(
+        LaunchConfig::new(1, FINAL_BLOCK),
+        KernelCost {
+            work_items: partials.len().max(1) as u64,
+            cycles_per_item: 4.0,
+            bytes: (partials.len() * 8) as u64,
+        },
+    )?;
+    Ok(total)
+}
+
+/// Fused filter+sum over a device-resident packed `f64` column: one data
+/// pass (selection folded into the partial reduction) plus the small final
+/// combine — two launches, versus four for the unfused
+/// filter → gather → reduce chain.
+pub fn filter_sum_f64(
+    device: &SimDevice,
+    buf: BufferId,
+    pred: impl Fn(f64) -> bool,
+) -> Result<f64> {
+    let n = device.buffer_len(buf)? / 8;
+    let mut stream = SimStream::new(device);
+    let partials = filter_partials_f64(&mut stream, buf, n, 0, reduce_segments(n), &pred)?;
+    let total = reduce_final_f64(&mut stream, &partials)?;
+    // Single-stream use: the whole span is serial wall time.
+    device.ledger().advance_wall(stream.cursor_ns());
     Ok(total)
 }
 
@@ -313,5 +437,63 @@ mod tests {
         let buf = upload_f64(&d, &[5.0, -1.0, 7.0, 0.0]);
         let pos = filter_f64(&d, buf, |v| v > 0.0).unwrap();
         assert_eq!(pos, vec![0, 2]);
+    }
+
+    #[test]
+    fn split_partials_are_bit_identical_to_single_shot() {
+        let d = SimDevice::with_defaults();
+        let values: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let buf = upload_f64(&d, &values);
+        let n = values.len();
+        let segs = reduce_segments(n);
+        let mut one = SimStream::new(&d);
+        let whole = reduce_partials_f64(&mut one, buf, n, 0, segs).unwrap();
+        let single_shot = reduce_final_f64(&mut one, &whole).unwrap();
+        // Same segments computed across three arbitrary splits.
+        let mut many = SimStream::new(&d);
+        let mut pieced = Vec::new();
+        for (lo, hi) in [(0, 7), (7, 700), (700, segs)] {
+            pieced.extend(reduce_partials_f64(&mut many, buf, n, lo, hi).unwrap());
+        }
+        assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            pieced.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let pieced_total = reduce_final_f64(&mut many, &pieced).unwrap();
+        assert_eq!(single_shot.to_bits(), pieced_total.to_bits());
+        assert_eq!(single_shot.to_bits(), reduce_sum_f64(&d, buf).unwrap().to_bits());
+    }
+
+    #[test]
+    fn fused_filter_sum_matches_host_and_saves_launches() {
+        let d = SimDevice::with_defaults();
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64) - 5_000.0).collect();
+        let buf = upload_f64(&d, &values);
+        let before = d.ledger().snapshot();
+        let fused = filter_sum_f64(&d, buf, |v| v > 0.0).unwrap();
+        let fused_delta = d.ledger().snapshot().since(&before);
+        // Integers below 2^53: the tree order can't change the answer.
+        let expect: f64 = values.iter().filter(|&&v| v > 0.0).sum();
+        assert_eq!(fused, expect);
+        assert_eq!(fused_delta.kernel_launches, 2, "fused path is one pass + final");
+        assert_eq!(fused_delta.wall_ns, fused_delta.kernel_ns);
+        // The unfused chain: filter + gather + two-pass reduce = 4 launches.
+        let before = d.ledger().snapshot();
+        let pos = filter_f64(&d, buf, |v| v > 0.0).unwrap();
+        let gathered = gather(&d, buf, 8, &pos).unwrap();
+        let unfused = reduce_sum_f64(&d, gathered).unwrap();
+        let unfused_delta = d.ledger().snapshot().since(&before);
+        assert_eq!(unfused, expect);
+        assert_eq!(unfused_delta.kernel_launches, 4);
+        assert!(fused_delta.kernel_ns < unfused_delta.kernel_ns);
+    }
+
+    #[test]
+    fn fused_filter_sum_none_qualify_and_empty() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[1.0, 2.0, 3.0]);
+        assert_eq!(filter_sum_f64(&d, buf, |_| false).unwrap(), 0.0);
+        let empty = d.alloc(0).unwrap();
+        assert_eq!(filter_sum_f64(&d, empty, |_| true).unwrap(), 0.0);
     }
 }

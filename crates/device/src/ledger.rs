@@ -5,9 +5,20 @@
 //! is charged — the ledger keeps the categories separate so the harness can
 //! report either view.
 //!
+//! Besides the per-category totals, the ledger tracks a *critical-path*
+//! wall clock (`wall_ns`): serial charges advance it by their full
+//! duration, while work issued on concurrent [`SimStream`]s is charged to
+//! its category with the `_overlapped` variants and only the streams'
+//! synchronization span (the `max` across stream timelines, not the sum)
+//! lands on the wall. `total_ns()` therefore answers "how much work was
+//! done" and `wall_ns` answers "how long did it take" — they agree exactly
+//! when nothing overlapped.
+//!
 //! Snapshot arithmetic saturates: a delta between swapped snapshots clamps
 //! to zero and totals clamp to `u64::MAX` rather than wrapping, so cost
 //! reporting can never panic or produce nonsense from counter races.
+//!
+//! [`SimStream`]: crate::stream::SimStream
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,10 +32,14 @@ pub struct CostLedger {
     disk_ns: AtomicU64,
     network_ns: AtomicU64,
     backoff_ns: AtomicU64,
+    wall_ns: AtomicU64,
     transfers: AtomicU64,
     kernel_launches: AtomicU64,
     bytes_to_device: AtomicU64,
     bytes_from_device: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 /// A snapshot of the ledger counters.
@@ -36,10 +51,19 @@ pub struct CostSnapshot {
     pub network_ns: u64,
     /// Virtual wait time charged by retry backoff (fault recovery).
     pub backoff_ns: u64,
+    /// Critical-path wall time: serial charges add their full duration,
+    /// overlapped stream work only its synchronization span.
+    pub wall_ns: u64,
     pub transfers: u64,
     pub kernel_launches: u64,
     pub bytes_to_device: u64,
     pub bytes_from_device: u64,
+    /// Device column cache: lookups answered without a PCIe transfer.
+    pub cache_hits: u64,
+    /// Device column cache: lookups that required a (re-)upload.
+    pub cache_misses: u64,
+    /// Device column cache: entries freed to make room for others.
+    pub cache_evictions: u64,
 }
 
 impl CostSnapshot {
@@ -68,10 +92,14 @@ impl CostSnapshot {
             disk_ns: self.disk_ns.saturating_sub(earlier.disk_ns),
             network_ns: self.network_ns.saturating_sub(earlier.network_ns),
             backoff_ns: self.backoff_ns.saturating_sub(earlier.backoff_ns),
+            wall_ns: self.wall_ns.saturating_sub(earlier.wall_ns),
             transfers: self.transfers.saturating_sub(earlier.transfers),
             kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
             bytes_to_device: self.bytes_to_device.saturating_sub(earlier.bytes_to_device),
             bytes_from_device: self.bytes_from_device.saturating_sub(earlier.bytes_from_device),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 }
@@ -82,6 +110,22 @@ impl CostLedger {
     }
 
     pub fn charge_transfer(&self, ns: u64, bytes_to_device: u64, bytes_from_device: u64) {
+        self.charge_transfer_overlapped(ns, bytes_to_device, bytes_from_device);
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Like [`charge_transfer`](Self::charge_transfer) but does NOT advance
+    /// the wall clock: the caller runs this transfer on a [`SimStream`] and
+    /// settles the wall with [`advance_wall`](Self::advance_wall) when the
+    /// streams synchronize.
+    ///
+    /// [`SimStream`]: crate::stream::SimStream
+    pub fn charge_transfer_overlapped(
+        &self,
+        ns: u64,
+        bytes_to_device: u64,
+        bytes_from_device: u64,
+    ) {
         self.transfer_ns.fetch_add(ns, Ordering::Relaxed);
         self.transfers.fetch_add(1, Ordering::Relaxed);
         self.bytes_to_device.fetch_add(bytes_to_device, Ordering::Relaxed);
@@ -89,21 +133,50 @@ impl CostLedger {
     }
 
     pub fn charge_kernel(&self, ns: u64) {
+        self.charge_kernel_overlapped(ns);
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Kernel-category charge without wall advance (stream-issued work; see
+    /// [`charge_transfer_overlapped`](Self::charge_transfer_overlapped)).
+    pub fn charge_kernel_overlapped(&self, ns: u64) {
         self.kernel_ns.fetch_add(ns, Ordering::Relaxed);
         self.kernel_launches.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn charge_disk(&self, ns: u64) {
         self.disk_ns.fetch_add(ns, Ordering::Relaxed);
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     pub fn charge_network(&self, ns: u64) {
         self.network_ns.fetch_add(ns, Ordering::Relaxed);
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Virtual retry-backoff wait (see `htapg_core::retry`).
     pub fn charge_backoff(&self, ns: u64) {
         self.backoff_ns.fetch_add(ns, Ordering::Relaxed);
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Advance the critical-path wall clock by `ns` without touching any
+    /// category. Stream synchronization points use this to account the
+    /// `max(...)` of the concurrent timelines.
+    pub fn advance_wall(&self, ns: u64) {
+        self.wall_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> CostSnapshot {
@@ -113,10 +186,14 @@ impl CostLedger {
             disk_ns: self.disk_ns.load(Ordering::Relaxed),
             network_ns: self.network_ns.load(Ordering::Relaxed),
             backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
+            wall_ns: self.wall_ns.load(Ordering::Relaxed),
             transfers: self.transfers.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
             bytes_to_device: self.bytes_to_device.load(Ordering::Relaxed),
             bytes_from_device: self.bytes_from_device.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -126,10 +203,14 @@ impl CostLedger {
         self.disk_ns.store(0, Ordering::Relaxed);
         self.network_ns.store(0, Ordering::Relaxed);
         self.backoff_ns.store(0, Ordering::Relaxed);
+        self.wall_ns.store(0, Ordering::Relaxed);
         self.transfers.store(0, Ordering::Relaxed);
         self.kernel_launches.store(0, Ordering::Relaxed);
         self.bytes_to_device.store(0, Ordering::Relaxed);
         self.bytes_from_device.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -236,7 +317,53 @@ mod tests {
         let l = CostLedger::new();
         l.charge_kernel(10);
         l.charge_backoff(10);
+        l.record_cache_hit();
+        l.advance_wall(3);
         l.reset();
         assert_eq!(l.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn serial_charges_advance_wall_in_lockstep_with_total() {
+        let l = CostLedger::new();
+        l.charge_transfer(11, 8, 0);
+        l.charge_kernel(13);
+        l.charge_disk(17);
+        l.charge_network(19);
+        l.charge_backoff(23);
+        let s = l.snapshot();
+        assert_eq!(s.wall_ns, s.total_ns());
+    }
+
+    #[test]
+    fn overlapped_charges_keep_categories_but_not_wall() {
+        let l = CostLedger::new();
+        // Two streams: a 100ns copy overlapping a 60ns kernel.
+        l.charge_transfer_overlapped(100, 64, 0);
+        l.charge_kernel_overlapped(60);
+        l.advance_wall(100); // sync point: max(100, 60)
+        let s = l.snapshot();
+        assert_eq!(s.transfer_ns, 100);
+        assert_eq!(s.kernel_ns, 60);
+        assert_eq!(s.total_ns(), 160);
+        assert_eq!(s.wall_ns, 100);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.bytes_to_device, 64);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_delta() {
+        let l = CostLedger::new();
+        l.record_cache_miss();
+        let a = l.snapshot();
+        l.record_cache_hit();
+        l.record_cache_hit();
+        l.record_cache_eviction();
+        let d = l.snapshot().since(&a);
+        assert_eq!(d.cache_hits, 2);
+        assert_eq!(d.cache_misses, 0);
+        assert_eq!(d.cache_evictions, 1);
+        assert_eq!(l.snapshot().cache_misses, 1);
     }
 }

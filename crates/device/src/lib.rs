@@ -27,6 +27,7 @@
 //! writes, dropped cluster messages and down nodes, transfer failures,
 //! spurious OOM, failed kernel launches — with zero cost when disabled.
 
+pub mod cache;
 pub mod cluster;
 pub mod disk;
 pub mod faults;
@@ -35,8 +36,11 @@ pub mod ledger;
 pub mod memory;
 pub mod simt;
 pub mod spec;
+pub mod stream;
 
+pub use cache::{CachedColumn, DeviceColumnCache};
 pub use faults::{FaultPlan, FaultRates, FaultSite, FaultyStorage};
 pub use ledger::CostLedger;
 pub use memory::{BufferId, SimDevice};
 pub use spec::DeviceSpec;
+pub use stream::{sync_streams, SimStream, StreamEvent};

@@ -152,6 +152,16 @@ impl SimDevice {
     /// Copy host bytes into an existing buffer at `offset`, charging PCIe
     /// transfer time.
     pub fn write(&self, buf: BufferId, offset: usize, bytes: &[u8]) -> Result<()> {
+        let ns = self.write_overlapped(buf, offset, bytes)?;
+        self.ledger.advance_wall(ns);
+        Ok(())
+    }
+
+    /// Like [`write`](Self::write) but charges the transfer without
+    /// advancing the wall clock — the copy runs on a
+    /// [`SimStream`](crate::stream::SimStream), which owns the timeline.
+    /// Returns the modeled transfer duration in virtual nanoseconds.
+    pub fn write_overlapped(&self, buf: BufferId, offset: usize, bytes: &[u8]) -> Result<u64> {
         self.roll_transfer()?;
         let mut mem = self.mem.lock();
         let data = mem
@@ -164,8 +174,9 @@ impl SimDevice {
             .ok_or_else(|| Error::Internal("device buffer overrun".into()))?;
         data[offset..end].copy_from_slice(bytes);
         drop(mem);
-        self.ledger.charge_transfer(self.spec.transfer_ns(bytes.len()), bytes.len() as u64, 0);
-        Ok(())
+        let ns = self.spec.transfer_ns(bytes.len());
+        self.ledger.charge_transfer_overlapped(ns, bytes.len() as u64, 0);
+        Ok(ns)
     }
 
     /// Copy a buffer back to the host, charging PCIe transfer time.

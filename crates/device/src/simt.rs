@@ -124,6 +124,15 @@ impl<'d> Executor<'d> {
     /// kernels that compute with bulk host operations for speed but want the
     /// same time model (the hot path for large reductions).
     pub fn charge_launch(&self, cfg: LaunchConfig, cost: KernelCost) -> Result<u64> {
+        let ns = self.charge_launch_overlapped(cfg, cost)?;
+        self.device.ledger().advance_wall(ns);
+        Ok(ns)
+    }
+
+    /// Like [`charge_launch`](Self::charge_launch) but without advancing
+    /// the wall clock — the launch runs on a
+    /// [`SimStream`](crate::stream::SimStream), which owns the timeline.
+    pub fn charge_launch_overlapped(&self, cfg: LaunchConfig, cost: KernelCost) -> Result<u64> {
         self.validate(cfg)?;
         self.roll_launch()?;
         let ns = self.device.spec().kernel_ns(
@@ -132,7 +141,7 @@ impl<'d> Executor<'d> {
             cost.cycles_per_item,
             cost.bytes,
         );
-        self.device.ledger().charge_kernel(ns);
+        self.device.ledger().charge_kernel_overlapped(ns);
         Ok(ns)
     }
 }

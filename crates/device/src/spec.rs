@@ -72,6 +72,25 @@ impl DeviceSpec {
         }
     }
 
+    /// An integrated GPU sharing host DRAM (Jetson/APU-class, the paper's
+    /// "host-shared memory" taxonomy value): the host↔device link runs at
+    /// device-memory bandwidth with microsecond latency. Transfer and
+    /// kernel time are comparable here, so transfer/compute overlap — not
+    /// the PCIe wall — decides wall time.
+    pub fn unified() -> Self {
+        DeviceSpec {
+            global_mem_bytes: 8 * 1024 * 1024 * 1024,
+            sms: 8,
+            cores_per_sm: 128,
+            max_threads_per_block: 1024,
+            clock_hz: 1.3e9,
+            mem_bandwidth: 25.6e9,
+            pcie_bandwidth: 25.6e9,
+            pcie_latency_ns: 1_000,
+            kernel_launch_ns: 3_000,
+        }
+    }
+
     /// Virtual nanoseconds to move `bytes` across PCIe (one transfer).
     pub fn transfer_ns(&self, bytes: usize) -> u64 {
         self.pcie_latency_ns + (bytes as f64 / self.pcie_bandwidth * 1e9) as u64

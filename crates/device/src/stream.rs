@@ -1,0 +1,207 @@
+//! Asynchronous streams over the simulated device.
+//!
+//! A [`SimStream`] is a CUDA-stream analogue for virtual time: work issued
+//! on a stream advances that stream's private cursor and charges its
+//! category on the shared [`CostLedger`](crate::ledger::CostLedger) via the
+//! `_overlapped` variants — *without* touching the critical-path wall
+//! clock. When the host synchronizes ([`sync_streams`]), only the furthest
+//! cursor (the `max(...)` across the concurrent timelines) lands on
+//! `wall_ns`. Two streams doing 100 ns of copy and 60 ns of kernel thus
+//! cost 160 ns of categorized work but only 100 ns of wall — the
+//! double-buffered transfer pipeline in `htapg_exec::device_exec` is built
+//! on exactly this composition.
+//!
+//! Cross-stream ordering uses CUDA-style events: [`SimStream::record`]
+//! captures a point on one timeline, [`SimStream::wait`] makes another
+//! stream's cursor at least that point (`cudaStreamWaitEvent`). Data is
+//! still moved and computed for real and immediately — only the *time* is
+//! modeled — so a kernel may safely consume bytes whose copy it waited on.
+//!
+//! Fault injection composes unchanged: stream ops roll the same
+//! [`FaultSite`](crate::faults::FaultSite)s as their synchronous
+//! counterparts, and a failed op charges nothing and leaves the cursor
+//! where it was.
+
+use crate::memory::{BufferId, SimDevice};
+use crate::simt::{Executor, KernelCost, LaunchConfig};
+use htapg_core::Result;
+
+/// A point on a stream's virtual timeline (CUDA event analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StreamEvent {
+    at_ns: u64,
+}
+
+impl StreamEvent {
+    /// Nanoseconds since the pipeline epoch (stream creation).
+    pub fn at_ns(&self) -> u64 {
+        self.at_ns
+    }
+}
+
+/// A virtual-time stream of device work.
+///
+/// All streams created from the same epoch (e.g. the copy and compute
+/// streams of one pipelined query) share a common t=0; their cursors are
+/// directly comparable and [`sync_streams`] settles `max(cursors)` onto the
+/// ledger wall.
+#[derive(Debug)]
+pub struct SimStream<'d> {
+    device: &'d SimDevice,
+    cursor: u64,
+}
+
+impl<'d> SimStream<'d> {
+    pub fn new(device: &'d SimDevice) -> Self {
+        SimStream { device, cursor: 0 }
+    }
+
+    pub fn device(&self) -> &'d SimDevice {
+        self.device
+    }
+
+    /// Current position on this stream's timeline (ns since epoch).
+    pub fn cursor_ns(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Record an event at the stream's current position.
+    pub fn record(&self) -> StreamEvent {
+        StreamEvent { at_ns: self.cursor }
+    }
+
+    /// Make this stream wait for `event`: the cursor becomes at least the
+    /// event's timestamp (`cudaStreamWaitEvent`).
+    pub fn wait(&mut self, event: StreamEvent) {
+        self.cursor = self.cursor.max(event.at_ns);
+    }
+
+    /// Host→device copy on this stream: bytes land immediately (data is
+    /// real), the transfer cost advances this stream's cursor only.
+    pub fn write(&mut self, buf: BufferId, offset: usize, bytes: &[u8]) -> Result<()> {
+        let ns = self.device.write_overlapped(buf, offset, bytes)?;
+        self.cursor += ns;
+        Ok(())
+    }
+
+    /// Charge a kernel launch on this stream (the bulk-host-compute
+    /// counterpart of [`Executor::charge_launch`], minus the wall advance).
+    /// Returns the modeled duration.
+    pub fn charge_launch(&mut self, cfg: LaunchConfig, cost: KernelCost) -> Result<u64> {
+        let ns = Executor::new(self.device).charge_launch_overlapped(cfg, cost)?;
+        self.cursor += ns;
+        Ok(ns)
+    }
+}
+
+/// Synchronize a set of streams sharing one epoch: the furthest cursor —
+/// the overlapped critical path — is charged to the ledger's wall clock.
+/// Returns that wall span in nanoseconds.
+pub fn sync_streams(device: &SimDevice, streams: &[&SimStream<'_>]) -> u64 {
+    let wall = streams.iter().map(|s| s.cursor_ns()).max().unwrap_or(0);
+    device.ledger().advance_wall(wall);
+    wall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    #[test]
+    fn stream_work_charges_categories_but_not_wall() {
+        let d = SimDevice::with_defaults();
+        let buf = d.alloc(1024).unwrap();
+        let wall0 = d.ledger().snapshot().wall_ns;
+        let mut s = SimStream::new(&d);
+        s.write(buf, 0, &[7u8; 1024]).unwrap();
+        let snap = d.ledger().snapshot();
+        assert!(snap.transfer_ns > 0);
+        assert_eq!(snap.bytes_to_device, 1024);
+        assert_eq!(snap.wall_ns, wall0, "stream write must not advance wall");
+        assert_eq!(s.cursor_ns(), d.spec().transfer_ns(1024));
+    }
+
+    #[test]
+    fn two_streams_compose_as_max_on_sync() {
+        let d = SimDevice::with_defaults();
+        let buf = d.alloc(4096).unwrap();
+        let mut copy = SimStream::new(&d);
+        let mut compute = SimStream::new(&d);
+        copy.write(buf, 0, &[1u8; 4096]).unwrap();
+        compute
+            .charge_launch(
+                LaunchConfig::new(4, 128),
+                KernelCost { work_items: 512, cycles_per_item: 4.0, bytes: 4096 },
+            )
+            .unwrap();
+        let wall0 = d.ledger().snapshot().wall_ns;
+        let span = sync_streams(&d, &[&copy, &compute]);
+        assert_eq!(span, copy.cursor_ns().max(compute.cursor_ns()));
+        let snap = d.ledger().snapshot();
+        assert_eq!(snap.wall_ns - wall0, span);
+        assert!(
+            snap.transfer_ns + snap.kernel_ns > span,
+            "overlap: categorized work exceeds the wall span"
+        );
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let d = SimDevice::with_defaults();
+        let buf = d.alloc(1 << 20).unwrap();
+        let mut copy = SimStream::new(&d);
+        let mut compute = SimStream::new(&d);
+        copy.write(buf, 0, &vec![2u8; 1 << 20]).unwrap();
+        let uploaded = copy.record();
+        // The kernel must not start before its input finished copying.
+        compute.wait(uploaded);
+        let before = compute.cursor_ns();
+        assert_eq!(before, uploaded.at_ns());
+        compute
+            .charge_launch(
+                LaunchConfig::new(1, 32),
+                KernelCost { work_items: 32, cycles_per_item: 1.0, bytes: 0 },
+            )
+            .unwrap();
+        assert!(compute.cursor_ns() > copy.cursor_ns());
+        // Waiting on an older event never rewinds a cursor.
+        compute.wait(uploaded);
+        assert!(compute.cursor_ns() > uploaded.at_ns());
+    }
+
+    #[test]
+    fn serial_equivalence_when_nothing_overlaps() {
+        // One stream used serially syncs to exactly the sum of its charges,
+        // matching what the synchronous API would have put on the wall.
+        let d = SimDevice::new(0, DeviceSpec::unified());
+        let buf = d.alloc(8192).unwrap();
+        let mut s = SimStream::new(&d);
+        s.write(buf, 0, &[1u8; 8192]).unwrap();
+        s.charge_launch(
+            LaunchConfig::new(8, 64),
+            KernelCost { work_items: 1024, cycles_per_item: 4.0, bytes: 8192 },
+        )
+        .unwrap();
+        let wall0 = d.ledger().snapshot().wall_ns;
+        sync_streams(&d, &[&s]);
+        let snap = d.ledger().snapshot();
+        assert_eq!(snap.wall_ns - wall0, snap.transfer_ns + snap.kernel_ns);
+    }
+
+    #[test]
+    fn failed_stream_op_leaves_cursor_and_ledger_unchanged() {
+        use crate::faults::{FaultPlan, FaultRates};
+        let mut d = SimDevice::with_defaults();
+        d.set_fault_plan(FaultPlan::seeded(
+            7,
+            FaultRates { device_transfer: 1.0, ..FaultRates::none() },
+        ));
+        let buf = d.alloc(64).unwrap();
+        let mut s = SimStream::new(&d);
+        let before = d.ledger().snapshot();
+        assert!(s.write(buf, 0, &[1u8; 64]).is_err());
+        assert_eq!(s.cursor_ns(), 0);
+        assert_eq!(d.ledger().snapshot().transfer_ns, before.transfer_ns);
+    }
+}

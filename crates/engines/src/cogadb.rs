@@ -12,9 +12,16 @@
 //! all-or-nothing placement. [`CogadbEngine::sum_column_placed`] is the
 //! HYPE-scheduled operator: a learned linear cost model per processor picks
 //! CPU or GPU, then observes the actual cost to refine itself.
+//!
+//! Device replicas live in a shared [`DeviceColumnCache`], keyed by
+//! `(relation, attr)` and stamped with a per-attr version the engine bumps
+//! on every write. A repeat query whose version still matches hits the
+//! cache and pays zero PCIe; a write makes the cached copy stale, so the
+//! next lookup frees and misses it. Maintain-time placement passes
+//! `may_evict = false` so CoGaDB's all-or-nothing contract is preserved:
+//! placement never steals memory from already-placed neighbours.
 
 use htapg_core::sync::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,7 +32,7 @@ use htapg_core::{
     RowId, Schema, Value,
 };
 use htapg_device::kernels;
-use htapg_device::{BufferId, SimDevice};
+use htapg_device::{DeviceColumnCache, SimDevice};
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -119,20 +126,18 @@ impl Hype {
     }
 }
 
-struct Replica {
-    buf: BufferId,
-    stale: bool,
-}
-
 struct CogadbRelation {
     relation: Relation,
-    replicas: HashMap<AttrId, Replica>,
+    /// Per-attr write versions; a cached device replica is fresh iff its
+    /// stamped version equals the current one.
+    versions: Vec<u64>,
     stats: AccessStats,
 }
 
 /// The CoGaDB engine.
 pub struct CogadbEngine {
     device: Arc<SimDevice>,
+    cache: Arc<DeviceColumnCache>,
     rels: Registry<CogadbRelation>,
     hype: Mutex<Hype>,
 }
@@ -149,20 +154,22 @@ impl CogadbEngine {
     }
 
     pub fn with_device(device: Arc<SimDevice>) -> Self {
-        CogadbEngine { device, rels: Registry::new(), hype: Mutex::new(Hype::default()) }
+        let cache = Arc::new(DeviceColumnCache::new(device.clone()));
+        CogadbEngine { device, cache, rels: Registry::new(), hype: Mutex::new(Hype::default()) }
     }
 
     pub fn device(&self) -> &Arc<SimDevice> {
         &self.device
     }
 
+    /// The device-resident column cache backing all replicas.
+    pub fn cache(&self) -> &Arc<DeviceColumnCache> {
+        &self.cache
+    }
+
     /// Columns currently replicated on the device (fresh or stale).
     pub fn device_resident(&self, rel: RelationId) -> Result<Vec<AttrId>> {
-        self.rels.read(rel, |r| {
-            let mut v: Vec<AttrId> = r.replicas.keys().copied().collect();
-            v.sort_unstable();
-            Ok(v)
-        })
+        self.rels.read(rel, |_| Ok(self.cache.resident_attrs(rel)))
     }
 
     /// Pack a host column into device-ready f64 bytes.
@@ -191,22 +198,18 @@ impl CogadbEngine {
         Ok((out, rows))
     }
 
-    /// Try to place `attr` on the device — all or nothing.
+    /// Try to place `attr` on the device — all or nothing: placement never
+    /// evicts other cached columns to make room.
     pub fn place_column(&self, rel: RelationId, attr: AttrId) -> Result<()> {
         let device = self.device.clone();
+        let cache = self.cache.clone();
         self.rels.write(rel, |r| {
-            if let Some(rep) = r.replicas.get(&attr) {
-                if !rep.stale {
-                    return Ok(());
-                }
+            let version = r.versions[attr as usize];
+            if cache.contains(rel, attr, version) {
+                return Ok(());
             }
-            let (bytes, _rows) = Self::pack_column(r, attr)?;
-            // Free a stale replica before re-uploading.
-            if let Some(old) = r.replicas.remove(&attr) {
-                device.free(old.buf)?;
-            }
-            let buf = device.upload(&bytes)?; // may fail: all-or-nothing
-            r.replicas.insert(attr, Replica { buf, stale: false });
+            let (bytes, rows) = Self::pack_column(r, attr)?;
+            cache.get_or_insert_with(rel, attr, version, rows, false, || device.upload(&bytes))?;
             Ok(())
         })
     }
@@ -218,36 +221,36 @@ impl CogadbEngine {
         let r = handle.read();
         r.stats.record_scan(attr);
         let rows = r.relation.row_count();
-        let fresh = r.replicas.get(&attr).is_some_and(|rep| !rep.stale);
+        let version = r.versions[attr as usize];
+        let fresh = self.cache.contains(rel, attr, version);
         let placement = self.hype.lock().decide(rows, fresh);
-        match placement {
-            Placement::Gpu => {
-                let rep = r.replicas.get(&attr).expect("fresh replica checked");
+        if placement == Placement::Gpu {
+            // The replica may have been evicted between decide and use —
+            // degrade to the host scan instead of failing the query.
+            if let Some(col) = self.cache.lookup(rel, attr, version)? {
                 let before = device.ledger().snapshot();
-                let sum = kernels::reduce_sum_f64(&device, rep.buf)?;
+                let sum = kernels::reduce_sum_f64(&device, col.buf)?;
                 let ns = device.ledger().snapshot().since(&before).kernel_ns;
                 self.hype.lock().observe(Placement::Gpu, rows, ns as f64);
-                Ok((sum, Placement::Gpu))
-            }
-            Placement::Cpu => {
-                let ty = r.relation.schema().ty(attr)?;
-                let t = Instant::now();
-                let mut sum = 0.0f64;
-                r.relation.for_each_field(attr, |_, bytes| {
-                    sum += match ty {
-                        DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
-                        DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
-                        DataType::Int32 | DataType::Date => {
-                            i32::from_le_bytes(bytes.try_into().unwrap()) as f64
-                        }
-                        _ => 0.0,
-                    };
-                })?;
-                let ns = t.elapsed().as_nanos() as f64;
-                self.hype.lock().observe(Placement::Cpu, rows, ns);
-                Ok((sum, Placement::Cpu))
+                return Ok((sum, Placement::Gpu));
             }
         }
+        let ty = r.relation.schema().ty(attr)?;
+        let t = Instant::now();
+        let mut sum = 0.0f64;
+        r.relation.for_each_field(attr, |_, bytes| {
+            sum += match ty {
+                DataType::Float64 => f64::from_le_bytes(bytes.try_into().unwrap()),
+                DataType::Int64 => i64::from_le_bytes(bytes.try_into().unwrap()) as f64,
+                DataType::Int32 | DataType::Date => {
+                    i32::from_le_bytes(bytes.try_into().unwrap()) as f64
+                }
+                _ => 0.0,
+            };
+        })?;
+        let ns = t.elapsed().as_nanos() as f64;
+        self.hype.lock().observe(Placement::Cpu, rows, ns);
+        Ok((sum, Placement::Cpu))
     }
 }
 
@@ -262,10 +265,11 @@ impl StorageEngine for CogadbEngine {
 
     fn create_relation(&self, schema: Schema) -> Result<RelationId> {
         let stats = AccessStats::new(schema.arity());
+        let versions = vec![0; schema.arity()];
         let template = LayoutTemplate::dsm_emulated(&schema);
         Ok(self.rels.add(CogadbRelation {
             relation: Relation::new(schema, template)?,
-            replicas: HashMap::new(),
+            versions,
             stats,
         }))
     }
@@ -278,8 +282,8 @@ impl StorageEngine for CogadbEngine {
         self.rels.write(rel, |r| {
             let row = r.relation.insert(record)?;
             // Device replicas no longer cover the new row.
-            for rep in r.replicas.values_mut() {
-                rep.stale = true;
+            for v in &mut r.versions {
+                *v += 1;
             }
             Ok(row)
         })
@@ -304,9 +308,7 @@ impl StorageEngine for CogadbEngine {
         self.rels.write(rel, |r| {
             r.stats.record_update(attr);
             r.relation.update_field(row, attr, value)?;
-            if let Some(rep) = r.replicas.get_mut(&attr) {
-                rep.stale = true;
-            }
+            r.versions[attr as usize] += 1;
             Ok(())
         })
     }
@@ -346,8 +348,10 @@ impl StorageEngine for CogadbEngine {
     fn maintain(&self) -> Result<MaintenanceReport> {
         let mut report = MaintenanceReport::default();
         let device = self.device.clone();
-        for handle in self.rels.all() {
-            let mut r = handle.write();
+        // Registry ids are dense vector indices, so enumerate recovers them.
+        for (rel, handle) in self.rels.all().into_iter().enumerate() {
+            let rel = rel as RelationId;
+            let r = handle.write();
             let schema = r.relation.schema().clone();
             let mut by_heat: Vec<(u64, AttrId)> = schema
                 .attr_ids()
@@ -361,19 +365,18 @@ impl StorageEngine for CogadbEngine {
                 if heat == 0 {
                     break;
                 }
-                let needs_placement = r.replicas.get(&attr).is_none_or(|rep| rep.stale);
-                if !needs_placement {
+                let version = r.versions[attr as usize];
+                if self.cache.contains(rel, attr, version) {
                     continue;
                 }
-                let (bytes, _rows) = Self::pack_column(&r, attr)?;
-                if let Some(old) = r.replicas.remove(&attr) {
-                    device.free(old.buf)?;
-                }
-                match device.upload(&bytes) {
-                    Ok(buf) => {
-                        r.replicas.insert(attr, Replica { buf, stale: false });
-                        report.fragments_moved += 1;
-                    }
+                let (bytes, rows) = Self::pack_column(&r, attr)?;
+                // `may_evict = false`: placement is all-or-nothing and must
+                // not cannibalize columns placed for other relations.
+                match self
+                    .cache
+                    .get_or_insert_with(rel, attr, version, rows, false, || device.upload(&bytes))
+                {
+                    Ok(_) => report.fragments_moved += 1,
                     Err(Error::DeviceOutOfMemory { .. }) => break, // all-or-nothing fallback
                     Err(e) => return Err(e),
                 }

@@ -10,13 +10,21 @@
 //! [`GputxEngine::execute_batch`] — one kernel wave per touched attribute;
 //! the single-op `StorageEngine` methods run a degenerate batch of one,
 //! paying the launch overhead and under-filled lanes the paper warns about.
+//!
+//! Analytic sums go through [`GputxEngine::sum_column_cached`]: a packed
+//! f64 replica of the typed column is materialized *device-side* (a
+//! widening map kernel — both ends live in device memory, so no PCIe) into
+//! the shared [`DeviceColumnCache`], stamped with a per-attr version bumped
+//! by every write wave. Repeat queries hit the cache and skip even the
+//! widening pass.
 
 use std::sync::Arc;
 
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
-use htapg_core::{AttrId, Error, Record, RelationId, Result, RowId, Schema, Value};
+use htapg_core::{AttrId, DataType, Error, Record, RelationId, Result, RowId, Schema, Value};
+use htapg_device::kernels;
 use htapg_device::simt::{Executor, KernelCost, LaunchConfig};
-use htapg_device::{BufferId, DeviceSpec, SimDevice};
+use htapg_device::{BufferId, DeviceColumnCache, DeviceSpec, SimDevice};
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -40,11 +48,14 @@ struct GputxRelation {
     schema: Schema,
     columns: Vec<DeviceColumn>,
     rows: u64,
+    /// Per-attr write versions stamping the cached analytic replicas.
+    versions: Vec<u64>,
 }
 
 /// The GPUTx engine: device-resident columns, bulk transactions.
 pub struct GputxEngine {
     device: Arc<SimDevice>,
+    cache: Arc<DeviceColumnCache>,
     rels: Registry<GputxRelation>,
 }
 
@@ -64,11 +75,17 @@ impl GputxEngine {
     }
 
     pub fn with_device(device: Arc<SimDevice>) -> Self {
-        GputxEngine { device, rels: Registry::new() }
+        let cache = Arc::new(DeviceColumnCache::new(device.clone()));
+        GputxEngine { device, cache, rels: Registry::new() }
     }
 
     pub fn device(&self) -> &Arc<SimDevice> {
         &self.device
+    }
+
+    /// The cache of packed analytic column replicas.
+    pub fn cache(&self) -> &Arc<DeviceColumnCache> {
+        &self.cache
     }
 
     fn ensure_capacity(&self, r: &mut GputxRelation, need: u64) -> Result<()> {
@@ -113,7 +130,71 @@ impl GputxEngine {
                 device.write(col.buf, first as usize * col.width, &payload)?;
             }
             r.rows += records.len() as u64;
+            // New rows are not covered by any cached analytic replica.
+            for v in &mut r.versions {
+                *v += 1;
+            }
             Ok(first)
+        })
+    }
+
+    /// Analytic column sum through the device-resident cache: a packed f64
+    /// replica of the typed column is built by a device-side widening
+    /// kernel (no PCIe — source and destination both live in device
+    /// memory) and reduced; a repeat query at the same version hits the
+    /// cache and runs only the reduction.
+    pub fn sum_column_cached(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        let device = self.device.clone();
+        let cache = self.cache.clone();
+        self.rels.read(rel, |r| {
+            let col = r.columns.get(attr as usize).ok_or(Error::UnknownAttribute(attr))?;
+            let ty = r.schema.ty(attr)?;
+            if matches!(ty, DataType::Text(_) | DataType::Bool) {
+                return Err(Error::TypeMismatch { expected: "numeric", got: ty.name() });
+            }
+            if r.rows == 0 {
+                return Ok(0.0);
+            }
+            let rows = r.rows;
+            let version = r.versions[attr as usize];
+            let packed = cache.get_or_insert_with(rel, attr, version, rows, true, || {
+                let n = rows as usize;
+                let mut out = vec![0u8; n * 8];
+                device.with_buffer(col.buf, |bytes| {
+                    for i in 0..n {
+                        let f = &bytes[i * col.width..(i + 1) * col.width];
+                        let x = match ty {
+                            DataType::Float64 => f64::from_le_bytes(f.try_into().unwrap()),
+                            DataType::Int64 => i64::from_le_bytes(f.try_into().unwrap()) as f64,
+                            DataType::Int32 | DataType::Date => {
+                                i32::from_le_bytes(f.try_into().unwrap()) as f64
+                            }
+                            _ => unreachable!("numeric checked above"),
+                        };
+                        out[i * 8..(i + 1) * 8].copy_from_slice(&x.to_le_bytes());
+                    }
+                })?;
+                let buf = device.alloc(out.len())?;
+                let built =
+                    device.with_buffer_mut(buf, |dst| dst.copy_from_slice(&out)).and_then(|()| {
+                        Executor::new(&device)
+                            .charge_launch(
+                                LaunchConfig::new(1024, 512),
+                                KernelCost {
+                                    work_items: rows,
+                                    cycles_per_item: 2.0,
+                                    bytes: rows * (col.width as u64 + 8),
+                                },
+                            )
+                            .map(|_| ())
+                    });
+                if let Err(e) = built {
+                    device.free(buf)?;
+                    return Err(e);
+                }
+                Ok(buf)
+            })?;
+            kernels::reduce_sum_f64(&device, packed.buf)
         })
     }
 
@@ -176,6 +257,8 @@ impl GputxEngine {
                         bytes: (ups.len() * col.width * 2) as u64,
                     },
                 )?;
+                // The update wave invalidates this attr's cached replica.
+                r.versions[a as usize] += 1;
             }
             // Read wave: gather all requested records into the result pool.
             let reads: Vec<RowId> = ops
@@ -236,7 +319,8 @@ impl StorageEngine for GputxEngine {
     }
 
     fn create_relation(&self, schema: Schema) -> Result<RelationId> {
-        Ok(self.rels.add(GputxRelation { schema, columns: Vec::new(), rows: 0 }))
+        let versions = vec![0; schema.arity()];
+        Ok(self.rels.add(GputxRelation { schema, columns: Vec::new(), rows: 0, versions }))
     }
 
     fn schema(&self, rel: RelationId) -> Result<Schema> {
@@ -421,6 +505,38 @@ mod tests {
             bulk.kernel_ns,
             singles.kernel_ns
         );
+    }
+
+    #[test]
+    fn cached_analytic_sum_hits_and_write_waves_invalidate() {
+        let e = GputxEngine::new();
+        let rel = e.create_relation(schema()).unwrap();
+        e.bulk_insert(rel, &(0..1000).map(rec).collect::<Vec<_>>()).unwrap();
+        let host = e.sum_column_f64(rel, 1).unwrap();
+        let before = e.device().ledger().snapshot();
+        let s1 = e.sum_column_cached(rel, 1).unwrap();
+        assert_eq!(s1, host);
+        let cold = e.device().ledger().snapshot().since(&before);
+        assert_eq!(cold.cache_misses, 1);
+        assert_eq!(cold.bytes_to_device, 0, "widening is device-side, never PCIe");
+        // The repeat query hits the cache and skips the widening kernel.
+        let before = e.device().ledger().snapshot();
+        let s2 = e.sum_column_cached(rel, 1).unwrap();
+        assert_eq!(s2.to_bits(), s1.to_bits());
+        let warm = e.device().ledger().snapshot().since(&before);
+        assert_eq!(warm.cache_hits, 1);
+        assert_eq!(warm.bytes_to_device, 0);
+        assert!(warm.kernel_launches < cold.kernel_launches, "widening pass skipped");
+        // A write wave through the engine bumps the version: the replica is
+        // rebuilt and the new value is visible.
+        e.update_field(rel, 0, 1, &Value::Float64(500.0)).unwrap();
+        let s3 = e.sum_column_cached(rel, 1).unwrap();
+        assert_eq!(s3, host + 500.0); // row 0 held 0.0
+                                      // Writes to *other* attrs leave this replica fresh.
+        e.update_field(rel, 0, 0, &Value::Int64(-7)).unwrap();
+        let before = e.device().ledger().snapshot();
+        assert_eq!(e.sum_column_cached(rel, 1).unwrap(), s3);
+        assert_eq!(e.device().ledger().snapshot().since(&before).cache_hits, 1);
     }
 
     #[test]

@@ -22,7 +22,6 @@
 //! by [`StorageEngine::maintain`].
 
 use htapg_core::sync::RwLock as PRwLock;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use htapg_core::adapt::{AccessStats, Advisor, AdvisorConfig};
@@ -35,7 +34,7 @@ use htapg_core::{
     Relation, RelationId, Result, RowId, Schema, Scheme, Value,
 };
 use htapg_device::kernels;
-use htapg_device::{BufferId, SimDevice};
+use htapg_device::{DeviceColumnCache, SimDevice};
 use htapg_taxonomy::{
     Classification, DataLocality, DataLocation, FragmentLinearization, FragmentScheme,
     LayoutAdaptability, LayoutFlexibility, LayoutHandling, ProcessorSupport, WorkloadSupport,
@@ -51,11 +50,6 @@ const ANALYTIC: usize = 1;
 /// Default horizontal chunking of the primary layout.
 pub const DEFAULT_CHUNK_ROWS: u64 = 4096;
 
-struct DeviceReplica {
-    buf: BufferId,
-    stale: bool,
-}
-
 struct RefRelation {
     relation: Relation,
     /// MVCC overlay of uncommitted/committed-but-unmerged field versions.
@@ -63,7 +57,10 @@ struct RefRelation {
     stats: AccessStats,
     /// Attributes exclusively owned by the analytic layout.
     delegated: Vec<AttrId>,
-    replicas: HashMap<AttrId, DeviceReplica>,
+    /// Write version of the relation: bumped on insert and on every commit
+    /// so cached device replicas (stamped with the version they packed) go
+    /// stale exactly when the base data moves underneath them.
+    version: u64,
 }
 
 fn policy_for(delegated: &[AttrId]) -> DelegationPolicy {
@@ -85,6 +82,8 @@ pub struct ReferenceEngine {
     rels: Registry<RefRelation>,
     mgr: Arc<TxnManager>,
     device: Arc<SimDevice>,
+    /// Device-resident analytic column replicas, versioned per relation.
+    cache: Arc<DeviceColumnCache>,
     advisor: Advisor,
     improvement_threshold: f64,
     chunk_rows: u64,
@@ -109,10 +108,12 @@ impl ReferenceEngine {
 
     pub fn with_device(device: Arc<SimDevice>) -> Self {
         let chunk_rows = DEFAULT_CHUNK_ROWS;
+        let cache = Arc::new(DeviceColumnCache::new(device.clone()));
         ReferenceEngine {
             rels: Registry::new(),
             mgr: Arc::new(TxnManager::new()),
             device,
+            cache,
             advisor: Advisor::new(AdvisorConfig {
                 chunk_rows: Some(chunk_rows),
                 ..Default::default()
@@ -195,6 +196,11 @@ impl ReferenceEngine {
         &self.device
     }
 
+    /// The device-resident column cache backing all replicas.
+    pub fn cache(&self) -> &Arc<DeviceColumnCache> {
+        &self.cache
+    }
+
     pub fn txn_manager(&self) -> &Arc<TxnManager> {
         &self.mgr
     }
@@ -237,10 +243,6 @@ impl ReferenceEngine {
                 return Err(Error::TypeMismatch { expected: ty.name(), got: value.type_name() });
             }
             r.stats.record_update(attr);
-            if let Some(rep) = r.replicas.get(&attr) {
-                // Mark the device copy stale; done lazily via maintain.
-                let _ = rep;
-            }
             self.log(&LogRecord::Update { rel, row, attr, value: value.clone(), txn: txn.id })?;
             r.overlay.put(txn, (row, attr), value)
         })
@@ -250,12 +252,11 @@ impl ReferenceEngine {
     pub fn txn_commit(&self, rel: RelationId, txn: &Txn) -> Result<Timestamp> {
         self.log(&LogRecord::Commit { txn: txn.id })?;
         let ts = self.rels.read(rel, |r| r.overlay.commit(txn))?;
-        // Written columns' device replicas are stale now.
+        // Written columns' device replicas are stale now: bump the version
+        // so cached copies miss (and are freed) at their next lookup.
         self.rels
             .write(rel, |r| {
-                for rep in r.replicas.values_mut() {
-                    rep.stale = true;
-                }
+                r.version += 1;
                 Ok(())
             })
             .ok();
@@ -311,11 +312,7 @@ impl ReferenceEngine {
 
     /// Attributes with a (fresh or stale) device replica.
     pub fn device_resident(&self, rel: RelationId) -> Result<Vec<AttrId>> {
-        self.rels.read(rel, |r| {
-            let mut v: Vec<AttrId> = r.replicas.keys().copied().collect();
-            v.sort_unstable();
-            Ok(v)
-        })
+        self.rels.read(rel, |_| Ok(self.cache.resident_attrs(rel)))
     }
 
     /// Vertical groups of the primary layout.
@@ -336,11 +333,11 @@ impl ReferenceEngine {
     pub fn sum_column_device(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
         let device = self.device.clone();
         self.rels.read(rel, |r| {
-            let rep = r.replicas.get(&attr).filter(|rep| !rep.stale).ok_or_else(|| {
+            let col = self.cache.lookup(rel, attr, r.version)?.ok_or_else(|| {
                 Error::Internal(format!("no fresh device replica of attr {attr}"))
             })?;
             with_retry(&RetryPolicy::default(), device.ledger(), || {
-                kernels::reduce_sum_f64(&device, rep.buf)
+                kernels::reduce_sum_f64(&device, col.buf)
             })
         })
     }
@@ -350,8 +347,7 @@ impl ReferenceEngine {
     /// the host from the current snapshot. Graceful degradation — a faulty
     /// device costs speed, never availability or correctness.
     pub fn sum_column_auto(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
-        let fresh =
-            self.rels.read(rel, |r| Ok(r.replicas.get(&attr).is_some_and(|rep| !rep.stale)))?;
+        let fresh = self.rels.read(rel, |r| Ok(self.cache.contains(rel, attr, r.version)))?;
         if fresh {
             match self.sum_column_device(rel, attr) {
                 Ok(sum) => return Ok(sum),
@@ -473,7 +469,7 @@ impl StorageEngine for ReferenceEngine {
             overlay: MvStore::new(self.mgr.clone()),
             stats,
             delegated: Vec::new(),
-            replicas: HashMap::new(),
+            version: 0,
         });
         self.log(&LogRecord::CreateRelation { rel, schema })?;
         Ok(rel)
@@ -486,9 +482,8 @@ impl StorageEngine for ReferenceEngine {
     fn insert(&self, rel: RelationId, record: &Record) -> Result<RowId> {
         let row = self.rels.write(rel, |r| {
             let row = r.relation.insert(record)?;
-            for rep in r.replicas.values_mut() {
-                rep.stale = true;
-            }
+            // Device replicas no longer cover the new row.
+            r.version += 1;
             Ok(row)
         })?;
         self.log(&LogRecord::Insert { rel, row, values: record.clone() })?;
@@ -590,7 +585,9 @@ impl StorageEngine for ReferenceEngine {
         let _guard = self.maint_lock.write();
         let mut report = MaintenanceReport::default();
         let device = self.device.clone();
-        for handle in self.rels.all() {
+        // Registry ids are dense vector indices, so enumerate recovers them.
+        for (rel, handle) in self.rels.all().into_iter().enumerate() {
+            let rel = rel as RelationId;
             let mut r = handle.write();
             // (1) merge committed versions into the authoritative layouts.
             let mut merged: Vec<((RowId, AttrId), Value)> = Vec::new();
@@ -623,34 +620,28 @@ impl StorageEngine for ReferenceEngine {
             }
             // Evict replicas of columns no longer delegated (the device
             // re-assignment loop of Figure 1 runs both ways).
-            let evict: Vec<AttrId> =
-                r.replicas.keys().copied().filter(|a| !r.delegated.contains(a)).collect();
-            for attr in evict {
-                if let Some(old) = r.replicas.remove(&attr) {
-                    device.free(old.buf)?;
+            for attr in self.cache.resident_attrs(rel) {
+                if !r.delegated.contains(&attr) {
+                    self.cache.invalidate(rel, attr)?;
                     report.fragments_moved += 1;
                 }
             }
-            // Device placement of delegated columns (all-or-nothing).
+            // Device placement of delegated columns (all-or-nothing:
+            // `may_evict = false`, placement never steals cache residency).
             let delegated = r.delegated.clone();
             for attr in delegated {
                 if matches!(schema.ty(attr)?, DataType::Text(_) | DataType::Bool) {
                     continue;
                 }
-                let fresh = r.replicas.get(&attr).is_some_and(|rep| !rep.stale);
-                if fresh {
+                if self.cache.contains(rel, attr, r.version) {
                     continue;
                 }
                 let bytes = Self::pack_column_f64(&r, attr)?;
-                if let Some(old) = r.replicas.remove(&attr) {
-                    device.free(old.buf)?;
-                }
-                match with_retry(&RetryPolicy::default(), device.ledger(), || device.upload(&bytes))
-                {
-                    Ok(buf) => {
-                        r.replicas.insert(attr, DeviceReplica { buf, stale: false });
-                        report.fragments_moved += 1;
-                    }
+                let rows = r.relation.row_count();
+                match self.cache.get_or_insert_with(rel, attr, r.version, rows, false, || {
+                    with_retry(&RetryPolicy::default(), device.ledger(), || device.upload(&bytes))
+                }) {
+                    Ok(_) => report.fragments_moved += 1,
                     Err(Error::DeviceOutOfMemory { .. }) => break,
                     // Persistent transient fault (retries exhausted): skip
                     // placement — the column stays host-resident and the

@@ -16,11 +16,14 @@ use std::sync::Arc;
 use htapg::core::engine::{StorageEngine, StorageEngineExt};
 use htapg::core::prng::env_seed;
 use htapg::core::wal::{MemStorage, Wal};
-use htapg::core::{Record, Value};
+use htapg::core::{DataType, Layout, LayoutTemplate, Record, Schema, Value};
 use htapg::device::cluster::SimCluster;
 use htapg::device::disk::DiskSpec;
-use htapg::device::{FaultPlan, FaultRates, FaultSite, FaultyStorage, SimDevice};
+use htapg::device::{
+    DeviceColumnCache, FaultPlan, FaultRates, FaultSite, FaultyStorage, SimDevice,
+};
 use htapg::engines::{Es2Engine, MirrorsEngine, ReferenceEngine};
+use htapg::exec::device_exec::{cached_offload_sum, offload_sum, PipelineConfig};
 use htapg::workload::tpcc::{item_attr, item_schema, Generator};
 
 /// Escalating fault rates the acceptance criteria call for.
@@ -323,4 +326,78 @@ fn fault_sequences_are_byte_identical_across_runs_of_one_seed() {
     // A different seed shakes a different sequence out of the same ops.
     let (_, _, other) = run_mirrors(seed ^ 0x5EED_CAFE, 0.1);
     assert_ne!(mh1, other, "distinct seeds must produce distinct sequences");
+}
+
+// ---------------------------------------------------------------------
+// (d) Transfer faults mid-pipeline: the device column cache never keeps
+// a phantom entry, never leaks device memory, and retried successes are
+// bit-identical to the fault-free answer.
+// ---------------------------------------------------------------------
+
+#[test]
+fn transfer_faults_mid_pipeline_leave_the_cache_consistent() {
+    let seed = env_seed(DEFAULT_SEED);
+    let s = Schema::of(&[("price", DataType::Float64)]);
+    let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+    for i in 0..40_000u64 {
+        l.append(&s, &vec![Value::Float64((i % 997) as f64 * 0.5)]).unwrap();
+    }
+    // Small chunks so a single query issues many transfers — plenty of
+    // places for a fault to land mid-pipeline.
+    let cfg = PipelineConfig { chunk_rows: 4 * 1024 };
+    let clean = Arc::new(SimDevice::with_defaults());
+    let (expect, _, _) = offload_sum(&clean, &l, 0, DataType::Float64).unwrap();
+
+    // Certain transfer faults: RetryPolicy::default() gives four attempts
+    // and all of them lose, so the upload must fail terminally — handing
+    // back a transient error, freeing the staging buffer, and recording
+    // no phantom cache entry.
+    let mut dev = SimDevice::with_defaults();
+    dev.set_fault_plan(FaultPlan::seeded(
+        seed,
+        FaultRates { device_transfer: 1.0, ..FaultRates::none() },
+    ));
+    let cache = DeviceColumnCache::new(Arc::new(dev));
+    let err = cached_offload_sum(&cache, &l, 0, DataType::Float64, 7, 1, cfg).unwrap_err();
+    assert!(err.is_transient(), "terminal transfer fault: {err} (HTAPG_SEED={seed})");
+    assert!(cache.is_empty(), "no phantom entry after a failed upload (HTAPG_SEED={seed})");
+    assert!(!cache.contains(7, 0, 1));
+    assert_eq!(cache.device().used_bytes(), 0, "staging buffer freed (HTAPG_SEED={seed})");
+
+    // 30% transfer and launch faults: retries absorb most (a terminal
+    // failure needs four losses in a row, p = 0.3^4 per op). Every success
+    // must be bit-identical to the fault-free answer, and after every call
+    // — success or failure, cold, warm, or freshly invalidated — the cache
+    // must account for exactly the bytes the device says are in use.
+    let mut dev = SimDevice::with_defaults();
+    dev.set_fault_plan(FaultPlan::seeded(
+        seed ^ 0x9E37_79B9,
+        FaultRates { device_transfer: 0.3, kernel_launch: 0.3, ..FaultRates::none() },
+    ));
+    let cache = DeviceColumnCache::new(Arc::new(dev));
+    let mut ok = 0u32;
+    for round in 0..24u64 {
+        // A "write wave" every eight queries: the version bump invalidates
+        // the resident replica so the next query re-runs the pipeline.
+        let version = 1 + round / 8;
+        match cached_offload_sum(&cache, &l, 0, DataType::Float64, 7, version, cfg) {
+            Ok(sum) => {
+                ok += 1;
+                assert_eq!(
+                    sum.to_bits(),
+                    expect.to_bits(),
+                    "round {round} diverged (HTAPG_SEED={seed})"
+                );
+            }
+            Err(e) => {
+                assert!(e.is_transient(), "round {round}: {e} (HTAPG_SEED={seed})");
+            }
+        }
+        assert_eq!(
+            cache.device().used_bytes(),
+            cache.resident_bytes(),
+            "cache out of sync with device memory after round {round} (HTAPG_SEED={seed})"
+        );
+    }
+    assert!(ok >= 12, "retries should absorb most faults: {ok}/24 (HTAPG_SEED={seed})");
 }
