@@ -3,7 +3,7 @@
 //! on every Table 1 archetype plus the reference engine, on identical data.
 
 use htapg_bench::micro::Group;
-use htapg_core::engine::{StorageEngine, StorageEngineExt};
+use htapg_core::engine::StorageEngine;
 use htapg_core::Value;
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
 use htapg_workload::driver::load_items;

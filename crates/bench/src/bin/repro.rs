@@ -1,14 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [ablations] [all]
+//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [obs] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
 //! shrinks the Figure 2 sweeps for fast smoke runs. Build with `--release`
-//! for meaningful CPU timings.
+//! for meaningful CPU timings. The seed defaults to `HTAPG_SEED` when set
+//! (else 42); `--trace PATH` writes the obs section's Chrome trace JSON
+//! (open in `chrome://tracing` or Perfetto).
 
-use htapg_bench::{ablation, fig2, gpu_pipeline, pool, render_sweep};
+use htapg_bench::{ablation, fig2, gpu_pipeline, obs, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -147,7 +149,6 @@ fn print_reference_check() {
 
 fn print_fig1() {
     section("Figure 1 — physical record layout re-organization and compute device re-assignment");
-    use htapg_core::engine::StorageEngineExt;
     use htapg_workload::tpcc::{customer_attr as c, customer_schema, Generator};
     let engine = ReferenceEngine::new();
     let gen = Generator::new(1);
@@ -194,11 +195,21 @@ fn main() {
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+        .unwrap_or_else(|| htapg_core::prng::env_seed(42));
+    let trace_path =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    let flag_values: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--seed" || *a == "--trace")
+        .map(|(i, _)| i + 1)
+        .collect();
     let picked: Vec<&str> = args
         .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a.as_str())
+        .filter(|a| !a.chars().all(|c| c.is_ascii_digit()))
         .collect();
     let all = picked.is_empty() || picked.contains(&"all");
     let want = |what: &str| all || picked.contains(&what);
@@ -290,6 +301,29 @@ fn main() {
         match std::fs::write(path, gpu_pipeline::to_json(&points)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    if want("obs") {
+        section("Observability — traced HTAP run on the virtual clock");
+        let report = obs::run(seed, quick);
+        print!("{}", obs::render(&report));
+        // The full span tree has one node per op — print the header and
+        // category table, leave the tree to --trace/Perfetto.
+        println!();
+        for line in report.explain_text.lines().take(24) {
+            println!("{line}");
+        }
+        println!("  ... (span tree truncated; export the full trace with --trace PATH)");
+        let path = "BENCH_obs.json";
+        match std::fs::write(path, obs::to_json(&report)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+        if let Some(path) = &trace_path {
+            match std::fs::write(path, &report.chrome_json) {
+                Ok(()) => println!("wrote {path} (open in chrome://tracing or Perfetto)"),
+                Err(e) => println!("could not write {path}: {e}"),
+            }
         }
     }
     if (all && !quick) || picked.contains(&"ablations") {

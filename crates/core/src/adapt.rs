@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::costmodel::{self, CacheSpec};
 use crate::layout::{GroupOrder, LayoutTemplate, VerticalGroup};
+use crate::obs;
 use crate::schema::{AttrId, Schema};
 
 /// Lock-free per-attribute counters plus a co-access matrix.
@@ -277,6 +278,7 @@ impl Advisor {
         current: &LayoutTemplate,
         rows: u64,
     ) -> Recommendation {
+        let mut span = obs::span("adapt", "adapt.recommend");
         let current_ns = self.predict_ns(schema, stats, current, rows);
         let mut candidates = vec![
             LayoutTemplate::nsm(schema),
@@ -294,7 +296,17 @@ impl Advisor {
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("non-empty candidates");
-        Recommendation { template, predicted_ns, current_ns }
+        let rec = Recommendation { template, predicted_ns, current_ns };
+        obs::metrics().counter("adapt.recommendations").inc();
+        if span.is_recording() {
+            // The AccessStats evidence that produced the advice.
+            span.arg("total_scans", stats.total_scans());
+            span.arg("total_point_reads", stats.total_point_reads());
+            span.arg("rows", rows);
+            span.arg("groups", rec.template.groups.len());
+            span.arg("improvement", format!("{:.4}", rec.improvement()));
+        }
+        rec
     }
 }
 

@@ -6,9 +6,12 @@
 //! benchmark run against this trait, so engines are compared on identical
 //! terms — the methodological point of the paper's Table 1.
 
+use std::sync::Arc;
+
 use htapg_taxonomy::Classification;
 
 use crate::error::Result;
+use crate::obs;
 use crate::schema::{AttrId, Record, RelationId, RowId, Schema};
 use crate::types::Value;
 
@@ -90,26 +93,10 @@ pub trait StorageEngine: Send + Sync {
         Ok(false)
     }
 
-    /// Number of rows in a relation.
-    fn row_count(&self, rel: RelationId) -> Result<u64>;
-
-    /// Run background maintenance (adaptation, merges, compaction,
-    /// placement). Engines with nothing to do return a default report.
-    fn maintain(&self) -> Result<MaintenanceReport> {
-        Ok(MaintenanceReport::default())
-    }
-}
-
-/// Blanket helpers available on every engine.
-pub trait StorageEngineExt: StorageEngine {
-    /// Materialize several rows (the paper's "materialize 150 customers"
-    /// operation).
-    fn materialize(&self, rel: RelationId, rows: &[RowId]) -> Result<Vec<Record>> {
-        rows.iter().map(|&r| self.read_record(rel, r)).collect()
-    }
-
-    /// Sum a numeric column (the paper's "sum prices" operation), preferring
-    /// the contiguous fast path.
+    /// Sum a numeric column (the paper's "sum prices" operation). The
+    /// default scans on the host, preferring the contiguous fast path;
+    /// device-backed engines override it to answer from a fresh device
+    /// replica (charging virtual kernel time) when one exists.
     fn sum_column_f64(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
         let ty = self.schema(rel)?.ty(attr)?;
         let width = ty.width();
@@ -132,6 +119,46 @@ pub trait StorageEngineExt: StorageEngine {
             }
         })?;
         Ok(sum)
+    }
+
+    /// Number of rows in a relation.
+    fn row_count(&self, rel: RelationId) -> Result<u64>;
+
+    /// Run background maintenance (adaptation, merges, compaction,
+    /// placement). Engines with nothing to do return a default report.
+    fn maintain(&self) -> Result<MaintenanceReport> {
+        Ok(MaintenanceReport::default())
+    }
+
+    /// The virtual clock this engine's work is charged against, for span
+    /// tracing: engines backed by a simulated device return their
+    /// `CostLedger`. Host-only engines return `None` — callers fall back
+    /// to a [`obs::ManualClock`], so spans still carry structure and
+    /// counts, just zero virtual duration.
+    fn trace_clock(&self) -> Option<Arc<dyn obs::VirtualClock>> {
+        None
+    }
+
+    /// EXPLAIN-style cost breakdown of a traced run against this engine:
+    /// the span tree with inclusive/exclusive virtual nanoseconds and
+    /// per-ledger-category attribution. All engines render through the
+    /// same [`obs::TraceReport`], so breakdowns are directly comparable
+    /// across the surveyed archetypes.
+    fn explain(&self, report: &obs::TraceReport) -> String {
+        report.render(self.name())
+    }
+}
+
+/// Blanket helpers available on every engine.
+///
+/// (`sum_column_f64` used to live here; it is now an *overridable* default
+/// method on [`StorageEngine`] so device-backed engines can route analytic
+/// sums to a fresh device replica.)
+pub trait StorageEngineExt: StorageEngine {
+    /// Materialize several rows (the paper's "materialize 150 customers"
+    /// operation).
+    fn materialize(&self, rel: RelationId, rows: &[RowId]) -> Result<Vec<Record>> {
+        rows.iter().map(|&r| self.read_record(rel, r)).collect()
     }
 }
 

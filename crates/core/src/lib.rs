@@ -28,6 +28,9 @@
 //!   deterministic SplitMix64 generator (seeds honor `HTAPG_SEED`), std-sync
 //!   wrappers with guard-returning lock APIs, and bounded retry with
 //!   virtual-time backoff for transient substrate faults;
+//! * [`obs`] — virtual-time span tracing, metrics registry, Chrome-trace
+//!   export, and EXPLAIN cost breakdowns (deterministic under
+//!   `HTAPG_SEED`);
 //! * [`engine`] — the common [`engine::StorageEngine`] API all surveyed
 //!   engine archetypes in `htapg-engines` implement.
 
@@ -39,6 +42,7 @@ pub mod error;
 pub mod fragment;
 pub mod index;
 pub mod layout;
+pub mod obs;
 pub mod prng;
 pub mod relation;
 pub mod retry;

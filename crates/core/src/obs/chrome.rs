@@ -1,0 +1,253 @@
+//! Chrome trace format (Perfetto / `chrome://tracing`) exporter.
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) with:
+//! - one `pid` per *process* label (one per engine),
+//! - one `tid` per *track* label within a process (one per worker or
+//!   device stream),
+//! - `"X"` complete events for spans, `"i"` instant events,
+//! - `"M"` metadata events naming every pid/tid so Perfetto shows the
+//!   engine/worker labels instead of bare numbers.
+//!
+//! Output is byte-deterministic for a given span *set*: pids and tids are
+//! assigned in sorted label order (not first-use order) and events are
+//! written in [`canonical_sort`] order, so any scheduling interleaving
+//! that produces the same spans produces the same bytes.
+
+use std::collections::BTreeMap;
+
+use super::trace::{canonical_sort, SpanKind, SpanRecord};
+
+/// Escape `s` into `out` as a JSON string body (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Chrome trace timestamps are microseconds; keep full nanosecond
+/// precision as a fixed three-decimal fraction (exact, never floating
+/// point) so equal virtual times render as equal bytes.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render `spans` as a Chrome trace JSON document.
+///
+/// `spans` is taken by value: events are canonically sorted before
+/// emission so the bytes depend only on the span set.
+pub fn to_chrome_trace(mut spans: Vec<SpanRecord>) -> String {
+    canonical_sort(&mut spans);
+
+    // Deterministic id assignment: pids over sorted process labels, tids
+    // over sorted (process, track) pairs, numbered within each process.
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for s in &spans {
+        pids.entry(&s.process).or_insert(0);
+        tids.entry((&s.process, &s.track)).or_insert(0);
+    }
+    for (i, v) in pids.values_mut().enumerate() {
+        *v = i as u64 + 1;
+    }
+    {
+        let mut prev_process: Option<&str> = None;
+        let mut next = 0;
+        for ((process, _), v) in tids.iter_mut() {
+            if prev_process != Some(process) {
+                prev_process = Some(process);
+                next = 0;
+            }
+            next += 1;
+            *v = next;
+        }
+    }
+
+    let mut out = String::with_capacity(spans.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |ev: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+
+    // Metadata: name every process and track.
+    for (process, pid) in &pids {
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        ev.push_str(&pid.to_string());
+        ev.push_str(",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"");
+        escape_into(&mut ev, process);
+        ev.push_str("\"}}");
+        push_event(ev, &mut out);
+    }
+    for ((process, track), tid) in &tids {
+        let pid = pids[process];
+        let mut ev = String::new();
+        ev.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":");
+        ev.push_str(&pid.to_string());
+        ev.push_str(",\"tid\":");
+        ev.push_str(&tid.to_string());
+        ev.push_str(",\"ts\":0,\"args\":{\"name\":\"");
+        escape_into(&mut ev, track);
+        ev.push_str("\"}}");
+        push_event(ev, &mut out);
+    }
+
+    for s in &spans {
+        let pid = pids[s.process.as_ref()];
+        let tid = tids[&(s.process.as_ref(), s.track.as_ref())];
+        let mut ev = String::new();
+        match s.kind {
+            SpanKind::Complete => {
+                ev.push_str("{\"ph\":\"X\",\"name\":\"");
+                escape_into(&mut ev, &s.name);
+                ev.push_str("\",\"cat\":\"");
+                escape_into(&mut ev, s.cat);
+                ev.push_str("\",\"pid\":");
+                ev.push_str(&pid.to_string());
+                ev.push_str(",\"tid\":");
+                ev.push_str(&tid.to_string());
+                ev.push_str(",\"ts\":");
+                ev.push_str(&micros(s.start_ns));
+                ev.push_str(",\"dur\":");
+                ev.push_str(&micros(s.dur_ns));
+            }
+            SpanKind::Instant => {
+                ev.push_str("{\"ph\":\"i\",\"name\":\"");
+                escape_into(&mut ev, &s.name);
+                ev.push_str("\",\"cat\":\"");
+                escape_into(&mut ev, s.cat);
+                ev.push_str("\",\"pid\":");
+                ev.push_str(&pid.to_string());
+                ev.push_str(",\"tid\":");
+                ev.push_str(&tid.to_string());
+                ev.push_str(",\"ts\":");
+                ev.push_str(&micros(s.start_ns));
+                ev.push_str(",\"s\":\"t\"");
+            }
+        }
+        if !s.args.is_empty() {
+            ev.push_str(",\"args\":{");
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    ev.push(',');
+                }
+                ev.push('"');
+                escape_into(&mut ev, k);
+                ev.push_str("\":\"");
+                escape_into(&mut ev, v);
+                ev.push('"');
+            }
+            ev.push('}');
+        }
+        ev.push('}');
+        push_event(ev, &mut out);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::{SpanKind, SpanRecord};
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(process: &'static str, track: &'static str, name: &'static str, ts: u64) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            cat: "cpu",
+            process: Cow::Borrowed(process),
+            track: Cow::Borrowed(track),
+            start_ns: ts,
+            dur_ns: 10,
+            id: 0,
+            parent: None,
+            args: Vec::new(),
+            kind: SpanKind::Complete,
+        }
+    }
+
+    #[test]
+    fn bytes_independent_of_insertion_order() {
+        let a =
+            vec![span("E1", "main", "x", 5), span("E2", "w1", "y", 1), span("E1", "w2", "z", 3)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(to_chrome_trace(a), to_chrome_trace(b));
+    }
+
+    #[test]
+    fn pids_and_tids_follow_sorted_labels() {
+        let out = to_chrome_trace(vec![
+            span("Zeta", "main", "x", 0),
+            span("Alpha", "w1", "y", 0),
+            span("Alpha", "w0", "y2", 0),
+        ]);
+        // Alpha sorts first → pid 1; its tracks w0, w1 → tid 1, 2.
+        assert!(out.contains("\"args\":{\"name\":\"Alpha\"}"));
+        let alpha_meta = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"Alpha\"}}";
+        assert!(out.contains(alpha_meta), "{out}");
+        assert!(out.contains(
+            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"w0\"}}"
+        ));
+        assert!(out.contains(
+            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":2,\"ts\":0,\"args\":{\"name\":\"w1\"}}"
+        ));
+        assert!(out.contains(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"Zeta\"}}"
+        ));
+    }
+
+    #[test]
+    fn timestamps_keep_nanosecond_precision() {
+        let out = to_chrome_trace(vec![span("E", "t", "x", 1_234_567)]);
+        assert!(out.contains("\"ts\":1234.567"), "{out}");
+        assert!(out.contains("\"dur\":0.010"), "{out}");
+    }
+
+    #[test]
+    fn instants_and_args_render() {
+        let mut s = span("E", "t", "hit", 42);
+        s.kind = SpanKind::Instant;
+        s.dur_ns = 0;
+        s.args = vec![("attr", "3".to_string()), ("quote\"", "a\nb".to_string())];
+        let out = to_chrome_trace(vec![s]);
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"s\":\"t\""));
+        assert!(out.contains("\"attr\":\"3\""));
+        assert!(out.contains("\"quote\\\"\":\"a\\nb\""));
+    }
+
+    #[test]
+    fn output_is_valid_enough_json() {
+        // Brace/bracket balance + required keys on every event line.
+        let out = to_chrome_trace(vec![span("E", "t", "x", 1), span("E", "t", "y", 2)]);
+        let depth = out.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+        for line in out.lines().filter(|l| l.starts_with('{') && l.contains("\"ph\"")) {
+            for key in ["\"ph\"", "\"ts\"", "\"pid\"", "\"tid\"", "\"name\""] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+    }
+}

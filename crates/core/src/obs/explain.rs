@@ -1,0 +1,256 @@
+//! EXPLAIN-style cost breakdowns from a span set.
+//!
+//! A [`TraceReport`] reconstructs the span tree and computes, per span,
+//! the *inclusive* virtual nanoseconds (the span's own duration) and the
+//! *exclusive* nanoseconds (inclusive minus the sum of direct children) —
+//! the same accounting a profiler's flame graph uses, but over the
+//! deterministic virtual clock. Sibling spans on device streams may
+//! overlap in virtual time (that is the point of the copy/compute lanes),
+//! so exclusive time saturates at zero rather than going negative.
+//!
+//! [`TraceReport::render`] prints the tree with per-ledger-category
+//! attribution so every engine's `explain()` output is directly
+//! comparable.
+
+use std::collections::BTreeMap;
+
+use super::trace::{SpanKind, SpanRecord};
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    pub record: SpanRecord,
+    /// Indices into [`TraceReport::nodes`].
+    pub children: Vec<usize>,
+    /// The span's own duration.
+    pub inclusive_ns: u64,
+    /// Inclusive minus direct children's inclusive, saturating at zero
+    /// (overlapped stream children can exceed the parent's span).
+    pub exclusive_ns: u64,
+}
+
+/// A span tree plus per-category rollups, built from a finished trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    pub nodes: Vec<SpanNode>,
+    /// Indices of spans with no (present) parent, in canonical order.
+    pub roots: Vec<usize>,
+    /// Total inclusive ns of *root* spans per category — double counting
+    /// of nested spans is avoided by attributing each span's exclusive
+    /// time instead; see [`TraceReport::category_exclusive_ns`].
+    categories: BTreeMap<&'static str, u64>,
+}
+
+impl TraceReport {
+    /// Build a report from `spans` (any order; instants become leaf nodes
+    /// with zero duration).
+    pub fn from_spans(mut spans: Vec<SpanRecord>) -> Self {
+        super::trace::canonical_sort(&mut spans);
+        let index_of: BTreeMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut nodes: Vec<SpanNode> = spans
+            .into_iter()
+            .map(|record| {
+                let inclusive_ns = record.dur_ns;
+                SpanNode { record, children: Vec::new(), inclusive_ns, exclusive_ns: inclusive_ns }
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for i in 0..nodes.len() {
+            match nodes[i].record.parent.and_then(|p| index_of.get(&p).copied()) {
+                Some(p) => nodes[p].children.push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut categories: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for i in 0..nodes.len() {
+            let child_sum: u64 = nodes[i].children.iter().map(|&c| nodes[c].inclusive_ns).sum();
+            nodes[i].exclusive_ns = nodes[i].inclusive_ns.saturating_sub(child_sum);
+            *categories.entry(nodes[i].record.cat).or_insert(0) += nodes[i].exclusive_ns;
+        }
+        TraceReport { nodes, roots, categories }
+    }
+
+    /// Exclusive virtual ns attributed to each category; summing over all
+    /// categories equals the sum of root inclusive times when spans nest
+    /// without overlap.
+    pub fn category_exclusive_ns(&self) -> &BTreeMap<&'static str, u64> {
+        &self.categories
+    }
+
+    /// Total inclusive ns over root spans whose name starts with `prefix`
+    /// (e.g. `"query.olap"` for one query class).
+    pub fn root_inclusive_ns(&self, prefix: &str) -> u64 {
+        self.roots
+            .iter()
+            .filter(|&&r| self.nodes[r].record.name.starts_with(prefix))
+            .map(|&r| self.nodes[r].inclusive_ns)
+            .sum()
+    }
+
+    /// The first root span with exactly this name, if any.
+    pub fn find_root(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().map(|&r| &self.nodes[r]).find(|n| n.record.name == name)
+    }
+
+    /// Number of spans (including instants).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Render the cost breakdown as text: a category attribution table
+    /// followed by the span tree with inclusive/exclusive virtual ns.
+    /// `title` heads the report (engines pass their name).
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("EXPLAIN {title}\n"));
+        let total: u64 = self.roots.iter().map(|&r| self.nodes[r].inclusive_ns).sum();
+        out.push_str(&format!(
+            "  spans: {}   roots: {}   total inclusive: {}\n",
+            self.nodes.len(),
+            self.roots.len(),
+            fmt_ns(total)
+        ));
+        out.push_str("  by category (exclusive virtual ns):\n");
+        let cat_total: u64 = self.categories.values().sum();
+        for (cat, ns) in &self.categories {
+            let pct = if cat_total == 0 { 0.0 } else { *ns as f64 * 100.0 / cat_total as f64 };
+            out.push_str(&format!("    {cat:<10} {:>14}  {pct:5.1}%\n", fmt_ns(*ns)));
+        }
+        out.push_str("  span tree (inclusive / exclusive):\n");
+        for &r in &self.roots {
+            self.render_node(&mut out, r, 2);
+        }
+        out
+    }
+
+    fn render_node(&self, out: &mut String, idx: usize, depth: usize) {
+        let n = &self.nodes[idx];
+        let marker = match n.record.kind {
+            SpanKind::Complete => "",
+            SpanKind::Instant => "! ",
+        };
+        out.push_str(&format!(
+            "{:indent$}- {marker}{} [{}] {} / {}",
+            "",
+            n.record.name,
+            n.record.cat,
+            fmt_ns(n.inclusive_ns),
+            fmt_ns(n.exclusive_ns),
+            indent = depth * 2,
+        ));
+        if !n.record.args.is_empty() {
+            out.push_str("  {");
+            for (i, (k, v)) in n.record.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{k}={v}"));
+            }
+            out.push('}');
+        }
+        out.push('\n');
+        for &c in &n.children {
+            self.render_node(out, c, depth + 1);
+        }
+    }
+}
+
+/// Human-readable virtual nanoseconds (exact below 10 µs, scaled above).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::{SpanKind, SpanRecord};
+    use super::*;
+    use std::borrow::Cow;
+
+    fn rec(
+        id: u64,
+        parent: Option<u64>,
+        name: &'static str,
+        cat: &'static str,
+        start: u64,
+        dur: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            name: Cow::Borrowed(name),
+            cat,
+            process: Cow::Borrowed("p"),
+            track: Cow::Borrowed("t"),
+            start_ns: start,
+            dur_ns: dur,
+            id,
+            parent,
+            args: Vec::new(),
+            kind: SpanKind::Complete,
+        }
+    }
+
+    #[test]
+    fn inclusive_exclusive_accounting() {
+        let report = TraceReport::from_spans(vec![
+            rec(1, None, "query.olap.sum", "query", 0, 100),
+            rec(2, Some(1), "device.transfer", "transfer", 0, 60),
+            rec(3, Some(1), "device.kernel", "kernel", 60, 30),
+        ]);
+        assert_eq!(report.roots.len(), 1);
+        let root = report.find_root("query.olap.sum").unwrap();
+        assert_eq!(root.inclusive_ns, 100);
+        assert_eq!(root.exclusive_ns, 10);
+        let cats = report.category_exclusive_ns();
+        assert_eq!(cats["transfer"], 60);
+        assert_eq!(cats["kernel"], 30);
+        assert_eq!(cats["query"], 10);
+        assert_eq!(cats.values().sum::<u64>(), 100);
+        assert_eq!(report.root_inclusive_ns("query.olap"), 100);
+        assert_eq!(report.root_inclusive_ns("query.oltp"), 0);
+    }
+
+    #[test]
+    fn overlapped_children_saturate_exclusive() {
+        // Copy/compute lanes overlapping inside a 100 ns parent: children
+        // sum to 140 ns of lane time; exclusive clamps to 0.
+        let report = TraceReport::from_spans(vec![
+            rec(1, None, "pipeline", "query", 0, 100),
+            rec(2, Some(1), "stream.copy", "transfer", 0, 80),
+            rec(3, Some(1), "stream.compute", "kernel", 20, 60),
+        ]);
+        let root = report.find_root("pipeline").unwrap();
+        assert_eq!(root.exclusive_ns, 0);
+    }
+
+    #[test]
+    fn orphan_parents_become_roots() {
+        let report = TraceReport::from_spans(vec![rec(7, Some(99), "late", "cpu", 5, 5)]);
+        assert_eq!(report.roots.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_tree_and_categories() {
+        let mut leaf = rec(2, Some(1), "wal.append", "wal", 1, 10);
+        leaf.args = vec![("bytes", "64".to_string())];
+        let report =
+            TraceReport::from_spans(vec![rec(1, None, "query.oltp.update", "query", 0, 30), leaf]);
+        let text = report.render("ReferenceEngine");
+        assert!(text.contains("EXPLAIN ReferenceEngine"));
+        assert!(text.contains("wal.append"));
+        assert!(text.contains("bytes=64"));
+        assert!(text.contains("by category"));
+        assert!(text.contains("query.oltp.update"));
+    }
+}

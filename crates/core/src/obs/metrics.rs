@@ -1,0 +1,404 @@
+//! Named metrics: monotonic counters, gauges, and fixed-edge histograms.
+//!
+//! The registry mirrors the `CostLedger`/`CostSnapshot` discipline:
+//! lock-free atomic updates on the hot path, and a snapshot/delta API
+//! whose [`MetricsSnapshot::since`] saturates (clamps to zero) instead of
+//! wrapping, so a stale baseline can never produce a nonsense negative
+//! delta.
+//!
+//! Handles (`Arc<Counter>` etc.) are resolved once by name and then bumped
+//! with a single atomic RMW — call sites on hot paths should cache the
+//! handle in a `OnceLock` rather than re-resolving per event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::Mutex;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, cache occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram edges for virtual-nanosecond latencies: powers of 4
+/// from 1 µs to ~4.3 s. 17 buckets cover the ledger's cost-model range
+/// with ≤2× relative quantile error.
+pub const LATENCY_NS_EDGES: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+];
+
+/// A fixed-edge histogram. `edges` are the inclusive upper bounds of the
+/// first `edges.len()` buckets; one implicit overflow bucket catches the
+/// rest. Edges are fixed at construction so that two runs (or two
+/// registries) always bucket identically — quantiles are deterministic
+/// integer math, never interpolation over observed values.
+#[derive(Debug)]
+pub struct Histogram {
+    edges: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(edges: &'static [u64]) -> Self {
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "histogram edges must be sorted");
+        Histogram {
+            edges,
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self.edges.partition_point(|&e| e < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn state(&self) -> HistogramState {
+        HistogramState {
+            edges: self.edges,
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Upper-bound estimate of quantile `q` in [0, 1]: the edge of the
+    /// bucket containing the q-th ranked observation (the true max for the
+    /// overflow bucket). Deterministic given identical observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.state().quantile(q)
+    }
+}
+
+/// An immutable copy of one histogram's buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    pub edges: &'static [u64],
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistogramState {
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count), at
+        // least 1. Integer walk over bucket cumulative counts.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i < self.edges.len() { self.edges[i] } else { self.max };
+            }
+        }
+        self.max
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Bucket-wise saturating delta (for `since`). `max` keeps the later
+    /// value — a max is not decomposable across snapshots.
+    fn since(&self, base: &HistogramState) -> HistogramState {
+        debug_assert_eq!(self.edges, base.edges);
+        HistogramState {
+            edges: self.edges,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(base.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            max: self.max,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+/// A registry of named metrics. One process-global instance is reachable
+/// via [`metrics()`]; tests may construct private registries.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        self.inner.lock().counters.entry(name).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        self.inner.lock().gauges.entry(name).or_default().clone()
+    }
+
+    /// The histogram named `name` with [`LATENCY_NS_EDGES`], created on
+    /// first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histogram_with_edges(name, LATENCY_NS_EDGES)
+    }
+
+    /// The histogram named `name`, created with `edges` on first use.
+    /// Edges are fixed at creation; later calls return the existing
+    /// histogram regardless of `edges`.
+    pub fn histogram_with_edges(
+        &self,
+        name: &'static str,
+        edges: &'static [u64],
+    ) -> Arc<Histogram> {
+        self.inner
+            .lock()
+            .histograms
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new(edges)))
+            .clone()
+    }
+
+    /// Consistent-enough point-in-time copy of every metric. (Individual
+    /// metrics are read atomically; the set is read under the registry
+    /// lock, so no metric can be created mid-snapshot.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(&k, v)| (k, v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(&k, v)| (k, v.get())).collect(),
+            histograms: inner.histograms.iter().map(|(&k, v)| (k, v.state())).collect(),
+        }
+    }
+
+    /// Reset every registered metric to zero (test isolation). Handles
+    /// stay valid: values are cleared in place.
+    pub fn reset(&self) {
+        let inner = self.inner.lock();
+        for c in inner.counters.values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in inner.gauges.values() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for h in inner.histograms.values() {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, i64>,
+    pub histograms: BTreeMap<&'static str, HistogramState>,
+}
+
+impl MetricsSnapshot {
+    /// Saturating delta against an earlier snapshot, mirroring
+    /// `CostSnapshot::since`: counters and histogram buckets clamp to zero
+    /// rather than wrapping; gauges keep the later level (a level has no
+    /// meaningful delta). Metrics absent from `base` pass through whole.
+    pub fn since(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k, v.saturating_sub(base.counters.get(k).copied().unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, v)| match base.histograms.get(k) {
+                    Some(b) if b.edges == v.edges => (k, v.since(b)),
+                    _ => (k, v.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The process-global metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+        let g = r.gauge("q");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(r.gauge("q").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        static EDGES: &[u64] = &[10, 100, 1000];
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_edges("lat", EDGES);
+        for v in [5, 7, 50, 50, 200, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5312);
+        // ranks: p50 → rank 3 → bucket ≤100; p99 → rank 6 → overflow (max).
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.99), 5000);
+        assert_eq!(h.quantile(0.0), 10);
+        let s = r.snapshot();
+        let hs = &s.histograms["lat"];
+        assert_eq!(hs.buckets, vec![2, 2, 1, 1]);
+        assert_eq!(hs.mean(), 885);
+    }
+
+    #[test]
+    fn snapshot_since_saturates() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        c.add(10);
+        let later = r.snapshot();
+        let mut fake_base = later.clone();
+        fake_base.counters.insert("n", 99); // stale/ahead baseline
+        let d = later.since(&fake_base);
+        assert_eq!(d.counter("n"), 0); // clamped, not wrapped
+
+        let h = r.histogram_with_edges("h", &[10]);
+        h.record(5);
+        let base = r.snapshot();
+        h.record(5);
+        h.record(50);
+        let d = r.snapshot().since(&base);
+        assert_eq!(d.histograms["h"].count, 2);
+        assert_eq!(d.histograms["h"].buckets, vec![1, 1]);
+    }
+
+    #[test]
+    fn reset_clears_in_place() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a");
+        let h = r.histogram("b");
+        c.add(3);
+        h.record(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        c.inc();
+        assert_eq!(r.counter("a").get(), 1);
+    }
+
+    #[test]
+    fn quantile_determinism_across_registries() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for v in [3_000u64, 90_000, 90_000, 2_000_000] {
+            a.histogram("l").record(v);
+            b.histogram("l").record(v);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.histogram("l").quantile(q), b.histogram("l").quantile(q));
+        }
+    }
+}

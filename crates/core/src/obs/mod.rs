@@ -1,0 +1,46 @@
+//! Observability: virtual-time span tracing, a metrics registry, and
+//! exporters (Chrome trace JSON, EXPLAIN text breakdowns).
+//!
+//! Everything in this module runs on *virtual* time — the `CostLedger`
+//! wall clock and `SimStream` cursors — never `Instant::now()`, so a
+//! trace is a deterministic artifact of the seed, not of host scheduling.
+//! See DESIGN.md §11 for the taxonomy and naming convention.
+//!
+//! Quick tour:
+//!
+//! ```
+//! use htapg_core::obs;
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(obs::ManualClock::new());
+//! let tracer = obs::Tracer::new(clock.clone());
+//! obs::install(tracer.clone());
+//!
+//! {
+//!     let mut s = obs::span("query", "query.olap.sum_column");
+//!     clock.advance(1_000);
+//!     s.arg("rows", 4096);
+//! }
+//! obs::metrics().counter("demo.ops").inc();
+//!
+//! obs::uninstall();
+//! let json = obs::to_chrome_trace(tracer.drain());
+//! assert!(json.contains("query.olap.sum_column"));
+//! ```
+
+mod chrome;
+mod explain;
+mod metrics;
+mod trace;
+
+pub use chrome::to_chrome_trace;
+pub use explain::{SpanNode, TraceReport};
+pub use metrics::{
+    metrics, Counter, Gauge, Histogram, HistogramState, MetricsRegistry, MetricsSnapshot,
+    LATENCY_NS_EDGES,
+};
+pub use trace::{
+    canonical_sort, current, current_process, enabled, install, instant, instant_with,
+    process_scope, span, span_at, span_named, track_scope, uninstall, ManualClock, ProcessScope,
+    SpanGuard, SpanKind, SpanRecord, Tracer, TrackScope, VirtualClock,
+};

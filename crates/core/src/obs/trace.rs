@@ -1,0 +1,567 @@
+//! The virtual-time span tracer.
+//!
+//! A [`Span`] is an interval on the workload's *virtual* timeline: its
+//! timestamps come from a [`VirtualClock`] — in practice the
+//! `CostLedger` critical-path wall clock — never from `Instant::now()`.
+//! Two runs under the same `HTAPG_SEED` therefore produce identical
+//! timestamps, and an exported trace is a reproducible artifact, not a
+//! scheduling accident.
+//!
+//! The tracer is process-global and **zero-cost when disabled**: the span
+//! constructors check one relaxed atomic and return an inert guard without
+//! allocating, locking, or reading the clock. When enabled, finished spans
+//! are appended to a shared vector under a mutex — one lock acquisition
+//! per span *end*, nothing on the open path beyond a clock read.
+//!
+//! Span identity is hierarchical (a thread-local stack links children to
+//! the enclosing span) and located by two string labels: a *process* (one
+//! per engine, the Chrome-trace `pid`) and a *track* (one per worker or
+//! device stream, the `tid`). Labels are resolved to numeric ids only at
+//! export time, in sorted order, so the exported bytes do not depend on
+//! label first-use order.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::{Mutex, RwLock};
+
+/// A monotonic source of virtual nanoseconds.
+///
+/// Implemented by `htapg_device::CostLedger` (the critical-path wall
+/// clock); [`ManualClock`] is the standalone fallback for host-only
+/// engines, whose work charges no virtual time.
+pub trait VirtualClock: Send + Sync {
+    /// Current virtual time in nanoseconds.
+    fn now_ns(&self) -> u64;
+}
+
+/// A hand-driven virtual clock (host-only engines, tests).
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl VirtualClock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What kind of event a [`SpanRecord`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// An interval with a duration (Chrome `ph: "X"`).
+    Complete,
+    /// A point event (`ph: "i"`): cache hit, fault injection, …
+    Instant,
+}
+
+/// One finished span (or instant event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name — see DESIGN.md §11 for the `layer.operation` convention.
+    pub name: Cow<'static, str>,
+    /// Ledger-category attribution: `transfer`, `kernel`, `disk`,
+    /// `network`, `backoff`, or a host-side category (`cpu`, `txn`, `wal`,
+    /// `cache`, `adapt`, `query`, `pool`, `fault`).
+    pub cat: &'static str,
+    /// Process label (one per engine; the exported `pid`).
+    pub process: Cow<'static, str>,
+    /// Track label (one per worker or device stream; the exported `tid`).
+    pub track: Cow<'static, str>,
+    /// Virtual start timestamp.
+    pub start_ns: u64,
+    /// Virtual duration (0 for instants).
+    pub dur_ns: u64,
+    /// Unique id within the tracer (allocation order — *not* stable across
+    /// interleavings; compare spans by the other fields).
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Small key/value annotations (evidence, counts).
+    pub args: Vec<(&'static str, String)>,
+    pub kind: SpanKind,
+}
+
+struct TracerInner {
+    clock: Arc<dyn VirtualClock>,
+    spans: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for TracerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerInner").finish_non_exhaustive()
+    }
+}
+
+/// A cheaply clonable handle to one trace collection.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer reading timestamps from `clock`.
+    pub fn new(clock: Arc<dyn VirtualClock>) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock,
+                spans: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// A tracer over a fresh [`ManualClock`] (host-only workloads: spans
+    /// carry structure and counts, zero virtual duration).
+    pub fn with_manual_clock() -> Self {
+        Self::new(Arc::new(ManualClock::new()))
+    }
+
+    /// Current virtual time of this tracer's clock.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Copy out all finished spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().clone()
+    }
+
+    /// Take all finished spans, leaving the tracer empty.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.inner.spans.lock())
+    }
+
+    /// Number of finished spans.
+    pub fn len(&self) -> usize {
+        self.inner.spans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global installation
+// ---------------------------------------------------------------------
+
+/// Fast-path gate: a single relaxed load decides whether any span work
+/// happens at all.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global() -> &'static RwLock<Option<Tracer>> {
+    static GLOBAL: OnceLock<RwLock<Option<Tracer>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(None))
+}
+
+/// Install `tracer` as the process-wide trace sink and enable tracing.
+/// Replaces (and returns) any previously installed tracer.
+pub fn install(tracer: Tracer) -> Option<Tracer> {
+    let old = global().write().replace(tracer);
+    ENABLED.store(true, Ordering::SeqCst);
+    old
+}
+
+/// Disable tracing and remove the installed tracer, returning it.
+pub fn uninstall() -> Option<Tracer> {
+    ENABLED.store(false, Ordering::SeqCst);
+    global().write().take()
+}
+
+/// Whether a tracer is installed and enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed tracer, if tracing is enabled.
+pub fn current() -> Option<Tracer> {
+    if !enabled() {
+        return None;
+    }
+    global().read().clone()
+}
+
+// ---------------------------------------------------------------------
+// Thread-local span context
+// ---------------------------------------------------------------------
+
+struct Ctx {
+    process: Cow<'static, str>,
+    track: Cow<'static, str>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static CTX: RefCell<Ctx> = const {
+        RefCell::new(Ctx {
+            process: Cow::Borrowed("htapg"),
+            track: Cow::Borrowed("main"),
+            stack: Vec::new(),
+        })
+    };
+}
+
+/// Scope guard restoring the previous process label on drop.
+pub struct ProcessScope {
+    prev: Option<Cow<'static, str>>,
+}
+
+/// Set the current thread's process label (one per engine) for the guard's
+/// lifetime. Labels are cheap — no tracer interaction happens here.
+pub fn process_scope(name: impl Into<Cow<'static, str>>) -> ProcessScope {
+    let name = name.into();
+    let prev = CTX.with(|c| std::mem::replace(&mut c.borrow_mut().process, name));
+    ProcessScope { prev: Some(prev) }
+}
+
+impl Drop for ProcessScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CTX.with(|c| c.borrow_mut().process = prev);
+        }
+    }
+}
+
+/// The calling thread's current process label. Executors capture this
+/// before fanning work out to pool threads, so spans recorded on workers
+/// attribute to the submitter's engine rather than the worker's default.
+pub fn current_process() -> Cow<'static, str> {
+    CTX.with(|c| c.borrow().process.clone())
+}
+
+/// Scope guard restoring the previous track label on drop.
+pub struct TrackScope {
+    prev: Option<Cow<'static, str>>,
+}
+
+/// Set the current thread's track label (one per worker) for the guard's
+/// lifetime.
+pub fn track_scope(name: impl Into<Cow<'static, str>>) -> TrackScope {
+    let name = name.into();
+    let prev = CTX.with(|c| std::mem::replace(&mut c.borrow_mut().track, name));
+    TrackScope { prev: Some(prev) }
+}
+
+impl Drop for TrackScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CTX.with(|c| c.borrow_mut().track = prev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span guards
+// ---------------------------------------------------------------------
+
+struct ActiveSpan {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    start_ns: u64,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    args: Vec<(&'static str, String)>,
+}
+
+/// RAII guard for an open span: records the span when dropped. Inert (and
+/// allocation-free) when tracing is disabled.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+/// Open a span named `name` under category `cat` on the current thread's
+/// process/track, nested under the innermost open span. When tracing is
+/// disabled this is one relaxed atomic load and returns an inert guard.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    span_named(cat, Cow::Borrowed(name))
+}
+
+/// [`span`] with an owned (runtime-built) name. Prefer the static-name
+/// entry point on hot paths — building the `String` costs even when
+/// tracing is disabled.
+pub fn span_named(cat: &'static str, name: Cow<'static, str>) -> SpanGuard {
+    let Some(tracer) = current() else {
+        return SpanGuard { active: None };
+    };
+    let id = tracer.inner.next_id.fetch_add(1, Ordering::Relaxed);
+    let parent = CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        let parent = ctx.stack.last().copied();
+        ctx.stack.push(id);
+        parent
+    });
+    let start_ns = tracer.inner.clock.now_ns();
+    SpanGuard {
+        active: Some(ActiveSpan { tracer, id, parent, start_ns, name, cat, args: Vec::new() }),
+    }
+}
+
+impl SpanGuard {
+    /// Whether this guard will record a span (tracing was enabled when it
+    /// was opened). Use to gate expensive argument formatting.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attach a key/value annotation. No-op (and no formatting) when the
+    /// guard is inert.
+    pub fn arg(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(a) = self.active.as_mut() {
+            a.args.push((key, value.to_string()));
+        }
+    }
+
+    /// Close the span now (equivalent to dropping the guard).
+    pub fn end(self) {}
+
+    /// This span's id (None when inert) — for linking explicitly-timed
+    /// child spans.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let end_ns = a.tracer.inner.clock.now_ns();
+        let (process, track) = CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            // Pop this span (it is the innermost on this thread; guards
+            // drop in LIFO order).
+            if ctx.stack.last() == Some(&a.id) {
+                ctx.stack.pop();
+            } else {
+                ctx.stack.retain(|&s| s != a.id);
+            }
+            (ctx.process.clone(), ctx.track.clone())
+        });
+        a.tracer.inner.spans.lock().push(SpanRecord {
+            name: a.name,
+            cat: a.cat,
+            process,
+            track,
+            start_ns: a.start_ns,
+            dur_ns: end_ns.saturating_sub(a.start_ns),
+            id: a.id,
+            parent: a.parent,
+            args: a.args,
+            kind: SpanKind::Complete,
+        });
+    }
+}
+
+/// Record a zero-duration instant event (cache hit, fault, decision) at
+/// the current virtual time.
+pub fn instant(cat: &'static str, name: &'static str) {
+    instant_with(cat, name, &[]);
+}
+
+/// [`instant`] with annotations. `args` are only materialized when tracing
+/// is enabled.
+pub fn instant_with(cat: &'static str, name: &'static str, args: &[(&'static str, &str)]) {
+    let Some(tracer) = current() else { return };
+    let id = tracer.inner.next_id.fetch_add(1, Ordering::Relaxed);
+    let now = tracer.inner.clock.now_ns();
+    let (process, track, parent) = CTX.with(|c| {
+        let ctx = c.borrow();
+        (ctx.process.clone(), ctx.track.clone(), ctx.stack.last().copied())
+    });
+    tracer.inner.spans.lock().push(SpanRecord {
+        name: Cow::Borrowed(name),
+        cat,
+        process,
+        track,
+        start_ns: now,
+        dur_ns: 0,
+        id,
+        parent,
+        args: args.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+        kind: SpanKind::Instant,
+    });
+}
+
+/// Record a span with explicit timestamps on an explicit track — the
+/// device-stream lanes, whose time lives on per-stream cursors rather than
+/// the thread. The span is parented under the innermost open span of the
+/// calling thread and uses the thread's process label.
+pub fn span_at(
+    cat: &'static str,
+    name: &'static str,
+    track: &'static str,
+    start_ns: u64,
+    end_ns: u64,
+) {
+    let Some(tracer) = current() else { return };
+    let id = tracer.inner.next_id.fetch_add(1, Ordering::Relaxed);
+    let (process, parent) = CTX.with(|c| {
+        let ctx = c.borrow();
+        (ctx.process.clone(), ctx.stack.last().copied())
+    });
+    tracer.inner.spans.lock().push(SpanRecord {
+        name: Cow::Borrowed(name),
+        cat,
+        process,
+        track: Cow::Borrowed(track),
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        id,
+        parent,
+        args: Vec::new(),
+        kind: SpanKind::Complete,
+    });
+}
+
+/// Canonical ordering for exported spans: independent of scheduling
+/// interleavings whenever the span *set* (labels + virtual times) is. Ids
+/// are deliberately excluded — they encode allocation order.
+pub fn canonical_sort(spans: &mut [SpanRecord]) {
+    spans.sort_by(|a, b| {
+        (a.start_ns, &a.process, &a.track, &a.name, a.dur_ns, a.kind, &a.args)
+            .cmp(&(b.start_ns, &b.process, &b.track, &b.name, b.dur_ns, b.kind, &b.args))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that install the global tracer.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _g = lock();
+        uninstall();
+        let mut s = span("cpu", "noop");
+        s.arg("k", 1);
+        assert!(!s.is_recording());
+        drop(s);
+        instant("cpu", "nothing");
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_record_durations() {
+        let _g = lock();
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone());
+        install(tracer.clone());
+        {
+            let _root = span("query", "root");
+            clock.advance(10);
+            {
+                let _child = span("kernel", "child");
+                clock.advance(5);
+            }
+            clock.advance(1);
+        }
+        uninstall();
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+        assert_eq!(child.dur_ns, 5);
+        assert_eq!(root.dur_ns, 16);
+        assert_eq!(root.parent, None);
+        assert!(child.start_ns >= root.start_ns);
+    }
+
+    #[test]
+    fn scopes_label_processes_and_tracks() {
+        let _g = lock();
+        let tracer = Tracer::with_manual_clock();
+        install(tracer.clone());
+        {
+            let _p = process_scope("ENGINE-A");
+            let _t = track_scope("worker-3");
+            span("cpu", "inside").end();
+        }
+        span("cpu", "outside").end();
+        uninstall();
+        let spans = tracer.spans();
+        let inside = spans.iter().find(|s| s.name == "inside").unwrap();
+        assert_eq!(inside.process, "ENGINE-A");
+        assert_eq!(inside.track, "worker-3");
+        let outside = spans.iter().find(|s| s.name == "outside").unwrap();
+        assert_eq!(outside.process, "htapg");
+        assert_eq!(outside.track, "main");
+    }
+
+    #[test]
+    fn instants_and_explicit_spans() {
+        let _g = lock();
+        let tracer = Tracer::with_manual_clock();
+        install(tracer.clone());
+        instant_with("cache", "cache.hit", &[("attr", "3")]);
+        span_at("transfer", "stream.copy", "stream.copy", 100, 250);
+        uninstall();
+        let spans = tracer.spans();
+        assert_eq!(spans[0].kind, SpanKind::Instant);
+        assert_eq!(spans[0].args, vec![("attr", "3".to_string())]);
+        assert_eq!(spans[1].track, "stream.copy");
+        assert_eq!(spans[1].start_ns, 100);
+        assert_eq!(spans[1].dur_ns, 150);
+    }
+
+    #[test]
+    fn canonical_sort_is_interleaving_independent() {
+        let mk = |name: &'static str, ts: u64| SpanRecord {
+            name: Cow::Borrowed(name),
+            cat: "cpu",
+            process: Cow::Borrowed("p"),
+            track: Cow::Borrowed("t"),
+            start_ns: ts,
+            dur_ns: 1,
+            id: 0,
+            parent: None,
+            args: Vec::new(),
+            kind: SpanKind::Complete,
+        };
+        let mut a = vec![mk("x", 5), mk("y", 2), mk("z", 5)];
+        let mut b = vec![mk("z", 5), mk("x", 5), mk("y", 2)];
+        canonical_sort(&mut a);
+        canonical_sort(&mut b);
+        assert_eq!(
+            a.iter().map(|s| (&s.name, s.start_ns)).collect::<Vec<_>>(),
+            vec![(&Cow::Borrowed("y"), 2), (&Cow::Borrowed("x"), 5), (&Cow::Borrowed("z"), 5)]
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arg_formatting_skipped_when_inert() {
+        let _g = lock();
+        uninstall();
+        struct Panics;
+        impl std::fmt::Display for Panics {
+            fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                panic!("must not format when inert")
+            }
+        }
+        let mut s = span("cpu", "x");
+        // Display::fmt is only invoked when recording.
+        if s.is_recording() {
+            s.arg("v", Panics);
+        }
+    }
+}

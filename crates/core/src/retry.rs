@@ -8,6 +8,7 @@
 //! what a real system would have paid.
 
 use crate::error::{Error, Result};
+use crate::obs;
 
 /// Where backoff time is charged. No-op implementations are allowed (see
 /// [`NoClock`]) for call sites that have no ledger in scope.
@@ -89,6 +90,12 @@ impl SaturatingShl for u64 {
 /// budget is exhausted. Only [`Error::is_transient`] errors are retried;
 /// each retry first charges exponential backoff to `clock`. The last
 /// transient error is returned when the budget runs out.
+///
+/// Every retried error emits a `backoff` span around the clock charge:
+/// when the tracer's virtual clock is the *same* ledger the charge lands
+/// on, the span's duration equals the charged backoff exactly, so the sum
+/// of `backoff` span durations reconciles with the ledger's `backoff_ns`
+/// delta.
 pub fn with_retry<T>(
     policy: &RetryPolicy,
     clock: &impl BackoffClock,
@@ -100,7 +107,17 @@ pub fn with_retry<T>(
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt < attempts => {
+                let mut span = obs::span("backoff", "backoff");
+                if span.is_recording() {
+                    if let Error::Transient { site, fault } = &e {
+                        span.arg("site", site);
+                        span.arg("fault", fault);
+                    }
+                    span.arg("attempt", attempt);
+                }
+                obs::metrics().counter("retry.backoffs").inc();
                 clock.charge_backoff(policy.backoff_ns(attempt));
+                span.end();
                 last = Some(e);
             }
             Err(e) => return Err(e),

@@ -17,9 +17,34 @@ use crate::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{Error, Result};
+use crate::obs;
+
+/// Registry handles for transaction lifecycle events, resolved once.
+struct TxnCounters {
+    begins: Arc<obs::Counter>,
+    commits: Arc<obs::Counter>,
+    aborts: Arc<obs::Counter>,
+    conflicts: Arc<obs::Counter>,
+}
+
+fn counters() -> &'static TxnCounters {
+    static C: OnceLock<TxnCounters> = OnceLock::new();
+    C.get_or_init(|| TxnCounters {
+        begins: obs::metrics().counter("txn.begins"),
+        commits: obs::metrics().counter("txn.commits"),
+        aborts: obs::metrics().counter("txn.aborts"),
+        conflicts: obs::metrics().counter("txn.conflicts"),
+    })
+}
+
+fn conflict(txn: TxnId) -> Error {
+    counters().conflicts.inc();
+    obs::instant("txn", "txn.conflict");
+    Error::TxnConflict { txn }
+}
 
 /// Transaction identifier.
 pub type TxnId = u64;
@@ -89,6 +114,7 @@ impl TxnManager {
         let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
         let start_ts = self.clock.load(Ordering::SeqCst);
         self.states.write().insert(id, TxnStatus::Active(start_ts));
+        counters().begins.inc();
         Txn { id, start_ts }
     }
 
@@ -127,9 +153,11 @@ impl TxnManager {
         if commit {
             let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
             states.insert(txn.id, TxnStatus::Committed(ts));
+            counters().commits.inc();
             Ok(Some(ts))
         } else {
             states.insert(txn.id, TxnStatus::Aborted);
+            counters().aborts.inc();
             Ok(None)
         }
     }
@@ -181,16 +209,16 @@ impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
                     last.value = value;
                     return Ok(());
                 }
-                return Err(Error::TxnConflict { txn: txn.id });
+                return Err(conflict(txn.id));
             }
             // Newest committed version: first-updater-wins against anything
             // committed after our snapshot.
             if last.begin > txn.start_ts {
-                return Err(Error::TxnConflict { txn: txn.id });
+                return Err(conflict(txn.id));
             }
             if is_pending(last.end) {
                 // Someone else already superseded this version.
-                return Err(Error::TxnConflict { txn: txn.id });
+                return Err(conflict(txn.id));
             }
             debug_assert_eq!(last.end, INF, "newest version must be open-ended");
             last.end = pending(txn.id);

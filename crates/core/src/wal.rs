@@ -12,6 +12,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+use crate::obs;
 use crate::retry::{with_retry, BackoffClock, NoClock, RetryPolicy};
 use crate::sync::Mutex;
 
@@ -374,11 +375,16 @@ impl<S: LogStorage> Wal<S> {
     /// On a transient storage fault, truncates any partial frame back off
     /// the log and retries under the configured policy.
     pub fn log(&self, record: &LogRecord) -> Result<()> {
+        let mut span = obs::span("wal", "wal.append");
         let payload = record.encode()?;
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
+        if span.is_recording() {
+            span.arg("bytes", frame.len());
+        }
+        obs::metrics().counter("wal.appends").inc();
         let mut storage = self.storage.lock();
         let start = storage.storage_len()?;
         let clock: &dyn BackoffClock = match &self.clock {
@@ -400,6 +406,7 @@ impl<S: LogStorage> Wal<S> {
     /// Replay every intact record in order. Stops (without error) at a torn
     /// or corrupt tail — the crash-recovery contract.
     pub fn replay(&self, mut apply: impl FnMut(LogRecord) -> Result<()>) -> Result<ReplayReport> {
+        let mut span = obs::span("wal", "wal.replay");
         let data = self.storage.lock().read_all()?;
         let mut pos = 0usize;
         let mut report = ReplayReport::default();
@@ -428,6 +435,11 @@ impl<S: LogStorage> Wal<S> {
         if pos < data.len() {
             report.torn_tail = true;
         }
+        if span.is_recording() {
+            span.arg("records", report.records);
+            span.arg("torn_tail", report.torn_tail);
+        }
+        obs::metrics().counter("wal.replays").inc();
         Ok(report)
     }
 

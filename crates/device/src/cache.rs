@@ -21,11 +21,28 @@
 
 use htapg_core::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use htapg_core::{AttrId, Error, RelationId, Result};
+use htapg_core::{obs, AttrId, Error, RelationId, Result};
 
 use crate::memory::{BufferId, SimDevice};
+
+/// Registry handles for cache events, resolved once (hot path stays a
+/// single atomic add per event).
+struct CacheCounters {
+    hits: Arc<obs::Counter>,
+    misses: Arc<obs::Counter>,
+    evictions: Arc<obs::Counter>,
+}
+
+fn counters() -> &'static CacheCounters {
+    static C: OnceLock<CacheCounters> = OnceLock::new();
+    C.get_or_init(|| CacheCounters {
+        hits: obs::metrics().counter("device.cache.hits"),
+        misses: obs::metrics().counter("device.cache.misses"),
+        evictions: obs::metrics().counter("device.cache.evictions"),
+    })
+}
 
 /// Cache key: one packed column of one relation.
 pub type ColumnKey = (RelationId, AttrId);
@@ -125,16 +142,40 @@ impl DeviceColumnCache {
                 let e = state.entries.get_mut(&(rel, attr)).expect("entry just seen");
                 e.used_at = clock;
                 self.device.ledger().record_cache_hit();
+                counters().hits.inc();
+                if obs::enabled() {
+                    obs::instant_with(
+                        "cache",
+                        "cache.hit",
+                        &[("rel", &rel.to_string()), ("attr", &attr.to_string())],
+                    );
+                }
                 Ok(Some(CachedColumn { buf: e.buf, rows: e.rows }))
             }
             Some(false) => {
                 let e = state.entries.remove(&(rel, attr)).expect("entry just seen");
                 self.device.free(e.buf)?;
                 self.device.ledger().record_cache_miss();
+                counters().misses.inc();
+                if obs::enabled() {
+                    obs::instant_with(
+                        "cache",
+                        "cache.miss",
+                        &[("rel", &rel.to_string()), ("attr", &attr.to_string()), ("stale", "1")],
+                    );
+                }
                 Ok(None)
             }
             None => {
                 self.device.ledger().record_cache_miss();
+                counters().misses.inc();
+                if obs::enabled() {
+                    obs::instant_with(
+                        "cache",
+                        "cache.miss",
+                        &[("rel", &rel.to_string()), ("attr", &attr.to_string())],
+                    );
+                }
                 Ok(None)
             }
         }
@@ -178,6 +219,18 @@ impl DeviceColumnCache {
                             let e = state.entries.remove(&k).expect("victim exists");
                             self.device.free(e.buf)?;
                             self.device.ledger().record_cache_eviction();
+                            counters().evictions.inc();
+                            if obs::enabled() {
+                                obs::instant_with(
+                                    "cache",
+                                    "cache.evict",
+                                    &[
+                                        ("rel", &k.0.to_string()),
+                                        ("attr", &k.1.to_string()),
+                                        ("bytes", &e.bytes.to_string()),
+                                    ],
+                                );
+                            }
                         }
                         None => {
                             return Err(Error::DeviceOutOfMemory {

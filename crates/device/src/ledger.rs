@@ -167,6 +167,13 @@ impl CostLedger {
         self.wall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Current critical-path wall clock. A single atomic load — cheap
+    /// enough for the span-tracing hot path (`obs::VirtualClock`), unlike
+    /// a full [`snapshot`](Self::snapshot).
+    pub fn wall_clock_ns(&self) -> u64 {
+        self.wall_ns.load(Ordering::Relaxed)
+    }
+
     pub fn record_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -219,6 +226,15 @@ impl CostLedger {
 impl BackoffClock for CostLedger {
     fn charge_backoff(&self, ns: u64) {
         CostLedger::charge_backoff(self, ns);
+    }
+}
+
+/// The ledger's wall clock *is* the trace timeline: spans opened against
+/// it get virtual timestamps, so traces are deterministic under a fixed
+/// `HTAPG_SEED` (see `htapg_core::obs`).
+impl htapg_core::obs::VirtualClock for CostLedger {
+    fn now_ns(&self) -> u64 {
+        self.wall_clock_ns()
     }
 }
 

@@ -259,6 +259,11 @@ impl StorageEngine for CogadbEngine {
         "COGADB"
     }
 
+    fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
+        let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.device().ledger());
+        Some(ledger)
+    }
+
     fn classification(&self) -> Classification {
         survey::cogadb()
     }
@@ -389,7 +394,6 @@ impl StorageEngine for CogadbEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_device::DeviceSpec;
 
     fn schema() -> Schema {

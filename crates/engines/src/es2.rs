@@ -306,6 +306,11 @@ impl StorageEngine for Es2Engine {
         "ES2"
     }
 
+    fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
+        let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.cluster().ledger());
+        Some(ledger)
+    }
+
     fn classification(&self) -> Classification {
         survey::es2()
     }
@@ -472,7 +477,6 @@ impl StorageEngine for Es2Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
 
     fn schema() -> Schema {
         Schema::of(&[

@@ -314,6 +314,11 @@ impl StorageEngine for GputxEngine {
         "GPUTX"
     }
 
+    fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
+        let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.device().ledger());
+        Some(ledger)
+    }
+
     fn classification(&self) -> Classification {
         survey::gputx()
     }
@@ -419,7 +424,6 @@ impl StorageEngine for GputxEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn schema() -> Schema {

@@ -215,7 +215,6 @@ impl StorageEngine for H2oEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
     use htapg_taxonomy::FragmentLinearization;
 

@@ -428,7 +428,6 @@ impl StorageEngine for HyperEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn schema() -> Schema {

@@ -152,7 +152,6 @@ impl StorageEngine for HyriseEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn wide_schema() -> Schema {

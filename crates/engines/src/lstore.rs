@@ -453,7 +453,6 @@ impl StorageEngine for LStoreEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn schema() -> Schema {

@@ -227,7 +227,6 @@ impl StorageEngine for MirrorsEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn schema() -> Schema {

@@ -150,6 +150,11 @@ impl StorageEngine for PaxEngine {
         "PAX"
     }
 
+    fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
+        let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.disk().ledger());
+        Some(ledger)
+    }
+
     fn classification(&self) -> Classification {
         survey::pax()
     }
@@ -296,7 +301,6 @@ impl StorageEngine for PaxEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
     use htapg_core::DataType;
 
     fn schema() -> Schema {

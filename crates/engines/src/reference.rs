@@ -333,6 +333,9 @@ impl ReferenceEngine {
     pub fn sum_column_device(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
         let device = self.device.clone();
         self.rels.read(rel, |r| {
+            // Device answers are still scans as far as the advisor is
+            // concerned — keep the delegation evidence flowing.
+            r.stats.record_scan(attr);
             let col = self.cache.lookup(rel, attr, r.version)?.ok_or_else(|| {
                 Error::Internal(format!("no fresh device replica of attr {attr}"))
             })?;
@@ -429,6 +432,11 @@ impl RefRelation {
 impl StorageEngine for ReferenceEngine {
     fn name(&self) -> &'static str {
         "REFERENCE"
+    }
+
+    fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
+        let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.device().ledger());
+        Some(ledger)
     }
 
     fn classification(&self) -> Classification {
@@ -573,6 +581,13 @@ impl StorageEngine for ReferenceEngine {
         })
     }
 
+    /// Analytic sums route through [`ReferenceEngine::sum_column_auto`]:
+    /// a fresh device replica answers with a (virtual-time) kernel, a
+    /// missing or faulty one degrades gracefully to the host snapshot.
+    fn sum_column_f64(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        self.sum_column_auto(rel, attr)
+    }
+
     fn row_count(&self, rel: RelationId) -> Result<u64> {
         self.rels.read(rel, |r| Ok(r.relation.row_count()))
     }
@@ -667,7 +682,6 @@ impl StorageEngine for ReferenceEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htapg_core::engine::StorageEngineExt;
 
     fn schema() -> Schema {
         let mut attrs = vec![("pk", DataType::Int64), ("balance", DataType::Float64)];

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use htapg_core::retry::{with_retry, RetryPolicy};
-use htapg_core::{DataType, Error, Layout, RelationId, Result};
+use htapg_core::{obs, DataType, Error, Layout, RelationId, Result};
 use htapg_device::kernels;
 use htapg_device::{sync_streams, BufferId, DeviceColumnCache, SimDevice, SimStream};
 
@@ -262,20 +262,44 @@ fn pipelined_sum_into(
     let chunk_rows = cfg.chunk_rows.max(1);
     let mut partials = Vec::with_capacity(total_segs);
     let mut segs_done = 0usize;
+    // Stream lanes share the pipeline epoch (stream creation); anchoring
+    // it at the tracer's current virtual time places copy/compute spans on
+    // the trace timeline as two parallel tracks.
+    let trace_epoch = obs::current().map(|t| t.now_ns());
     let mut reduce_to = |compute: &mut SimStream<'_>, lo: usize, hi: usize| -> Result<()> {
+        let k0 = compute.cursor_ns();
         let part = with_retry(&policy, device.ledger(), || match pred {
             None => kernels::reduce_partials_f64(compute, buf, total_rows, lo, hi),
             Some(p) => kernels::filter_partials_f64(compute, buf, total_rows, lo, hi, p),
         })?;
+        if let Some(epoch) = trace_epoch {
+            obs::span_at(
+                "stream",
+                "stream.reduce.partials",
+                "stream.compute",
+                epoch + k0,
+                epoch + compute.cursor_ns(),
+            );
+        }
         partials.extend(part);
         Ok(())
     };
     let mut uploaded = 0usize;
     while uploaded < total_rows {
         let hi = (uploaded + chunk_rows).min(total_rows);
+        let c0 = copy.cursor_ns();
         with_retry(&policy, device.ledger(), || {
             copy.write(buf, uploaded * 8, &bytes[uploaded * 8..hi * 8])
         })?;
+        if let Some(epoch) = trace_epoch {
+            obs::span_at(
+                "stream",
+                "stream.copy.chunk",
+                "stream.copy",
+                epoch + c0,
+                epoch + copy.cursor_ns(),
+            );
+        }
         uploaded = hi;
         // Reduce every segment the uploaded prefix now fully covers; the
         // kernel orders after the copy it depends on, nothing more — the
@@ -293,9 +317,19 @@ fn pipelined_sum_into(
         compute.wait(copy.record());
         reduce_to(&mut compute, segs_done, total_segs)?;
     }
+    let f0 = compute.cursor_ns();
     let total = with_retry(&policy, device.ledger(), || {
         kernels::reduce_final_f64(&mut compute, &partials)
     })?;
+    if let Some(epoch) = trace_epoch {
+        obs::span_at(
+            "stream",
+            "stream.reduce.final",
+            "stream.compute",
+            epoch + f0,
+            epoch + compute.cursor_ns(),
+        );
+    }
     let wall = sync_streams(device, &[&copy, &compute]);
     Ok((total, wall))
 }

@@ -13,10 +13,20 @@
 
 use std::collections::HashMap;
 
-use htapg_core::{DataType, Error, Layout, Result, RowId};
+use htapg_core::{obs, DataType, Error, Layout, Result, RowId};
 
 /// One join match: (left row id, right row id).
 pub type JoinPair = (RowId, RowId);
+
+/// Open an operator span recording the input cardinalities.
+fn join_span(name: &'static str, left: &Layout, right: &Layout) -> obs::SpanGuard {
+    let mut span = obs::span("op", name);
+    if span.is_recording() {
+        span.arg("left_rows", left.row_count());
+        span.arg("right_rows", right.row_count());
+    }
+    span
+}
 
 fn int_key(bytes: &[u8], ty: DataType) -> Result<i64> {
     match ty {
@@ -57,6 +67,7 @@ pub fn hash_join(
     right_attr: u16,
     right_ty: DataType,
 ) -> Result<Vec<JoinPair>> {
+    let _span = join_span("op.join.hash", left, right);
     let left_keys = key_column(left, left_attr, left_ty)?;
     let right_keys = key_column(right, right_attr, right_ty)?;
     let (build, probe, swapped) = if left_keys.len() <= right_keys.len() {
@@ -89,6 +100,7 @@ pub fn merge_join(
     right_attr: u16,
     right_ty: DataType,
 ) -> Result<Vec<JoinPair>> {
+    let _span = join_span("op.join.merge", left, right);
     let mut l = key_column(left, left_attr, left_ty)?;
     let mut r = key_column(right, right_attr, right_ty)?;
     l.sort_unstable();
@@ -126,6 +138,7 @@ pub fn nested_loop_join(
     right_attr: u16,
     right_ty: DataType,
 ) -> Result<Vec<JoinPair>> {
+    let _span = join_span("op.join.nested_loop", left, right);
     let l = key_column(left, left_attr, left_ty)?;
     let r = key_column(right, right_attr, right_ty)?;
     let mut out = Vec::new();
@@ -149,6 +162,11 @@ pub fn group_sum_f64(
     value_attr: u16,
     value_ty: DataType,
 ) -> Result<Vec<(i64, f64, u64)>> {
+    let mut span = obs::span("op", "op.join.group_sum");
+    if span.is_recording() {
+        span.arg("rows", layout.row_count());
+    }
+    let _span = span;
     let keys = key_column(layout, key_attr, key_ty)?;
     let mut values = Vec::with_capacity(keys.len());
     let mut err = None;

@@ -7,9 +7,18 @@
 //! available" — so the operator takes a sorted position list and
 //! materializes every field of every listed row.
 
-use htapg_core::{Layout, Record, Result, RowId, Schema};
+use htapg_core::{obs, Layout, Record, Result, RowId, Schema};
 
 use crate::threading::{run_blocks, ThreadingPolicy};
+
+/// Open an operator span recording the number of positions to materialize.
+fn op_span(name: &'static str, positions: &[RowId]) -> obs::SpanGuard {
+    let mut span = obs::span("op", name);
+    if span.is_recording() {
+        span.arg("rows", positions.len() as u64);
+    }
+    span
+}
 
 /// Materialize full records at `positions` under a threading policy.
 ///
@@ -22,6 +31,7 @@ pub fn materialize(
     positions: &[RowId],
     policy: ThreadingPolicy,
 ) -> Result<Vec<Record>> {
+    let _span = op_span("op.materialize", positions);
     // `run_blocks` folds morsel results in morsel order, so concatenation
     // already reproduces the order of `positions`.
     run_blocks(
@@ -51,6 +61,7 @@ pub fn materialize_projection(
     positions: &[RowId],
     policy: ThreadingPolicy,
 ) -> Result<Vec<Record>> {
+    let _span = op_span("op.materialize.projection", positions);
     run_blocks(
         positions.len() as u64,
         policy,

@@ -40,6 +40,57 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use htapg_core::obs;
+
+/// Registry handles for pool scheduling events (PR 2 left these counters
+/// implicit), resolved once. `morsels_claimed`/`tasks_claimed` also exist
+/// per worker — see [`worker_counter`].
+struct PoolCounters {
+    /// Morsels claimed across all workers ([`run_morsels`]).
+    morsels_claimed: Arc<obs::Counter>,
+    /// Task indices claimed across all workers ([`run_tasks`]).
+    tasks_claimed: Arc<obs::Counter>,
+    /// Task indices run by a pool worker rather than the submitting
+    /// thread — work the submitter alone would have serialized.
+    tasks_stolen: Arc<obs::Counter>,
+    /// Jobs short-circuited inline on the caller (≤ 1 morsel, ≤ 1 thread,
+    /// or no free workers): zero scheduling, zero thread management.
+    inline_runs: Arc<obs::Counter>,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static C: OnceLock<PoolCounters> = OnceLock::new();
+    C.get_or_init(|| PoolCounters {
+        morsels_claimed: obs::metrics().counter("pool.morsels.claimed"),
+        tasks_claimed: obs::metrics().counter("pool.tasks.claimed"),
+        tasks_stolen: obs::metrics().counter("pool.tasks.stolen"),
+        inline_runs: obs::metrics().counter("pool.inline_runs"),
+    })
+}
+
+/// Per-worker claim counters, keyed by thread identity: pool workers get
+/// `pool.morsels.claimed.htapg-pool-N`, every submitting thread shares
+/// `pool.morsels.claimed.submitter`. Names are interned once per thread
+/// (bounded by the pool size plus one).
+struct WorkerCounters {
+    morsels: Arc<obs::Counter>,
+    tasks: Arc<obs::Counter>,
+}
+
+thread_local! {
+    static WORKER_COUNTERS: WorkerCounters = {
+        let name = std::thread::current().name().unwrap_or("").to_string();
+        let label = if name.starts_with("htapg-pool-") { name.as_str() } else { "submitter" };
+        let morsels: &'static str =
+            Box::leak(format!("pool.morsels.claimed.{label}").into_boxed_str());
+        let tasks: &'static str = Box::leak(format!("pool.tasks.claimed.{label}").into_boxed_str());
+        WorkerCounters {
+            morsels: obs::metrics().counter(morsels),
+            tasks: obs::metrics().counter(tasks),
+        }
+    };
+}
+
 /// Morsel granularity in rows (~64K). Large enough that per-morsel
 /// bookkeeping (one `fetch_add`, one slot write) is noise against the scan
 /// itself; small enough that a straggling block re-balances across workers.
@@ -178,6 +229,12 @@ impl Pool {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Spans recorded on this thread carry the worker's identity as their
+    // trace track (one Chrome-trace tid per worker). Held for the thread's
+    // whole life.
+    let _track = obs::track_scope(
+        std::thread::current().name().map(str::to_owned).unwrap_or_else(|| "htapg-pool".into()),
+    );
     loop {
         let job = {
             let mut queue = relock(shared.queue.lock());
@@ -272,24 +329,39 @@ where
 {
     let morsels = n.div_ceil(MORSEL_ROWS);
     if morsels <= 1 || max_threads <= 1 {
+        pool_counters().inline_runs.inc();
         return fold_morsels_seq(n, work, combine, identity);
     }
     let pool = global();
     let extra = (max_threads - 1).min(pool.size()).min(morsels as usize - 1);
     if extra == 0 {
+        pool_counters().inline_runs.inc();
         return fold_morsels_seq(n, work, combine, identity);
     }
     let cursor = AtomicU64::new(0);
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(morsels as usize));
-    pool.broadcast(extra, &|| loop {
-        let m = cursor.fetch_add(1, Ordering::Relaxed);
-        if m >= morsels {
-            break;
+    // Workers attribute their spans to the submitter's engine, not the
+    // pool's default process label.
+    let process = obs::current_process();
+    pool.broadcast(extra, &|| {
+        let _p = obs::process_scope(process.clone());
+        loop {
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= morsels {
+                break;
+            }
+            pool_counters().morsels_claimed.inc();
+            WORKER_COUNTERS.with(|w| w.morsels.inc());
+            let mut span = obs::span("pool", "pool.morsel");
+            if span.is_recording() {
+                span.arg("morsel", m);
+            }
+            let lo = m * MORSEL_ROWS;
+            let hi = n.min(lo + MORSEL_ROWS);
+            let r = work(lo, hi);
+            span.end();
+            relock(results.lock()).push((m, r));
         }
-        let lo = m * MORSEL_ROWS;
-        let hi = n.min(lo + MORSEL_ROWS);
-        let r = work(lo, hi);
-        relock(results.lock()).push((m, r));
     });
     let mut parts = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     parts.sort_unstable_by_key(|(m, _)| *m);
@@ -309,21 +381,34 @@ pub fn run_tasks(count: u64, max_threads: usize, task: impl Fn(u64) + Sync) {
     let body = {
         let cursor = AtomicU64::new(0);
         let task = &task;
-        move || loop {
-            let t = cursor.fetch_add(1, Ordering::Relaxed);
-            if t >= count {
-                break;
+        let process = obs::current_process();
+        move || {
+            let _p = obs::process_scope(process.clone());
+            let on_pool_worker =
+                std::thread::current().name().is_some_and(|n| n.starts_with("htapg-pool-"));
+            loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= count {
+                    break;
+                }
+                pool_counters().tasks_claimed.inc();
+                WORKER_COUNTERS.with(|w| w.tasks.inc());
+                if on_pool_worker {
+                    pool_counters().tasks_stolen.inc();
+                }
+                task(t);
             }
-            task(t);
         }
     };
     if count == 1 || max_threads <= 1 {
+        pool_counters().inline_runs.inc();
         body();
         return;
     }
     let pool = global();
     let extra = (max_threads - 1).min(pool.size()).min(count as usize - 1);
     if extra == 0 {
+        pool_counters().inline_runs.inc();
         body();
         return;
     }
@@ -498,5 +583,35 @@ mod tests {
     #[test]
     fn global_pool_has_at_least_one_worker() {
         assert!(global().size() >= 1);
+    }
+
+    #[test]
+    fn scheduling_counters_are_exposed_through_the_registry() {
+        let before = obs::metrics().snapshot();
+        // One morsel: inline short-circuit, no pool interaction.
+        run_morsels(100, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
+        // Four morsels: every claim counted, globally and per worker.
+        let n = 4 * MORSEL_ROWS;
+        run_morsels(n, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
+        run_tasks(16, 4, |_| {});
+        run_tasks(1, 4, |_| {});
+        // Deltas are lower bounds: other tests in this binary may run
+        // concurrently and bump the same global counters.
+        let d = obs::metrics().snapshot().since(&before);
+        assert!(d.counter("pool.inline_runs") >= 2, "{d:?}");
+        assert!(d.counter("pool.morsels.claimed") >= 4, "{d:?}");
+        assert!(d.counter("pool.tasks.claimed") >= 17, "{d:?}");
+        // Per-worker attribution: claim totals decompose over worker
+        // counters (each claim bumps the total first, so the per-worker
+        // sum can never exceed it).
+        let snap = obs::metrics().snapshot();
+        let per_worker: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("pool.morsels.claimed."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(per_worker >= 4);
+        assert!(snap.counter("pool.morsels.claimed") >= per_worker);
     }
 }

@@ -10,9 +10,18 @@
 //! per value, and contiguous views stream through `chunks_exact` so the
 //! inner loops vectorize.
 
-use htapg_core::{ColumnView, DataType, Error, Layout, Result, RowId};
+use htapg_core::{obs, ColumnView, DataType, Error, Layout, Result, RowId};
 
 use crate::threading::{run_blocks, ThreadingPolicy};
+
+/// Open an operator span with the column's row count attached.
+fn op_span(name: &'static str, rows: u64) -> obs::SpanGuard {
+    let mut span = obs::span("op", name);
+    if span.is_recording() {
+        span.arg("rows", rows);
+    }
+    span
+}
 
 /// Monomorphize a kernel body over the column's element type: the
 /// `DataType` match runs **once**, outside the loop, and `$body` is
@@ -131,6 +140,7 @@ pub fn sum_column_f64_typed(
     check_numeric(ty)?;
     let views = layout.column_views(attr)?;
     let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    let _span = op_span("op.scan.sum", total_rows);
     let sum = run_blocks(
         total_rows,
         policy,
@@ -158,6 +168,7 @@ pub fn sum_at_positions_f64(
 ) -> Result<f64> {
     check_numeric(ty)?;
     let views = layout.column_views(attr)?;
+    let _span = op_span("op.scan.sum_positions", positions.len() as u64);
     // Blockwise over the *position list*, as in the paper; each point
     // access resolves its chunk by row id.
     let sum = run_blocks(
@@ -228,6 +239,7 @@ pub fn column_stats(
     check_numeric(ty)?;
     let views = layout.column_views(attr)?;
     let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    let _span = op_span("op.scan.stats", total_rows);
     Ok(run_blocks(
         total_rows,
         policy,
@@ -275,6 +287,7 @@ pub fn filter_positions(
 ) -> Result<Vec<RowId>> {
     check_numeric(ty)?;
     let views = layout.column_views(attr)?;
+    let _span = op_span("op.scan.filter", views.iter().map(|v| v.rows).sum());
     let mut out = Vec::new();
     for v in &views {
         dispatch_typed!(ty, read => {
@@ -307,6 +320,7 @@ pub fn count_where(
     check_numeric(ty)?;
     let views = layout.column_views(attr)?;
     let total_rows: u64 = views.iter().map(|v| v.rows).sum();
+    let _span = op_span("op.scan.count", total_rows);
     Ok(run_blocks(
         total_rows,
         policy,

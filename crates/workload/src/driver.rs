@@ -7,14 +7,33 @@
 //! write-intensive transactional queries."
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use htapg_core::engine::{StorageEngine, StorageEngineExt};
-use htapg_core::{RelationId, Result};
+use htapg_core::{obs, RelationId, Result};
 use htapg_exec::pool;
 
 use crate::queries::Op;
+
+/// Registry handles for the driver's hot path, resolved once.
+struct DriverMetrics {
+    oltp_latency: Arc<obs::Histogram>,
+    olap_latency: Arc<obs::Histogram>,
+    cross_class_steals: Arc<obs::Counter>,
+}
+
+fn driver_metrics() -> &'static DriverMetrics {
+    static METRICS: OnceLock<DriverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = obs::metrics();
+        DriverMetrics {
+            oltp_latency: m.histogram("query.oltp.latency_ns"),
+            olap_latency: m.histogram("query.olap.latency_ns"),
+            cross_class_steals: m.counter("driver.cross_class_steals"),
+        }
+    })
+}
 
 /// Aggregated metrics for one operation class.
 #[derive(Debug, Clone, Copy, Default)]
@@ -88,29 +107,39 @@ impl HtapReport {
 
 /// Execute one op against the engine (shared by sequential and concurrent
 /// drivers). Returns whether the op was analytic.
+///
+/// Each op runs under a `query.{class}.{kind}` span, and its *virtual*
+/// latency (the engine's [`StorageEngine::trace_clock`] delta, when the
+/// engine has one) lands in the `query.{class}.latency_ns` histogram — so
+/// dashboard percentiles are a function of the seed, not host scheduling.
 pub fn execute_op(engine: &dyn StorageEngine, rel: RelationId, op: &Op) -> Result<bool> {
-    match op {
-        Op::Materialize(positions) => {
-            engine.materialize(rel, positions)?;
-            Ok(false)
-        }
-        Op::PointRead(row) => {
-            engine.read_record(rel, *row)?;
-            Ok(false)
-        }
+    let name = match op {
+        Op::Materialize(_) => "query.oltp.materialize",
+        Op::PointRead(_) => "query.oltp.point_read",
+        Op::UpdateField { .. } => "query.oltp.update_field",
+        Op::SumColumn(_) => "query.olap.sum_column",
+        Op::GroupSum { .. } => "query.olap.group_sum",
+    };
+    let clock = engine.trace_clock();
+    let v0 = clock.as_ref().map(|c| c.now_ns());
+    let _span = obs::span("query", name);
+    let result = match op {
+        Op::Materialize(positions) => engine.materialize(rel, positions).map(|_| false),
+        Op::PointRead(row) => engine.read_record(rel, *row).map(|_| false),
         Op::UpdateField { row, attr, value } => {
-            engine.update_field(rel, *row, *attr, value)?;
-            Ok(false)
+            engine.update_field(rel, *row, *attr, value).map(|_| false)
         }
-        Op::SumColumn(attr) => {
-            engine.sum_column_f64(rel, *attr)?;
-            Ok(true)
-        }
+        Op::SumColumn(attr) => engine.sum_column_f64(rel, *attr).map(|_| true),
         Op::GroupSum { key_attr, value_attr } => {
-            group_sum(engine, rel, *key_attr, *value_attr)?;
-            Ok(true)
+            group_sum(engine, rel, *key_attr, *value_attr).map(|_| true)
         }
+    };
+    if let (Some(clock), Some(v0)) = (clock, v0) {
+        let m = driver_metrics();
+        let hist = if op.is_analytic() { &m.olap_latency } else { &m.oltp_latency };
+        hist.record(clock.now_ns().saturating_sub(v0));
     }
+    result
 }
 
 /// Engine-level hash group-by: sum `value_attr` grouped by the integer
@@ -191,11 +220,17 @@ pub fn run_concurrent(
         } else {
             [(&olap_ops, &olap_cursor), (&oltp_ops, &oltp_cursor)]
         };
-        for (queue, cursor) in queues {
+        for (qi, (queue, cursor)) in queues.into_iter().enumerate() {
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
                 if i >= queue.len() {
                     break;
+                }
+                // A claim from the non-primary queue is a cross-class
+                // steal: the worker's own class drained, it helps the
+                // other.
+                if qi == 1 {
+                    driver_metrics().cross_class_steals.inc();
                 }
                 let op = queue[i];
                 let t = Instant::now();

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::prng::env_seed;
 use htapg::device::cluster::SimCluster;
 use htapg::device::disk::DiskSpec;

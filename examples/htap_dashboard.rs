@@ -1,19 +1,31 @@
 //! HTAP dashboard: the same mixed transactional + analytical workload
 //! against every surveyed engine and the reference engine, with per-class
-//! throughput and latency (the scenario of the paper's challenge b.iii).
+//! throughput and latency (the scenario of the paper's challenge b.iii),
+//! plus virtual-time latency percentiles from the metrics registry.
 //!
 //! ```sh
-//! cargo run --release --example htap_dashboard
+//! cargo run --release --example htap_dashboard [-- --trace out.json]
 //! ```
+//!
+//! Engines that expose a virtual clock (`trace_clock()`) report p50/p95/p99
+//! in virtual ns from the `query.{class}.latency_ns` histograms — a
+//! deterministic function of the seed. Engines without one show `-`.
+//! `--trace PATH` additionally records every clocked engine's run into one
+//! Chrome trace (one pid per engine) for chrome://tracing or Perfetto.
 
 use htapg::core::engine::StorageEngine;
+use htapg::core::obs;
 use htapg::engines::{all_surveyed_engines, ReferenceEngine};
 use htapg::workload::driver::{load_customers, run_concurrent};
 use htapg::workload::queries::{mixed_stream, MixConfig};
 use htapg::workload::tpcc::Generator;
 
 fn main() {
-    let gen = Generator::new(7);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path =
+        args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    let seed = htapg::core::prng::env_seed(7);
+    let gen = Generator::new(seed);
     let rows = 20_000u64;
     let ops = 2_000usize;
     let cfg = MixConfig { olap_fraction: 0.05, write_fraction: 0.5, ..Default::default() };
@@ -21,17 +33,26 @@ fn main() {
 
     println!(
         "HTAP mixed workload: {rows} customers, {ops} ops \
-         ({}% analytic), 4 OLTP threads + 1 OLAP thread\n",
+         ({}% analytic), 4 OLTP threads + 1 OLAP thread (seed {seed})\n",
         (cfg.olap_fraction * 100.0) as u32
     );
     println!(
-        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>12} {:>8}",
-        "engine", "oltp ops", "oltp kops/s", "oltp µs/op", "olap ops", "olap ms/scan", "errors"
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>12} {:>8} {:>30} {:>30}",
+        "engine",
+        "oltp ops",
+        "oltp kops/s",
+        "oltp µs/op",
+        "olap ops",
+        "olap ms/scan",
+        "errors",
+        "oltp p50/p95/p99 (vns)",
+        "olap p50/p95/p99 (vns)"
     );
 
     let mut engines: Vec<Box<dyn StorageEngine>> = all_surveyed_engines();
     engines.push(Box::new(ReferenceEngine::new()));
 
+    let mut all_spans = Vec::new();
     for engine in engines {
         let rel = match load_customers(engine.as_ref(), &gen, rows) {
             Ok(rel) => rel,
@@ -42,9 +63,34 @@ fn main() {
         };
         // Give responsive engines a warmed-up shape.
         engine.maintain().ok();
-        let report = run_concurrent(engine.as_ref(), rel, &stream, 4, 1);
+        let tracer =
+            if trace_path.is_some() { engine.trace_clock().map(obs::Tracer::new) } else { None };
+        if let Some(t) = &tracer {
+            obs::install(t.clone());
+        }
+        let base = obs::metrics().snapshot();
+        let report = {
+            let _proc = obs::process_scope(engine.name());
+            run_concurrent(engine.as_ref(), rel, &stream, 4, 1)
+        };
+        let delta = obs::metrics().snapshot().since(&base);
+        if tracer.is_some() {
+            obs::uninstall();
+        }
+        if let Some(t) = tracer {
+            all_spans.extend(t.drain());
+        }
+        // Virtual-time percentiles only exist for engines with a clock.
+        let quantiles = |name: &str| -> String {
+            match (engine.trace_clock(), delta.histograms.get(name)) {
+                (Some(_), Some(h)) if h.count > 0 => {
+                    format!("{}/{}/{}", h.quantile(0.5), h.quantile(0.95), h.quantile(0.99))
+                }
+                _ => "-".to_string(),
+            }
+        };
         println!(
-            "{:<16} {:>10} {:>12.1} {:>12.1} {:>10} {:>12.3} {:>8}",
+            "{:<16} {:>10} {:>12.1} {:>12.1} {:>10} {:>12.3} {:>8} {:>30} {:>30}",
             engine.name(),
             report.oltp.ops,
             report.oltp.throughput() / 1e3,
@@ -52,7 +98,17 @@ fn main() {
             report.olap.ops,
             report.olap.mean_ns() / 1e6,
             report.oltp.errors + report.olap.errors,
+            quantiles("query.oltp.latency_ns"),
+            quantiles("query.olap.latency_ns"),
         );
+    }
+
+    if let Some(path) = trace_path {
+        let json = obs::to_chrome_trace(all_spans);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote {path} (open in chrome://tracing or Perfetto)"),
+            Err(e) => println!("\ncould not write {path}: {e}"),
+        }
     }
 
     println!(

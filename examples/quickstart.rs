@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::Value;
 use htapg::engines::ReferenceEngine;
 use htapg::taxonomy::reference;

@@ -7,7 +7,7 @@
 //! cargo run --release --example time_travel
 //! ```
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::Value;
 use htapg::engines::LStoreEngine;
 use htapg::workload::driver::load_items;

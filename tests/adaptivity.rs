@@ -2,7 +2,7 @@
 //! to workload shifts (requirement 2 of the reference design), and the
 //! answers never change across reorganizations.
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::Value;
 use htapg::engines::{Es2Engine, H2oEngine, HyriseEngine, PelotonEngine, ReferenceEngine};
 use htapg::workload::driver::load_items;

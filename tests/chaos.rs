@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::prng::env_seed;
 use htapg::core::wal::{MemStorage, Wal};
 use htapg::core::{DataType, Layout, LayoutTemplate, Record, Schema, Value};

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::{Error, Value};
 use htapg::device::{DeviceSpec, SimDevice};
 use htapg::engines::gputx::TxOp;

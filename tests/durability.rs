@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::wal::{MemStorage, Wal};
 use htapg::core::Value;
 use htapg::engines::ReferenceEngine;

@@ -4,7 +4,7 @@
 //! updates, point reads, scans, and interleaved maintenance runs against
 //! all engines plus a trivially correct oracle.
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::prng::check_cases;
 use htapg::core::{Record, Value};
 use htapg::engines::{all_surveyed_engines, PlainEngine, ReferenceEngine};

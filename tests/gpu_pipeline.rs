@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::prng::{check_cases, Prng};
 use htapg::core::{DataType, Layout, LayoutTemplate, Schema, Value};
 use htapg::device::{DeviceColumnCache, DeviceSpec, SimDevice};

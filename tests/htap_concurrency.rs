@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::{Error, Value};
 use htapg::engines::{HyperEngine, LStoreEngine, PelotonEngine, PlainEngine, ReferenceEngine};
 use htapg::workload::driver::{load_customers, run_concurrent};

@@ -3,7 +3,7 @@
 //! maintenance injected at arbitrary points. Driven by the deterministic
 //! in-repo [`Prng`] (seed honors `HTAPG_SEED`, printed on failure).
 
-use htapg::core::engine::{StorageEngine, StorageEngineExt};
+use htapg::core::engine::StorageEngine;
 use htapg::core::prng::{check_cases, Prng};
 use htapg::core::{DataType, Schema, Value};
 use htapg::engines::{

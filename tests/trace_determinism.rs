@@ -1,0 +1,231 @@
+//! Trace determinism and EXPLAIN accounting, end to end (ISSUE 4
+//! acceptance):
+//!
+//! * the same seed produces a **byte-identical** exported Chrome trace
+//!   across two sequential runs (timestamps come from the virtual clock,
+//!   never the host);
+//! * a pooled run (`HTAPG_THREADS=2`) produces the same query-span *set*
+//!   across two runs — claim order varies, the recorded work does not;
+//! * a root span's inclusive virtual ns equals the `CostLedger` wall-clock
+//!   delta over the run, exactly;
+//! * the double-buffered device pipeline shows up as two parallel stream
+//!   lanes (copy/compute) whose spans overlap in virtual time;
+//! * under a 0.05 transient fault rate every retry appears as a `backoff`
+//!   span, and the spans' duration sum equals the ledger's `backoff_ns`
+//!   delta, exactly.
+//!
+//! Every test installs the process-global tracer, so they serialize on one
+//! mutex.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use htapg::core::engine::StorageEngine;
+use htapg::core::obs::{self, SpanRecord, TraceReport, Tracer};
+use htapg::core::prng::env_seed;
+use htapg::core::DataType;
+use htapg::device::{DeviceSpec, FaultPlan, FaultRates, SimDevice};
+use htapg::engines::ReferenceEngine;
+use htapg::exec::device_exec::{offload_sum, pipelined_offload_sum, PipelineConfig};
+use htapg::workload::driver::{load_customers, run_concurrent, run_sequential};
+use htapg::workload::queries::{mixed_stream, MixConfig};
+use htapg::workload::tpcc::Generator;
+
+/// Serialize tests that install the global tracer.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn mix() -> MixConfig {
+    MixConfig { olap_fraction: 0.1, write_fraction: 0.5, ..Default::default() }
+}
+
+/// One traced sequential run on a fresh reference engine. Returns the
+/// exported Chrome JSON, the `htap.run` root's inclusive virtual ns, and
+/// the engine ledger's wall-clock delta over the same window.
+fn traced_sequential_run(seed: u64) -> (String, u64, u64) {
+    let engine = ReferenceEngine::new();
+    let clock = engine.trace_clock().expect("reference engine has a ledger clock");
+    let gen = Generator::new(seed);
+    let rel = load_customers(&engine, &gen, 3_000).unwrap();
+    // Analytic warm-up so `maintain` delegates the balance column to the
+    // device — the traced scans then do real (virtual-time) device work.
+    for _ in 0..40 {
+        engine.sum_column_f64(rel, htapg::workload::tpcc::customer_attr::C_BALANCE).unwrap();
+    }
+    engine.maintain().ok();
+    let stream = mixed_stream(&gen, seed.wrapping_add(1), 3_000, 400, &mix());
+
+    let tracer = Tracer::new(clock.clone());
+    obs::install(tracer.clone());
+    let _proc = obs::process_scope(engine.name());
+    let v0 = clock.now_ns();
+    {
+        let _root = obs::span("query", "htap.run");
+        // Interleaved background maintenance: each round refreshes the
+        // device replicas the previous round's writes staled, so the run
+        // keeps charging virtual time under any HTAPG_SEED override.
+        for batch in stream.chunks(stream.len().div_ceil(8).max(1)) {
+            run_sequential(&engine, rel, batch);
+            let _m = obs::span("maintain", "engine.maintain");
+            engine.maintain().ok();
+        }
+    }
+    let v1 = clock.now_ns();
+    drop(_proc);
+    obs::uninstall();
+
+    let spans = tracer.drain();
+    let report = TraceReport::from_spans(spans.clone());
+    let root = report.find_root("htap.run").expect("root span present");
+    (obs::to_chrome_trace(spans), root.inclusive_ns, v1 - v0)
+}
+
+#[test]
+fn sequential_trace_is_byte_identical_across_runs() {
+    let _g = lock();
+    let seed = env_seed(5);
+    let (json1, root1, wall1) = traced_sequential_run(seed);
+    let (json2, root2, wall2) = traced_sequential_run(seed);
+    assert!(!json1.is_empty() && json1.contains("\"htap.run\""));
+    assert_eq!(json1, json2, "same seed must export byte-identical traces");
+    assert_eq!(root1, root2);
+    assert_eq!(wall1, wall2);
+}
+
+#[test]
+fn explain_root_inclusive_equals_ledger_wall_delta() {
+    let _g = lock();
+    let (_, root_inclusive, ledger_delta) = traced_sequential_run(env_seed(9));
+    assert!(root_inclusive > 0, "the traced run advanced virtual time");
+    assert_eq!(
+        root_inclusive, ledger_delta,
+        "root span inclusive ns must equal the CostLedger wall-clock delta exactly"
+    );
+}
+
+/// The multiset of query-class span names — claim order and worker
+/// attribution vary across pooled runs, the executed op set does not.
+fn query_span_names(spans: &[SpanRecord]) -> Vec<String> {
+    let mut names: Vec<String> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("query."))
+        .map(|s| format!("{}/{}", s.process, s.name))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn pooled_trace_query_span_set_is_deterministic() {
+    let _g = lock();
+    // The pool sizes itself from HTAPG_THREADS at first use; setting it
+    // here takes effect when this test binary touches the pool first, and
+    // the asserted property holds for any pool size.
+    std::env::set_var("HTAPG_THREADS", "2");
+    let seed = env_seed(11);
+    let run = || {
+        let engine = ReferenceEngine::new();
+        let gen = Generator::new(seed);
+        let rel = load_customers(&engine, &gen, 2_000).unwrap();
+        engine.maintain().ok();
+        let stream = mixed_stream(&gen, seed.wrapping_add(1), 2_000, 300, &mix());
+        let tracer = Tracer::new(engine.trace_clock().unwrap());
+        obs::install(tracer.clone());
+        let _proc = obs::process_scope(engine.name());
+        run_concurrent(&engine, rel, &stream, 2, 1);
+        drop(_proc);
+        obs::uninstall();
+        tracer.drain()
+    };
+    let a = query_span_names(&run());
+    let b = query_span_names(&run());
+    assert_eq!(a.len(), 300, "every op traced exactly once");
+    assert_eq!(a, b, "pooled runs must execute the same query-span set");
+}
+
+#[test]
+fn pipelined_offload_traces_parallel_stream_lanes() {
+    let _g = lock();
+    use htapg::core::{Layout, LayoutTemplate, Schema, Value};
+    let s = Schema::of(&[("price", DataType::Float64)]);
+    let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+    for i in 0..2_000_000u64 {
+        l.append(&s, &vec![Value::Float64((i % 997) as f64)]).unwrap();
+    }
+    // Unified-memory-class device: copy and compute are comparable, so the
+    // lanes genuinely overlap.
+    let device = Arc::new(SimDevice::new(0, DeviceSpec::unified()));
+    let ledger: Arc<htapg::device::CostLedger> = Arc::clone(device.ledger());
+    let tracer = Tracer::new(ledger);
+    obs::install(tracer.clone());
+    pipelined_offload_sum(&device, &l, 0, DataType::Float64, PipelineConfig::default()).unwrap();
+    obs::uninstall();
+    let spans = tracer.drain();
+    let copies: Vec<&SpanRecord> = spans.iter().filter(|s| s.track == "stream.copy").collect();
+    let computes: Vec<&SpanRecord> = spans.iter().filter(|s| s.track == "stream.compute").collect();
+    assert!(!copies.is_empty(), "copy lane has spans");
+    assert!(!computes.is_empty(), "compute lane has spans");
+    // Perfetto's parallel-lane picture: at least one copy span and one
+    // compute span occupy overlapping virtual-time intervals.
+    let overlap = copies.iter().any(|c| {
+        computes
+            .iter()
+            .any(|k| c.start_ns < k.start_ns + k.dur_ns && k.start_ns < c.start_ns + c.dur_ns)
+    });
+    assert!(overlap, "copy and compute lanes overlap in virtual time");
+}
+
+#[test]
+fn every_transient_retry_is_a_backoff_span_and_durations_sum_to_ledger() {
+    let _g = lock();
+    let mut device = SimDevice::with_defaults();
+    device.set_fault_plan(FaultPlan::seeded(
+        env_seed(13),
+        FaultRates { device_transfer: 0.05, ..FaultRates::none() },
+    ));
+    let device = Arc::new(device);
+    let ledger: Arc<htapg::device::CostLedger> = Arc::clone(device.ledger());
+
+    use htapg::core::{Layout, LayoutTemplate, Schema, Value};
+    let s = Schema::of(&[("v", DataType::Float64)]);
+    let mut l = Layout::new(&s, LayoutTemplate::dsm_emulated(&s)).unwrap();
+    for i in 0..10_000u64 {
+        l.append(&s, &vec![Value::Float64(i as f64)]).unwrap();
+    }
+
+    let backoff_before = ledger.snapshot().backoff_ns;
+    let tracer = Tracer::new(ledger.clone());
+    obs::install(tracer.clone());
+    let mut attempts = 0u32;
+    let mut failures = 0u32;
+    for _ in 0..200 {
+        attempts += 1;
+        // A terminal failure (faults exhausting the retry budget) is fine —
+        // its backoffs are still traced and charged.
+        if offload_sum(&device, &l, 0, DataType::Float64).is_err() {
+            failures += 1;
+        }
+    }
+    obs::uninstall();
+    let backoff_delta = ledger.snapshot().backoff_ns - backoff_before;
+
+    let spans = tracer.drain();
+    let backoffs: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "backoff").collect();
+    assert!(
+        !backoffs.is_empty(),
+        "0.05 fault rate over {attempts} offloads ({failures} failed) must trigger retries"
+    );
+    for b in &backoffs {
+        assert!(b.dur_ns > 0, "a backoff span covers its virtual wait");
+        assert!(
+            b.args.iter().any(|(k, _)| *k == "attempt"),
+            "backoff spans carry the attempt number"
+        );
+    }
+    let span_sum: u64 = backoffs.iter().map(|b| b.dur_ns).sum();
+    assert_eq!(
+        span_sum, backoff_delta,
+        "backoff span durations must sum to the ledger's backoff_ns delta exactly"
+    );
+}

@@ -1,0 +1,70 @@
+//! Disabled-tracer overhead (ISSUE 4 acceptance): with no tracer
+//! installed, the span path performs **zero heap allocations** and records
+//! zero events — one relaxed atomic load and an inert guard.
+//!
+//! This lives in its own test binary: the counting `#[global_allocator]`
+//! must see only this test's allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use htapg::core::obs;
+
+/// System allocator that counts allocation calls (alloc + realloc +
+/// alloc_zeroed).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_span_path_allocates_nothing_and_records_nothing() {
+    assert!(!obs::enabled(), "no tracer installed in this binary");
+    // Resolve the counter handle and touch every entry point once outside
+    // the measured window (registry creation allocates; the hot path must
+    // not).
+    let counter = obs::metrics().counter("overhead.ops");
+    {
+        let mut warm = obs::span("op", "warm.up");
+        warm.arg("rows", 1);
+    }
+    obs::instant("cache", "warm.instant");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let mut span = obs::span("op", "op.scan.sum");
+        assert!(!span.is_recording(), "guard must be inert while disabled");
+        if span.is_recording() {
+            span.arg("rows", i); // never reached: formatting is gated
+        }
+        drop(span);
+        obs::instant("cache", "cache.hit");
+        counter.inc();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled span path must be allocation-free");
+    assert_eq!(counter.get(), 10_000, "counters still count while tracing is off");
+}
