@@ -4,8 +4,11 @@
 
 use htapg_bench::micro::Group;
 use htapg_core::engine::StorageEngine;
+use htapg_core::plan::LogicalPlan;
 use htapg_core::Value;
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
+use htapg_exec::physical;
+use htapg_exec::threading::ThreadingPolicy;
 use htapg_workload::driver::load_items;
 use htapg_workload::tpcc::{item_attr, Generator};
 
@@ -52,7 +55,28 @@ fn bench_scans() {
     for engine in engines() {
         let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
         engine.maintain().unwrap();
-        group.bench(engine.name(), || engine.sum_column_f64(rel, item_attr::I_PRICE).unwrap());
+        // Route through the planner + physical executor — the same path
+        // the workload driver takes.
+        let logical = LogicalPlan::sum(rel, item_attr::I_PRICE);
+        group.bench(engine.name(), || {
+            let plan = engine.plan(&logical).unwrap();
+            physical::execute(engine.as_ref(), &plan, ThreadingPolicy::Single).unwrap()
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_sums() {
+    let gen = Generator::new(7);
+    let mut group = Group::new("engines_group_sum_plan");
+    for engine in engines() {
+        let rel = load_items(engine.as_ref(), &gen, ROWS).unwrap();
+        engine.maintain().unwrap();
+        let logical = LogicalPlan::group_sum(rel, item_attr::I_IM_ID, item_attr::I_PRICE);
+        group.bench(engine.name(), || {
+            let plan = engine.plan(&logical).unwrap();
+            physical::execute(engine.as_ref(), &plan, ThreadingPolicy::Single).unwrap()
+        });
     }
     group.finish();
 }
@@ -76,5 +100,6 @@ fn main() {
     bench_point_reads();
     bench_updates();
     bench_scans();
+    bench_group_sums();
     bench_inserts();
 }

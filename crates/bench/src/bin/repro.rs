@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [obs] [ablations] [all]
+//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [planner] [obs] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
@@ -10,7 +10,7 @@
 //! (else 42); `--trace PATH` writes the obs section's Chrome trace JSON
 //! (open in `chrome://tracing` or Perfetto).
 
-use htapg_bench::{ablation, fig2, gpu_pipeline, obs, pool, render_sweep};
+use htapg_bench::{ablation, fig2, gpu_pipeline, obs, planner, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -299,6 +299,21 @@ fn main() {
         );
         let path = "BENCH_gpu_pipeline.json";
         match std::fs::write(path, gpu_pipeline::to_json(&points)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    if want("planner") {
+        section("Planner — cost-based routing, estimated vs actual virtual ns");
+        println!(
+            "(each op class lowered to a logical plan, routed by the engine's\n\
+             cost model, executed through the physical interpreter; actual\n\
+             virtual ns from the engine's own clock, 0 for host-only engines)\n"
+        );
+        let points = planner::measure(seed, quick);
+        print!("{}", planner::render(&points));
+        let path = "BENCH_planner.json";
+        match std::fs::write(path, planner::to_json(seed, &points)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => println!("could not write {path}: {e}"),
         }

@@ -1,0 +1,227 @@
+//! The `repro planner` section: cost-model calibration of the query
+//! planner across every surveyed engine.
+//!
+//! Each engine gets an identical TPC-C item table; every workload op class
+//! is lowered to a [`LogicalPlan`], routed by the engine's own
+//! [`StorageEngine::plan`], and interpreted by the physical executor while
+//! the engine's virtual clock (when it has one) measures the *actual*
+//! virtual nanoseconds. The section reports, per (engine, op class), the
+//! route taken, the planner's estimate, the measured actual, and the
+//! bounded relative error
+//! `|est − actual| / max(actual, est, 1)` — bounded so host-only engines
+//! (whose ops cost zero virtual ns) still produce a finite mean for CI to
+//! assert on.
+
+use htapg_core::engine::StorageEngine;
+use htapg_core::plan::{LogicalPlan, Predicate};
+use htapg_core::{RelationId, Value};
+use htapg_engines::{all_surveyed_engines, ReferenceEngine};
+use htapg_exec::physical;
+use htapg_exec::threading::ThreadingPolicy;
+use htapg_workload::driver::load_items;
+use htapg_workload::tpcc::{item_attr, Generator};
+
+/// One planned-and-executed op: the planner's routing decision and its
+/// estimate against the clock's verdict.
+#[derive(Debug, Clone)]
+pub struct PlanPoint {
+    pub engine: &'static str,
+    /// Op class label (`sum_column`, `group_sum`, ...).
+    pub op: &'static str,
+    /// Route label from the physical plan root.
+    pub route: &'static str,
+    /// Bytes the plan expects to move over PCIe.
+    pub bytes_to_device: u64,
+    pub est_ns: u64,
+    pub actual_ns: u64,
+}
+
+/// Bounded relative estimation error: `|est − actual| / max(actual, est, 1)`.
+/// Always in `[0, 1]`, and defined (0) when both sides are zero — host ops
+/// advance no virtual time, and an unbounded `|est − actual| / actual`
+/// would be infinite there.
+pub fn rel_err(est_ns: u64, actual_ns: u64) -> f64 {
+    let diff = est_ns.abs_diff(actual_ns) as f64;
+    diff / (actual_ns.max(est_ns).max(1) as f64)
+}
+
+/// Mean bounded relative error over a set of points (0 when empty).
+pub fn mean_rel_error(points: &[PlanPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|p| rel_err(p.est_ns, p.actual_ns)).sum::<f64>() / points.len() as f64
+}
+
+/// Plan and execute one logical op, measuring actual virtual ns.
+fn run_one(
+    engine: &dyn StorageEngine,
+    op: &'static str,
+    logical: &LogicalPlan,
+) -> htapg_core::Result<PlanPoint> {
+    let plan = engine.plan(logical)?;
+    let clock = engine.trace_clock();
+    let v0 = clock.as_ref().map(|c| c.now_ns()).unwrap_or(0);
+    physical::execute(engine, &plan, ThreadingPolicy::Single)?;
+    let v1 = clock.as_ref().map(|c| c.now_ns()).unwrap_or(0);
+    Ok(PlanPoint {
+        engine: engine.name(),
+        op,
+        route: plan.route().label(),
+        bytes_to_device: plan.bytes_to_device(),
+        est_ns: plan.estimated_ns(),
+        actual_ns: v1.saturating_sub(v0),
+    })
+}
+
+/// The op classes measured per engine: one logical plan per workload op
+/// kind, plus the fused filter+sum shape.
+fn op_classes(rel: RelationId, rows: u64) -> Vec<(&'static str, LogicalPlan)> {
+    vec![
+        ("sum_column", LogicalPlan::sum(rel, item_attr::I_PRICE)),
+        ("filter_sum", LogicalPlan::filter_sum(rel, item_attr::I_PRICE, Predicate::Ge(50.0))),
+        ("group_sum", LogicalPlan::group_sum(rel, item_attr::I_IM_ID, item_attr::I_PRICE)),
+        ("materialize", LogicalPlan::Materialize { rel, rows: (0..rows).step_by(97).collect() }),
+        ("point_read", LogicalPlan::PointRead { rel, row: rows / 2 }),
+        (
+            "update_field",
+            LogicalPlan::Update {
+                rel,
+                row: rows / 3,
+                attr: item_attr::I_PRICE,
+                value: Value::Float64(9.25),
+            },
+        ),
+    ]
+}
+
+/// Measure every op class on every surveyed engine plus the reference
+/// engine. Each engine is warmed (repeated analytic scans + `maintain`) so
+/// the device-capable ones reach their steady placement before the
+/// measured pass — the cost model's estimates are for the warmed state.
+pub fn measure(seed: u64, quick: bool) -> Vec<PlanPoint> {
+    let rows = if quick { 4_000 } else { 20_000 };
+    let gen = Generator::new(seed);
+    let mut engines = all_surveyed_engines();
+    engines.push(Box::new(ReferenceEngine::new()));
+    let mut points = Vec::new();
+    for engine in &engines {
+        let engine = engine.as_ref();
+        let rel = match load_items(engine, &gen, rows) {
+            Ok(rel) => rel,
+            Err(_) => continue,
+        };
+        for _ in 0..40 {
+            let _ = engine.sum_column_f64(rel, item_attr::I_PRICE);
+        }
+        let _ = engine.maintain();
+        for (op, logical) in op_classes(rel, rows) {
+            match run_one(engine, op, &logical) {
+                Ok(p) => points.push(p),
+                Err(e) => eprintln!("planner: {} {op} failed: {e}", engine.name()),
+            }
+        }
+    }
+    points
+}
+
+/// Render the calibration table for the terminal.
+pub fn render(points: &[PlanPoint]) -> String {
+    let mut out = format!(
+        "{:<16} {:<14} {:<20} {:>12} {:>12} {:>8}\n",
+        "engine", "op", "route", "est (vns)", "actual (vns)", "rel err"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:<20} {:>12} {:>12} {:>8.3}\n",
+            p.engine,
+            p.op,
+            p.route,
+            p.est_ns,
+            p.actual_ns,
+            rel_err(p.est_ns, p.actual_ns)
+        ));
+    }
+    out.push_str(&format!("\nmean bounded relative error: {:.4}\n", mean_rel_error(points)));
+    out
+}
+
+/// Serialize as BENCH_planner.json.
+pub fn to_json(seed: u64, points: &[PlanPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"planner\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"op\": \"{}\", \"route\": \"{}\", \
+             \"bytes_to_device\": {}, \"est_ns\": {}, \"actual_ns\": {}, \"rel_err\": {:.6}}}{}\n",
+            p.engine,
+            p.op,
+            p.route,
+            p.bytes_to_device,
+            p.est_ns,
+            p.actual_ns,
+            rel_err(p.est_ns, p.actual_ns),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"mean_rel_error\": {:.6}\n", mean_rel_error(points)));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_is_bounded_and_symmetric() {
+        assert_eq!(rel_err(0, 0), 0.0);
+        assert_eq!(rel_err(100, 0), 1.0);
+        assert_eq!(rel_err(0, 100), 1.0);
+        assert!((rel_err(50, 100) - 0.5).abs() < 1e-12);
+        assert_eq!(rel_err(50, 100), rel_err(100, 50));
+    }
+
+    #[test]
+    fn measure_covers_every_engine_and_op_class() {
+        let points = measure(7, true);
+        let engines: std::collections::BTreeSet<_> = points.iter().map(|p| p.engine).collect();
+        assert!(engines.len() >= 5, "expected all engines, got {engines:?}");
+        for op in
+            ["sum_column", "filter_sum", "group_sum", "materialize", "point_read", "update_field"]
+        {
+            assert!(points.iter().any(|p| p.op == op), "missing op class {op}");
+        }
+        let mean = mean_rel_error(&points);
+        assert!(mean.is_finite() && (0.0..=1.0).contains(&mean), "mean {mean}");
+        // Known route labels only.
+        for p in &points {
+            assert!(
+                ["device-pipelined", "host-pooled-morsel", "inline-volcano"].contains(&p.route),
+                "unknown route {}",
+                p.route
+            );
+        }
+        let json = to_json(7, &points);
+        assert!(json.contains("\"bench\": \"planner\""));
+        assert!(json.contains("\"mean_rel_error\""));
+        assert!(render(&points).contains("mean bounded relative error"));
+    }
+
+    #[test]
+    fn warm_device_engines_take_the_device_route_for_sums() {
+        let points = measure(3, true);
+        // The reference engine delegates the hot column to the device after
+        // warm-up + maintain; the planner must route its sum there.
+        let p = points
+            .iter()
+            .find(|p| p.engine == "REFERENCE" && p.op == "sum_column")
+            .expect("reference sum measured");
+        assert_eq!(p.route, "device-pipelined", "warm reference sum routes to device");
+        assert_eq!(p.bytes_to_device, 0, "warm replica: no PCIe in the plan");
+        assert!(p.actual_ns > 0, "device work advances the virtual clock");
+    }
+}

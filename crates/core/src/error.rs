@@ -31,6 +31,11 @@ pub enum Error {
     NoDelegate { row: u64, attr: u16 },
     /// A uniqueness constraint (e.g. primary key) was violated.
     DuplicateKey,
+    /// An aggregate (sum / group-sum) was asked to run over a column whose
+    /// type cannot feed it — e.g. summing a text column. Distinct from
+    /// [`Error::TypeMismatch`]: the *stored* value matches its declared
+    /// type; the declared type is simply not aggregatable.
+    NonNumericAggregate { attr: u16, got: &'static str },
     /// A simulated substrate operation failed transiently (injected fault:
     /// I/O error, dropped message, failed transfer, ...). Retry-safe.
     Transient { site: &'static str, fault: &'static str },
@@ -75,6 +80,9 @@ impl fmt::Display for Error {
                 write!(f, "no authoritative layout delegated for row {row}, attribute {attr}")
             }
             Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::NonNumericAggregate { attr, got } => {
+                write!(f, "aggregate over non-numeric column {attr} (type {got})")
+            }
             Error::Transient { site, fault } => {
                 write!(f, "transient fault at {site}: {fault}")
             }

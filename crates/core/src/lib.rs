@@ -43,6 +43,7 @@ pub mod fragment;
 pub mod index;
 pub mod layout;
 pub mod obs;
+pub mod plan;
 pub mod prng;
 pub mod relation;
 pub mod retry;
@@ -56,6 +57,7 @@ pub mod wal;
 pub use error::{Error, Result};
 pub use fragment::{ColumnView, Fragment, FragmentSpec, Linearization, Location};
 pub use layout::{GroupOrder, Layout, LayoutTemplate, VerticalGroup};
+pub use plan::{LogicalPlan, PhysicalPlan, Route, ScanStrategy};
 pub use relation::Relation;
 pub use schema::{AttrId, Attribute, Record, RelationId, RowId, Schema};
 pub use scheme::{AccessHint, DelegationPolicy, DelegationRule, Scheme};

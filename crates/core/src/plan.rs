@@ -1,0 +1,966 @@
+//! Logical → physical query planning with a cost-based host/device router.
+//!
+//! The paper's central argument (Section II, Figure 2) is that no single
+//! storage model × threading policy × compute platform wins for hybrid
+//! workloads — the winner must be *chosen per query* from workload and
+//! layout evidence. This module turns that argument into an executable
+//! policy: a small logical IR ([`LogicalPlan`]), a physical tree annotated
+//! with the chosen [`Route`] and [`ScanStrategy`] plus estimated virtual
+//! nanoseconds ([`PhysicalPlan`]), and a router ([`build_plan`]) that
+//! chooses from three pieces of evidence:
+//!
+//! * the **cache cost model** ([`crate::costmodel::CacheSpec`]) prices the
+//!   host scan — sequential line streaming for contiguous columns, a full
+//!   miss per row for strided (NSM) storage;
+//! * a **device cost profile** ([`DeviceCostProfile`], mirroring the
+//!   simulated device's transfer/kernel model) prices the offload,
+//!   including the double-buffered overlap of upload and partial
+//!   reduction;
+//! * **column warmth**: a fresh device replica answers with kernel time
+//!   only and zero `bytes_to_device`, so a warm cache flips the router to
+//!   the device even when a cold upload would not pay off.
+//!
+//! Engines feed the router through [`EngineCapabilities`] (derived from
+//! their Table 1 [`Classification`]) and per-column
+//! [`ColumnEvidence`] / [`TableEvidence`] callbacks; the default
+//! implementations live on `StorageEngine` and are overridable, so
+//! device-backed engines report live cache warmth and
+//! multi-layout engines (Fractured Mirrors) advertise a per-plan mirror
+//! choice — the DSM replica for scans, the NSM replica for record
+//! materialization.
+
+use crate::costmodel::CacheSpec;
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, RelationId, RowId};
+use crate::types::{DataType, Value};
+use htapg_taxonomy::{
+    Classification, FragmentLinearization, FragmentScheme, LayoutHandling, ProcessorSupport,
+};
+
+/// Largest input (rows) still executed inline on the issuing thread; above
+/// this the host route goes through the morsel pool. Mirrors
+/// `htapg_exec::pool::MORSEL_ROWS` (one morsel), asserted equal by an exec
+/// test — a ≤1-morsel input would be inlined by `run_morsels` anyway, so
+/// planning it onto the pool would only add dispatch noise.
+pub const INLINE_MORSEL_ROWS: u64 = 1 << 16;
+
+// The canonical reduction geometry (mirrors `htapg_device::kernels`; the
+// exec layer asserts the constants agree). The router needs it to price
+// the two-pass reduction a device route would launch.
+const REDUCE_GRID: u64 = 1024;
+const REDUCE_BLOCK: u64 = 512;
+const FINAL_BLOCK: u64 = 1024;
+
+fn reduce_segments(rows: u64) -> u64 {
+    if rows == 0 {
+        return 0;
+    }
+    let seg_len = rows.div_ceil(REDUCE_GRID).max(1);
+    rows.div_ceil(seg_len)
+}
+
+/// Aggregate kinds the IR supports (the paper's "sum prices" and the
+/// workload's per-district group-by).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateKind {
+    /// Sum one numeric column.
+    Sum,
+    /// Per-group sums of the scanned column, grouped by an integer key
+    /// column of the same relation; results ordered by key.
+    GroupSum { key_attr: AttrId },
+}
+
+/// Value predicate for `Filter` nodes. A closed enum (not a closure) so
+/// plans stay `Clone + Debug`-able and renderable; the executor lowers it
+/// to the fused filter+sum kernel's `Fn(f64) -> bool`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Keep values `>= x`.
+    Ge(f64),
+    /// Keep values `< x`.
+    Lt(f64),
+    /// Keep values in `[lo, hi)`.
+    Between(f64, f64),
+}
+
+impl Predicate {
+    pub fn matches(&self, v: f64) -> bool {
+        match *self {
+            Predicate::Ge(x) => v >= x,
+            Predicate::Lt(x) => v < x,
+            Predicate::Between(lo, hi) => v >= lo && v < hi,
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match *self {
+            Predicate::Ge(x) => format!(">={x}"),
+            Predicate::Lt(x) => format!("<{x}"),
+            Predicate::Between(lo, hi) => format!("[{lo},{hi})"),
+        }
+    }
+}
+
+/// The logical IR. One node per access-pattern extreme of Section II plus
+/// the relational glue: scans feed filters/aggregates, `Materialize` is the
+/// record-centric Q1, `PointRead`/`Update` are the OLTP primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Attribute-centric scan of one column.
+    Scan { rel: RelationId, attr: AttrId },
+    /// Keep only input values matching the predicate.
+    Filter { input: Box<LogicalPlan>, pred: Predicate },
+    /// Keep only the named attributes of materialized records.
+    Project { input: Box<LogicalPlan>, attrs: Vec<AttrId> },
+    /// Aggregate the input column.
+    Aggregate { input: Box<LogicalPlan>, agg: AggregateKind },
+    /// Record-centric materialization of a position list.
+    Materialize { rel: RelationId, rows: Vec<RowId> },
+    /// Read one full record.
+    PointRead { rel: RelationId, row: RowId },
+    /// Update one field in place.
+    Update { rel: RelationId, row: RowId, attr: AttrId, value: Value },
+}
+
+impl LogicalPlan {
+    /// `SUM(attr)` over a full scan.
+    pub fn sum(rel: RelationId, attr: AttrId) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { rel, attr }),
+            agg: AggregateKind::Sum,
+        }
+    }
+
+    /// `SUM(attr) WHERE pred(attr)` — the fused filter+sum shape.
+    pub fn filter_sum(rel: RelationId, attr: AttrId, pred: Predicate) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::Scan { rel, attr }),
+                pred,
+            }),
+            agg: AggregateKind::Sum,
+        }
+    }
+
+    /// `SUM(value_attr) GROUP BY key_attr`, ordered by key.
+    pub fn group_sum(rel: RelationId, key_attr: AttrId, value_attr: AttrId) -> Self {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { rel, attr: value_attr }),
+            agg: AggregateKind::GroupSum { key_attr },
+        }
+    }
+}
+
+/// Execution route chosen by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Offload to the simulated device (pipelined upload when cold, kernel
+    /// only when the column cache is warm).
+    DevicePipelined,
+    /// Morsel-driven execution on the persistent host pool.
+    HostPooledMorsel,
+    /// Tuple-at-a-time interpretation inline on the issuing thread — the
+    /// right choice for point ops and sub-morsel inputs.
+    InlineVolcano,
+}
+
+impl Route {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Route::DevicePipelined => "device-pipelined",
+            Route::HostPooledMorsel => "host-pooled-morsel",
+            Route::InlineVolcano => "inline-volcano",
+        }
+    }
+}
+
+/// How a host scan reads the column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// Stream contiguous fixed-width blocks (`with_column_bytes`).
+    ContiguousBytes,
+    /// Per-value visit (`scan_column`) — the only option for strided NSM
+    /// storage or overlay-patched snapshots.
+    ValueVisit,
+}
+
+impl ScanStrategy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScanStrategy::ContiguousBytes => "contiguous-bytes",
+            ScanStrategy::ValueVisit => "value-visit",
+        }
+    }
+}
+
+/// Physical operator, mirroring [`LogicalPlan`] with the planning
+/// decisions attached at the node ([`PhysicalNode`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    Scan { rel: RelationId, attr: AttrId },
+    Filter { pred: Predicate },
+    Project { attrs: Vec<AttrId> },
+    AggregateSum,
+    AggregateGroupSum { key_attr: AttrId },
+    Materialize { rel: RelationId, rows: Vec<RowId> },
+    PointRead { rel: RelationId, row: RowId },
+    Update { rel: RelationId, row: RowId, attr: AttrId, value: Value },
+}
+
+impl PhysicalOp {
+    /// Stable span/report name for this operator.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            PhysicalOp::Scan { .. } => "plan.scan",
+            PhysicalOp::Filter { .. } => "plan.filter",
+            PhysicalOp::Project { .. } => "plan.project",
+            PhysicalOp::AggregateSum => "plan.aggregate.sum",
+            PhysicalOp::AggregateGroupSum { .. } => "plan.aggregate.group_sum",
+            PhysicalOp::Materialize { .. } => "plan.materialize",
+            PhysicalOp::PointRead { .. } => "plan.point_read",
+            PhysicalOp::Update { .. } => "plan.update",
+        }
+    }
+}
+
+/// One node of the physical tree: the operator plus every routing decision
+/// and estimate the EXPLAIN output reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalNode {
+    pub op: PhysicalOp,
+    pub route: Route,
+    /// How a host-side scan would read this node's column (annotated even
+    /// on device routes — it is the fallback strategy).
+    pub strategy: ScanStrategy,
+    /// Estimated virtual ns for this node *including* children (same
+    /// inclusive accounting as the span tree it is compared against).
+    pub estimated_ns: u64,
+    /// PCIe bytes this node is expected to move host→device (zero for
+    /// host routes and warm device columns).
+    pub bytes_to_device: u64,
+    /// Input rows.
+    pub rows: u64,
+    /// For engines advertising per-plan mirror choice (Fractured
+    /// Mirrors): which replica serves this node.
+    pub mirror: Option<&'static str>,
+    pub children: Vec<PhysicalNode>,
+}
+
+/// A routed physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    pub root: PhysicalNode,
+}
+
+impl PhysicalPlan {
+    /// Estimated virtual ns of the whole plan.
+    pub fn estimated_ns(&self) -> u64 {
+        self.root.estimated_ns
+    }
+
+    /// The root route (what EXPLAIN and the planner bench report).
+    pub fn route(&self) -> Route {
+        self.root.route
+    }
+
+    /// Total PCIe bytes the plan expects to move host→device.
+    pub fn bytes_to_device(&self) -> u64 {
+        fn walk(n: &PhysicalNode) -> u64 {
+            n.bytes_to_device + n.children.iter().map(walk).sum::<u64>()
+        }
+        walk(&self.root)
+    }
+
+    /// Indented one-line-per-node rendering (EXPLAIN-style, but without
+    /// actuals — those come from the span tree after execution).
+    pub fn render(&self) -> String {
+        fn walk(out: &mut String, n: &PhysicalNode, depth: usize) {
+            out.push_str(&format!(
+                "{:indent$}- {} route={} scan={} est={}ns rows={}",
+                "",
+                n.op.span_name(),
+                n.route.label(),
+                n.strategy.label(),
+                n.estimated_ns,
+                n.rows,
+                indent = depth * 2
+            ));
+            if n.bytes_to_device > 0 {
+                out.push_str(&format!(" bytes_to_device={}", n.bytes_to_device));
+            }
+            if let Some(m) = n.mirror {
+                out.push_str(&format!(" mirror={m}"));
+            }
+            if let PhysicalOp::Filter { pred } = &n.op {
+                out.push_str(&format!(" pred={}", pred.label()));
+            }
+            out.push('\n');
+            for c in &n.children {
+                walk(out, c, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        walk(&mut out, &self.root, 0);
+        out
+    }
+}
+
+/// What an engine can do, derived from its Table 1 [`Classification`].
+/// This is the taxonomy made executable: the router consults capabilities,
+/// not engine names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCapabilities {
+    /// Engine can place columns in device memory (GPUTx, CoGaDB, the
+    /// reference design) — required for any device route.
+    pub device_placement: bool,
+    /// Columns are available as contiguous fixed-width blocks (DSM-side
+    /// linearizations), enabling the contiguous-bytes scan strategy.
+    pub contiguous_scan: bool,
+    /// Replicated multi-layout storage (Fractured Mirrors): the planner
+    /// may pick a replica per node — DSM for scans, NSM for materialize.
+    pub mirror_choice: bool,
+}
+
+impl EngineCapabilities {
+    pub fn from_classification(c: &Classification) -> Self {
+        let device_placement =
+            matches!(c.processor_support, ProcessorSupport::Gpu | ProcessorSupport::CpuGpu);
+        // Pure-NSM linearizations have no contiguous column form; every
+        // other row of Table 1 exposes at least one DSM-shaped fragment.
+        let contiguous_scan = !matches!(
+            c.fragment_linearization,
+            FragmentLinearization::FatNsmFixed | FragmentLinearization::ThinNsmEmulated
+        );
+        let mirror_choice = matches!(
+            c.layout_handling,
+            LayoutHandling::MultiBuiltIn | LayoutHandling::MultiEmulated
+        ) && c.fragment_scheme == FragmentScheme::ReplicationBased
+            && c.fragment_linearization.covers_nsm_and_dsm();
+        EngineCapabilities { device_placement, contiguous_scan, mirror_choice }
+    }
+}
+
+/// Device cost parameters the router prices offloads with. A plain mirror
+/// of the simulated `DeviceSpec` (core cannot depend on `htapg-device`);
+/// device-backed engines build one from their spec via
+/// `DeviceSpec::cost_profile()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCostProfile {
+    /// Host↔device bandwidth, bytes/s.
+    pub pcie_bandwidth: f64,
+    /// Fixed latency per transfer, ns.
+    pub pcie_latency_ns: u64,
+    /// Fixed overhead per kernel launch, ns.
+    pub kernel_launch_ns: u64,
+    /// Device-memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Total parallel lanes.
+    pub lanes: u64,
+}
+
+impl DeviceCostProfile {
+    /// Virtual ns to move `bytes` host→device (one transfer).
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.pcie_latency_ns + (bytes as f64 / self.pcie_bandwidth * 1e9) as u64
+    }
+
+    /// `launch + max(compute, memory)` — the same model as
+    /// `DeviceSpec::kernel_ns`.
+    fn kernel_ns(&self, threads: u64, work_items: u64, cycles_per_item: f64, bytes: u64) -> u64 {
+        let active = threads.min(self.lanes).max(1);
+        let waves = work_items.div_ceil(active);
+        let compute_s = waves as f64 * cycles_per_item / self.clock_hz;
+        let memory_s = bytes as f64 / self.mem_bandwidth;
+        self.kernel_launch_ns + (compute_s.max(memory_s) * 1e9) as u64
+    }
+
+    /// Pass 1 of the canonical two-pass reduction (`predicated` prices the
+    /// fused filter+sum variant's extra cycle per item).
+    pub fn reduce_pass1_ns(&self, rows: u64, predicated: bool) -> u64 {
+        let cycles = if predicated { 5.0 } else { 4.0 };
+        self.kernel_ns(REDUCE_GRID * REDUCE_BLOCK, rows.max(1), cycles, rows * 8)
+    }
+
+    /// Pass 2: final combine of the pass-1 partials.
+    pub fn reduce_final_ns(&self, rows: u64) -> u64 {
+        let segs = reduce_segments(rows).max(1);
+        self.kernel_ns(FINAL_BLOCK, segs, 4.0, segs * 8)
+    }
+
+    /// Kernel-only cost of summing a resident column (the warm-cache
+    /// route).
+    pub fn warm_sum_ns(&self, rows: u64, predicated: bool) -> u64 {
+        self.reduce_pass1_ns(rows, predicated) + self.reduce_final_ns(rows)
+    }
+
+    /// Cost of a cold offload sum: the double-buffered pipeline overlaps
+    /// upload with partial reduction, so the critical path is
+    /// `max(transfer, pass 1) + final`.
+    pub fn cold_sum_ns(&self, rows: u64, predicated: bool) -> u64 {
+        self.transfer_ns(rows * 8).max(self.reduce_pass1_ns(rows, predicated))
+            + self.reduce_final_ns(rows)
+    }
+}
+
+/// Per-column evidence the router prices scans from. The default engine
+/// implementation derives it statically from capabilities and schema;
+/// device-backed engines override it to report live replica warmth, and
+/// the reference engine reports its overlay state (a non-empty overlay
+/// disables the contiguous fast path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnEvidence {
+    pub rows: u64,
+    pub ty: DataType,
+    /// Bytes between consecutive values in host memory (= value width for
+    /// DSM columns, record width for NSM rows).
+    pub scan_stride: u64,
+    /// Column readable as contiguous fixed-width blocks right now.
+    pub contiguous: bool,
+    /// A fresh device replica exists (zero upload bytes to use it).
+    pub device_warm: bool,
+}
+
+impl ColumnEvidence {
+    pub fn numeric(&self) -> bool {
+        self.ty.is_numeric()
+    }
+
+    pub fn value_width(&self) -> u64 {
+        self.ty.width() as u64
+    }
+}
+
+/// Per-relation evidence for record-centric nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableEvidence {
+    pub rows: u64,
+    /// Record width in bytes.
+    pub record_width: u64,
+    /// Records are stored (or mirrored) as contiguous NSM rows, so a
+    /// sorted position list materializes in one sequential pass.
+    pub contiguous_nsm: bool,
+}
+
+/// Everything static the router needs besides per-column evidence.
+pub struct PlannerContext<'a> {
+    pub caps: &'a EngineCapabilities,
+    pub device: Option<&'a DeviceCostProfile>,
+    pub cache: &'a CacheSpec,
+}
+
+/// Host scan cost from the cache model: sequential line streaming when the
+/// column is contiguous and its stride fits a line, a full miss per row
+/// otherwise — Section II-B's two penalties.
+fn host_scan_ns(ev: &ColumnEvidence, cache: &CacheSpec) -> u64 {
+    if ev.rows == 0 {
+        return 0;
+    }
+    let line = cache.line_bytes as u64;
+    if ev.contiguous && ev.scan_stride <= line {
+        let bytes = ev.rows * ev.value_width();
+        (bytes.div_ceil(line) as f64 * cache.sequential_line_ns) as u64
+    } else {
+        (ev.rows as f64 * cache.miss_ns) as u64
+    }
+}
+
+fn host_route(rows: u64) -> Route {
+    if rows <= INLINE_MORSEL_ROWS {
+        Route::InlineVolcano
+    } else {
+        Route::HostPooledMorsel
+    }
+}
+
+fn scan_strategy(ev: &ColumnEvidence) -> ScanStrategy {
+    if ev.contiguous {
+        ScanStrategy::ContiguousBytes
+    } else {
+        ScanStrategy::ValueVisit
+    }
+}
+
+/// Build a routed [`PhysicalPlan`] for `logical`. `column` and `table`
+/// supply live evidence (the `StorageEngine` methods of the same names);
+/// they are `FnMut` so engines may count probes or cache lookups.
+pub fn build_plan(
+    logical: &LogicalPlan,
+    cx: &PlannerContext<'_>,
+    column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
+    table: &mut dyn FnMut(RelationId) -> Result<TableEvidence>,
+) -> Result<PhysicalPlan> {
+    Ok(PhysicalPlan { root: plan_node(logical, cx, column, table)? })
+}
+
+fn plan_node(
+    logical: &LogicalPlan,
+    cx: &PlannerContext<'_>,
+    column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
+    table: &mut dyn FnMut(RelationId) -> Result<TableEvidence>,
+) -> Result<PhysicalNode> {
+    let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
+    match logical {
+        LogicalPlan::Scan { rel, attr } => {
+            let ev = column(*rel, *attr)?;
+            Ok(PhysicalNode {
+                op: PhysicalOp::Scan { rel: *rel, attr: *attr },
+                route: host_route(ev.rows),
+                strategy: scan_strategy(&ev),
+                estimated_ns: host_scan_ns(&ev, cx.cache),
+                bytes_to_device: 0,
+                rows: ev.rows,
+                mirror: scan_mirror,
+                children: Vec::new(),
+            })
+        }
+        LogicalPlan::Filter { input, pred } => {
+            let child = plan_node(input, cx, column, table)?;
+            Ok(PhysicalNode {
+                op: PhysicalOp::Filter { pred: *pred },
+                route: child.route,
+                strategy: child.strategy,
+                estimated_ns: child.estimated_ns,
+                bytes_to_device: 0,
+                rows: child.rows,
+                mirror: child.mirror,
+                children: vec![child],
+            })
+        }
+        LogicalPlan::Project { input, attrs } => {
+            let child = plan_node(input, cx, column, table)?;
+            Ok(PhysicalNode {
+                op: PhysicalOp::Project { attrs: attrs.clone() },
+                route: child.route,
+                strategy: child.strategy,
+                estimated_ns: child.estimated_ns,
+                bytes_to_device: 0,
+                rows: child.rows,
+                mirror: child.mirror,
+                children: vec![child],
+            })
+        }
+        LogicalPlan::Aggregate { input, agg } => plan_aggregate(input, agg, cx, column),
+        LogicalPlan::Materialize { rel, rows } => {
+            let t = table(*rel)?;
+            let req = rows.len() as u64;
+            let line = cx.cache.line_bytes as u64;
+            let est = if t.contiguous_nsm {
+                // Sorted position list, one sequential pass over the
+                // touched rows.
+                ((req * t.record_width).div_ceil(line) as f64 * cx.cache.sequential_line_ns) as u64
+            } else {
+                (req as f64 * t.record_width.div_ceil(line).max(1) as f64 * cx.cache.miss_ns) as u64
+            };
+            Ok(PhysicalNode {
+                op: PhysicalOp::Materialize { rel: *rel, rows: rows.clone() },
+                route: host_route(req),
+                strategy: if t.contiguous_nsm {
+                    ScanStrategy::ContiguousBytes
+                } else {
+                    ScanStrategy::ValueVisit
+                },
+                estimated_ns: est,
+                bytes_to_device: 0,
+                rows: req,
+                mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                children: Vec::new(),
+            })
+        }
+        LogicalPlan::PointRead { rel, row } => {
+            let t = table(*rel)?;
+            let line = cx.cache.line_bytes as u64;
+            Ok(PhysicalNode {
+                op: PhysicalOp::PointRead { rel: *rel, row: *row },
+                route: Route::InlineVolcano,
+                strategy: ScanStrategy::ValueVisit,
+                estimated_ns: (t.record_width.div_ceil(line).max(1) as f64 * cx.cache.miss_ns)
+                    as u64,
+                bytes_to_device: 0,
+                rows: 1,
+                mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                children: Vec::new(),
+            })
+        }
+        LogicalPlan::Update { rel, row, attr, value } => Ok(PhysicalNode {
+            op: PhysicalOp::Update { rel: *rel, row: *row, attr: *attr, value: value.clone() },
+            route: Route::InlineVolcano,
+            strategy: ScanStrategy::ValueVisit,
+            estimated_ns: cx.cache.miss_ns as u64,
+            bytes_to_device: 0,
+            rows: 1,
+            mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+            children: Vec::new(),
+        }),
+    }
+}
+
+/// Route an aggregate. The input must be a `Scan`, optionally wrapped in
+/// one `Filter` (the fused filter+sum shape); anything else is rejected —
+/// the IR is deliberately no larger than the workload needs.
+fn plan_aggregate(
+    input: &LogicalPlan,
+    agg: &AggregateKind,
+    cx: &PlannerContext<'_>,
+    column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
+) -> Result<PhysicalNode> {
+    let (rel, attr, pred) = match input {
+        LogicalPlan::Scan { rel, attr } => (*rel, *attr, None),
+        LogicalPlan::Filter { input: inner, pred } => match inner.as_ref() {
+            LogicalPlan::Scan { rel, attr } => (*rel, *attr, Some(*pred)),
+            other => {
+                return Err(Error::InvalidLayout(format!(
+                    "aggregate over unsupported input: {other:?}"
+                )))
+            }
+        },
+        other => {
+            return Err(Error::InvalidLayout(format!(
+                "aggregate over unsupported input: {other:?}"
+            )))
+        }
+    };
+    let ev = column(rel, attr)?;
+    if !ev.numeric() {
+        return Err(Error::NonNumericAggregate { attr, got: ev.ty.name() });
+    }
+    let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
+    let strategy = scan_strategy(&ev);
+    let predicated = pred.is_some();
+
+    match agg {
+        AggregateKind::Sum => {
+            // Host price: the scan plus (virtually free) combine.
+            let host_ns = host_scan_ns(&ev, cx.cache);
+            let mut route = host_route(ev.rows);
+            let mut scan_est = host_ns;
+            let mut total_est = host_ns;
+            let mut bytes = 0u64;
+            if cx.caps.device_placement {
+                if let Some(d) = cx.device {
+                    if ev.device_warm {
+                        // Warm replica: kernel time only, no PCIe. Always
+                        // routed to the device — that is what placement
+                        // paid for.
+                        route = Route::DevicePipelined;
+                        scan_est = 0;
+                        total_est = d.warm_sum_ns(ev.rows, predicated);
+                    } else {
+                        let cold = d.cold_sum_ns(ev.rows, predicated);
+                        if cold < host_ns {
+                            route = Route::DevicePipelined;
+                            bytes = ev.rows * 8;
+                            scan_est = d.transfer_ns(bytes);
+                            total_est = cold;
+                        }
+                    }
+                }
+            }
+            let scan = PhysicalNode {
+                op: PhysicalOp::Scan { rel, attr },
+                route,
+                strategy,
+                estimated_ns: scan_est,
+                bytes_to_device: bytes,
+                rows: ev.rows,
+                mirror: scan_mirror,
+                children: Vec::new(),
+            };
+            let input_node = match pred {
+                None => scan,
+                Some(p) => PhysicalNode {
+                    op: PhysicalOp::Filter { pred: p },
+                    route,
+                    strategy,
+                    estimated_ns: scan.estimated_ns,
+                    bytes_to_device: 0,
+                    rows: ev.rows,
+                    mirror: scan_mirror,
+                    children: vec![scan],
+                },
+            };
+            Ok(PhysicalNode {
+                op: PhysicalOp::AggregateSum,
+                route,
+                strategy,
+                estimated_ns: total_est,
+                bytes_to_device: 0,
+                rows: ev.rows,
+                mirror: scan_mirror,
+                children: vec![input_node],
+            })
+        }
+        AggregateKind::GroupSum { key_attr } => {
+            if predicated {
+                return Err(Error::InvalidLayout("predicated group-sum is not supported".into()));
+            }
+            let key_ev = column(rel, *key_attr)?;
+            if !matches!(key_ev.ty, DataType::Int32 | DataType::Int64 | DataType::Date) {
+                return Err(Error::NonNumericAggregate { attr: *key_attr, got: key_ev.ty.name() });
+            }
+            // Keys are always grouped on the host; only the value column's
+            // per-group reductions can go to the device (gather + reduce
+            // over a resident replica).
+            let key_ns = host_scan_ns(&key_ev, cx.cache);
+            let value_host_ns = host_scan_ns(&ev, cx.cache);
+            let mut route = host_route(ev.rows);
+            let mut value_est = value_host_ns;
+            let mut total_est = key_ns + value_host_ns;
+            if cx.caps.device_placement && ev.device_warm {
+                if let Some(d) = cx.device {
+                    route = Route::DevicePipelined;
+                    // Gather (one launch over all rows, device-to-device)
+                    // plus the reductions; group count is unknown at plan
+                    // time, so the reduction is priced as one full pass.
+                    let gather =
+                        d.kernel_ns(REDUCE_GRID * REDUCE_BLOCK, ev.rows.max(1), 8.0, ev.rows * 16);
+                    value_est = gather + d.warm_sum_ns(ev.rows, false);
+                    total_est = key_ns + value_est;
+                }
+            }
+            let key_scan = PhysicalNode {
+                op: PhysicalOp::Scan { rel, attr: *key_attr },
+                route: host_route(key_ev.rows),
+                strategy: scan_strategy(&key_ev),
+                estimated_ns: key_ns,
+                bytes_to_device: 0,
+                rows: key_ev.rows,
+                mirror: scan_mirror,
+                children: Vec::new(),
+            };
+            let value_scan = PhysicalNode {
+                op: PhysicalOp::Scan { rel, attr },
+                route,
+                strategy,
+                estimated_ns: value_est,
+                bytes_to_device: 0,
+                rows: ev.rows,
+                mirror: scan_mirror,
+                children: Vec::new(),
+            };
+            Ok(PhysicalNode {
+                op: PhysicalOp::AggregateGroupSum { key_attr: *key_attr },
+                route,
+                strategy,
+                estimated_ns: total_est,
+                bytes_to_device: 0,
+                rows: ev.rows,
+                mirror: scan_mirror,
+                children: vec![key_scan, value_scan],
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_taxonomy::survey;
+
+    fn evidence(rows: u64, contiguous: bool, warm: bool) -> ColumnEvidence {
+        ColumnEvidence {
+            rows,
+            ty: DataType::Float64,
+            scan_stride: if contiguous { 8 } else { 64 },
+            contiguous,
+            device_warm: warm,
+        }
+    }
+
+    fn ctx<'a>(
+        caps: &'a EngineCapabilities,
+        device: Option<&'a DeviceCostProfile>,
+        cache: &'a CacheSpec,
+    ) -> PlannerContext<'a> {
+        PlannerContext { caps, device, cache }
+    }
+
+    fn paper_device() -> DeviceCostProfile {
+        // The defaults of `DeviceSpec` (footnote 4 hardware).
+        DeviceCostProfile {
+            pcie_bandwidth: 6.0e9,
+            pcie_latency_ns: 10_000,
+            kernel_launch_ns: 5_000,
+            mem_bandwidth: 80.0e9,
+            clock_hz: 1.1e9,
+            lanes: 640,
+        }
+    }
+
+    #[test]
+    fn capabilities_follow_table1() {
+        let gputx = EngineCapabilities::from_classification(&survey::gputx());
+        assert!(gputx.device_placement);
+        assert!(gputx.contiguous_scan);
+        assert!(!gputx.mirror_choice);
+        let mirrors = EngineCapabilities::from_classification(&survey::fractured_mirrors());
+        assert!(!mirrors.device_placement);
+        assert!(mirrors.mirror_choice);
+        let cogadb = EngineCapabilities::from_classification(&survey::cogadb());
+        assert!(cogadb.device_placement);
+    }
+
+    #[test]
+    fn warm_cache_routes_to_device_with_zero_bytes() {
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(1000, true, true));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 1000, record_width: 16, contiguous_nsm: false });
+        let plan = build_plan(
+            &LogicalPlan::sum(0, 1),
+            &ctx(&caps, Some(&dev), &cache),
+            &mut col,
+            &mut tab,
+        )
+        .unwrap();
+        assert_eq!(plan.route(), Route::DevicePipelined);
+        assert_eq!(plan.bytes_to_device(), 0);
+    }
+
+    #[test]
+    fn cold_tiny_relation_routes_to_host_inline() {
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(1000, true, false));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 1000, record_width: 16, contiguous_nsm: false });
+        let plan = build_plan(
+            &LogicalPlan::sum(0, 1),
+            &ctx(&caps, Some(&dev), &cache),
+            &mut col,
+            &mut tab,
+        )
+        .unwrap();
+        // 1000 contiguous f64s ≈ 125 lines × 4 ns ≈ 500 ns on the host;
+        // even the kernel launch alone (5 µs) dwarfs that.
+        assert_eq!(plan.route(), Route::InlineVolcano);
+        assert_eq!(plan.bytes_to_device(), 0);
+    }
+
+    #[test]
+    fn large_cold_strided_scan_prefers_device_upload() {
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        // 10M strided rows: 80 ns a miss each on the host (800 ms) vs a
+        // ~13 ms PCIe upload — the Figure 2 offload cliff.
+        let mut col = |_r, _a| Ok(evidence(10_000_000, false, false));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 10_000_000, record_width: 16, contiguous_nsm: false });
+        let plan = build_plan(
+            &LogicalPlan::sum(0, 1),
+            &ctx(&caps, Some(&dev), &cache),
+            &mut col,
+            &mut tab,
+        )
+        .unwrap();
+        assert_eq!(plan.route(), Route::DevicePipelined);
+        assert_eq!(plan.bytes_to_device(), 10_000_000 * 8);
+    }
+
+    #[test]
+    fn pooled_route_above_one_morsel() {
+        let caps = EngineCapabilities::from_classification(&survey::pax());
+        let cache = CacheSpec::default();
+        let mut tab = |_r| Ok(TableEvidence { rows: 0, record_width: 16, contiguous_nsm: false });
+        for (rows, want) in [
+            (100u64, Route::InlineVolcano),
+            (INLINE_MORSEL_ROWS, Route::InlineVolcano),
+            (INLINE_MORSEL_ROWS + 1, Route::HostPooledMorsel),
+        ] {
+            let mut col = move |_r, _a| Ok(evidence(rows, true, false));
+            let plan =
+                build_plan(&LogicalPlan::sum(0, 1), &ctx(&caps, None, &cache), &mut col, &mut tab)
+                    .unwrap();
+            assert_eq!(plan.route(), want, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn nsm_evidence_pins_value_visit_strategy() {
+        let caps = EngineCapabilities {
+            device_placement: false,
+            contiguous_scan: false,
+            mirror_choice: false,
+        };
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(500, false, false));
+        let mut tab = |_r| Ok(TableEvidence { rows: 500, record_width: 16, contiguous_nsm: true });
+        let plan =
+            build_plan(&LogicalPlan::sum(0, 1), &ctx(&caps, None, &cache), &mut col, &mut tab)
+                .unwrap();
+        assert_eq!(plan.root.strategy, ScanStrategy::ValueVisit);
+        assert_eq!(plan.root.children[0].strategy, ScanStrategy::ValueVisit);
+    }
+
+    #[test]
+    fn non_numeric_sum_is_a_typed_plan_error() {
+        let caps = EngineCapabilities::from_classification(&survey::pax());
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| {
+            Ok(ColumnEvidence {
+                rows: 10,
+                ty: DataType::Text(8),
+                scan_stride: 8,
+                contiguous: true,
+                device_warm: false,
+            })
+        };
+        let mut tab = |_r| Ok(TableEvidence { rows: 10, record_width: 16, contiguous_nsm: false });
+        let err =
+            build_plan(&LogicalPlan::sum(0, 1), &ctx(&caps, None, &cache), &mut col, &mut tab)
+                .unwrap_err();
+        assert!(matches!(err, Error::NonNumericAggregate { attr: 1, .. }));
+    }
+
+    #[test]
+    fn mirror_choice_annotates_replicas() {
+        let caps = EngineCapabilities::from_classification(&survey::fractured_mirrors());
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(100, true, false));
+        let mut tab = |_r| Ok(TableEvidence { rows: 100, record_width: 16, contiguous_nsm: true });
+        let scan_plan =
+            build_plan(&LogicalPlan::sum(0, 1), &ctx(&caps, None, &cache), &mut col, &mut tab)
+                .unwrap();
+        assert_eq!(scan_plan.root.mirror, Some("dsm"));
+        let mat_plan = build_plan(
+            &LogicalPlan::Materialize { rel: 0, rows: vec![1, 2, 3] },
+            &ctx(&caps, None, &cache),
+            &mut col,
+            &mut tab,
+        )
+        .unwrap();
+        assert_eq!(mat_plan.root.mirror, Some("nsm"));
+        assert!(mat_plan.render().contains("mirror=nsm"));
+    }
+
+    #[test]
+    fn group_sum_plans_key_and_value_scans() {
+        let caps = EngineCapabilities::from_classification(&survey::pax());
+        let cache = CacheSpec::default();
+        let mut col = |_r, a: AttrId| {
+            Ok(ColumnEvidence {
+                rows: 2000,
+                ty: if a == 0 { DataType::Int32 } else { DataType::Float64 },
+                scan_stride: 8,
+                contiguous: true,
+                device_warm: false,
+            })
+        };
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 2000, record_width: 16, contiguous_nsm: false });
+        let plan = build_plan(
+            &LogicalPlan::group_sum(0, 0, 1),
+            &ctx(&caps, None, &cache),
+            &mut col,
+            &mut tab,
+        )
+        .unwrap();
+        assert_eq!(plan.root.children.len(), 2);
+        assert!(matches!(plan.root.op, PhysicalOp::AggregateGroupSum { key_attr: 0 }));
+    }
+}

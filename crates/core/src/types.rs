@@ -47,6 +47,12 @@ impl DataType {
             DataType::Text(_) => "text",
         }
     }
+
+    /// Whether [`Value::as_f64`] can represent every value of this type —
+    /// i.e. whether the type can feed a numeric aggregate.
+    pub const fn is_numeric(self) -> bool {
+        !matches!(self, DataType::Bool | DataType::Text(_))
+    }
 }
 
 /// A typed value.

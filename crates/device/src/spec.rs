@@ -91,6 +91,20 @@ impl DeviceSpec {
         }
     }
 
+    /// The planner-facing cost mirror of this spec (core cannot depend on
+    /// this crate, so the router prices offloads through
+    /// [`htapg_core::plan::DeviceCostProfile`]).
+    pub fn cost_profile(&self) -> htapg_core::plan::DeviceCostProfile {
+        htapg_core::plan::DeviceCostProfile {
+            pcie_bandwidth: self.pcie_bandwidth,
+            pcie_latency_ns: self.pcie_latency_ns,
+            kernel_launch_ns: self.kernel_launch_ns,
+            mem_bandwidth: self.mem_bandwidth,
+            clock_hz: self.clock_hz,
+            lanes: self.lanes() as u64,
+        }
+    }
+
     /// Virtual nanoseconds to move `bytes` across PCIe (one transfer).
     pub fn transfer_ns(&self, bytes: usize) -> u64 {
         self.pcie_latency_ns + (bytes as f64 / self.pcie_bandwidth * 1e9) as u64

@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use htapg_core::adapt::AccessStats;
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::plan::{ColumnEvidence, DeviceCostProfile, Predicate};
 use htapg_core::{
     AccessHint, AttrId, DataType, Error, LayoutTemplate, Record, Relation, RelationId, Result,
     RowId, Schema, Value,
@@ -345,6 +346,84 @@ impl StorageEngine for CogadbEngine {
 
     fn row_count(&self, rel: RelationId) -> Result<u64> {
         self.rels.read(rel, |r| Ok(r.relation.row_count()))
+    }
+
+    // --------------------------------------------------------------
+    // Planner surface
+    // --------------------------------------------------------------
+
+    fn device_cost_profile(&self) -> Option<DeviceCostProfile> {
+        Some(self.device.spec().cost_profile())
+    }
+
+    /// Evidence without side effects: thin host columns scan contiguously;
+    /// warmth is a cache peek against the per-attr write version.
+    fn column_evidence(&self, rel: RelationId, attr: AttrId) -> Result<ColumnEvidence> {
+        self.rels.read(rel, |r| {
+            let ty = r.relation.schema().ty(attr)?;
+            let warm =
+                r.versions.get(attr as usize).is_some_and(|&v| self.cache.contains(rel, attr, v));
+            Ok(ColumnEvidence {
+                rows: r.relation.row_count(),
+                ty,
+                scan_stride: ty.width() as u64,
+                contiguous: true,
+                device_warm: warm,
+            })
+        })
+    }
+
+    fn device_sum_column(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(attr);
+            let version = r.versions.get(attr as usize).copied().unwrap_or(0);
+            let col = self.cache.lookup(rel, attr, version)?.ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {attr}"))
+            })?;
+            kernels::reduce_sum_f64(&self.device, col.buf)
+        })
+    }
+
+    fn device_filter_sum(&self, rel: RelationId, attr: AttrId, pred: &Predicate) -> Result<f64> {
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(attr);
+            let version = r.versions.get(attr as usize).copied().unwrap_or(0);
+            let col = self.cache.lookup(rel, attr, version)?.ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {attr}"))
+            })?;
+            kernels::filter_sum_f64(&self.device, col.buf, |v| pred.matches(v))
+        })
+    }
+
+    /// Device group-sum over a fresh value replica: keys scanned on the
+    /// host, per-group runs gathered and canonically reduced on the device.
+    fn device_group_sum(
+        &self,
+        rel: RelationId,
+        key_attr: AttrId,
+        value_attr: AttrId,
+    ) -> Result<Vec<(i64, f64)>> {
+        let mut positions: std::collections::BTreeMap<i64, Vec<u64>> = Default::default();
+        self.scan_column(rel, key_attr, &mut |row, v| {
+            if let Ok(k) = v.as_i64() {
+                positions.entry(k).or_default().push(row);
+            }
+        })?;
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(value_attr);
+            let version = r.versions.get(value_attr as usize).copied().unwrap_or(0);
+            let col = self.cache.lookup(rel, value_attr, version)?.ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {value_attr}"))
+            })?;
+            let mut out = Vec::with_capacity(positions.len());
+            for (key, pos) in &positions {
+                let gathered = kernels::gather(&self.device, col.buf, 8, pos)?;
+                let sum = kernels::reduce_sum_f64(&self.device, gathered);
+                self.device.free(gathered)?;
+                out.push((*key, sum?));
+            }
+            Ok(out)
+        })
     }
 
     /// Placement pass: replicate the most-scanned numeric columns onto the

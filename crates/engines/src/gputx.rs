@@ -21,7 +21,9 @@
 use std::sync::Arc;
 
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::plan::{ColumnEvidence, DeviceCostProfile, Predicate};
 use htapg_core::{AttrId, DataType, Error, Record, RelationId, Result, RowId, Schema, Value};
+use htapg_device::cache::CachedColumn;
 use htapg_device::kernels;
 use htapg_device::simt::{Executor, KernelCost, LaunchConfig};
 use htapg_device::{BufferId, DeviceColumnCache, DeviceSpec, SimDevice};
@@ -144,6 +146,21 @@ impl GputxEngine {
     /// memory) and reduced; a repeat query at the same version hits the
     /// cache and runs only the reduction.
     pub fn sum_column_cached(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        let ty = self.rels.read(rel, |r| r.schema.ty(attr))?;
+        if matches!(ty, DataType::Text(_) | DataType::Bool) {
+            return Err(Error::TypeMismatch { expected: "numeric", got: ty.name() });
+        }
+        if self.rels.read(rel, |r| Ok(r.rows))? == 0 {
+            return Ok(0.0);
+        }
+        let packed = self.packed_replica(rel, attr)?;
+        kernels::reduce_sum_f64(&self.device, packed.buf)
+    }
+
+    /// A fresh packed-f64 replica of `attr` in the shared cache, built by
+    /// the device-side widening kernel on miss. Errors on non-numeric
+    /// types and empty relations.
+    fn packed_replica(&self, rel: RelationId, attr: AttrId) -> Result<CachedColumn> {
         let device = self.device.clone();
         let cache = self.cache.clone();
         self.rels.read(rel, |r| {
@@ -153,11 +170,11 @@ impl GputxEngine {
                 return Err(Error::TypeMismatch { expected: "numeric", got: ty.name() });
             }
             if r.rows == 0 {
-                return Ok(0.0);
+                return Err(Error::Internal("empty relation has no packed replica".into()));
             }
             let rows = r.rows;
             let version = r.versions[attr as usize];
-            let packed = cache.get_or_insert_with(rel, attr, version, rows, true, || {
+            cache.get_or_insert_with(rel, attr, version, rows, true, || {
                 let n = rows as usize;
                 let mut out = vec![0u8; n * 8];
                 device.with_buffer(col.buf, |bytes| {
@@ -193,8 +210,7 @@ impl GputxEngine {
                     return Err(e);
                 }
                 Ok(buf)
-            })?;
-            kernels::reduce_sum_f64(&device, packed.buf)
+            })
         })
     }
 
@@ -418,6 +434,73 @@ impl StorageEngine for GputxEngine {
 
     fn maintain(&self) -> Result<MaintenanceReport> {
         Ok(MaintenanceReport::default())
+    }
+
+    // --------------------------------------------------------------
+    // Planner surface
+    // --------------------------------------------------------------
+
+    fn device_cost_profile(&self) -> Option<DeviceCostProfile> {
+        Some(self.device.spec().cost_profile())
+    }
+
+    /// Evidence without side effects: the base columns are thin and
+    /// device-resident, so scans are contiguous *and always warm* — even
+    /// on a packed-replica miss the widening pass runs device-side with
+    /// no PCIe, so the router must never price an upload (or a per-value
+    /// host read through the bus) for this engine's analytics.
+    fn column_evidence(&self, rel: RelationId, attr: AttrId) -> Result<ColumnEvidence> {
+        self.rels.read(rel, |r| {
+            let ty = r.schema.ty(attr)?;
+            Ok(ColumnEvidence {
+                rows: r.rows,
+                ty,
+                scan_stride: ty.width() as u64,
+                contiguous: true,
+                device_warm: true,
+            })
+        })
+    }
+
+    fn device_sum_column(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        self.sum_column_cached(rel, attr)
+    }
+
+    fn device_filter_sum(&self, rel: RelationId, attr: AttrId, pred: &Predicate) -> Result<f64> {
+        if self.rels.read(rel, |r| Ok(r.rows))? == 0 {
+            return Ok(0.0);
+        }
+        let packed = self.packed_replica(rel, attr)?;
+        kernels::filter_sum_f64(&self.device, packed.buf, |v| pred.matches(v))
+    }
+
+    /// Device group-sum: keys scanned from the device-resident key column,
+    /// per-group value runs gathered from the packed replica and reduced
+    /// with the canonical kernel (bit-identical to the host route).
+    fn device_group_sum(
+        &self,
+        rel: RelationId,
+        key_attr: AttrId,
+        value_attr: AttrId,
+    ) -> Result<Vec<(i64, f64)>> {
+        let mut positions: std::collections::BTreeMap<i64, Vec<u64>> = Default::default();
+        self.scan_column(rel, key_attr, &mut |row, v| {
+            if let Ok(k) = v.as_i64() {
+                positions.entry(k).or_default().push(row);
+            }
+        })?;
+        if positions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let packed = self.packed_replica(rel, value_attr)?;
+        let mut out = Vec::with_capacity(positions.len());
+        for (key, pos) in &positions {
+            let gathered = kernels::gather(&self.device, packed.buf, 8, pos)?;
+            let sum = kernels::reduce_sum_f64(&self.device, gathered);
+            self.device.free(gathered)?;
+            out.push((*key, sum?));
+        }
+        Ok(out)
     }
 }
 

@@ -219,6 +219,23 @@ impl StorageEngine for MirrorsEngine {
         self.rels.read(rel, |r| Ok(r.relation.row_count()))
     }
 
+    /// Batch materialization against the NSM mirror: one registry read and
+    /// a single sorted pass over the requested positions (sequential page
+    /// order on the record-centric mirror), with records restored to the
+    /// caller's request order. The planner annotates this plan node with
+    /// the `nsm` mirror choice.
+    fn materialize_rows(&self, rel: RelationId, rows: &[RowId]) -> Result<Vec<Record>> {
+        self.rels.read(rel, |r| {
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by_key(|&i| rows[i]);
+            let mut out: Vec<Record> = vec![Vec::new(); rows.len()];
+            for i in order {
+                out[i] = r.relation.read_record(rows[i])?;
+            }
+            Ok(out)
+        })
+    }
+
     fn maintain(&self) -> Result<MaintenanceReport> {
         Ok(MaintenanceReport::default())
     }

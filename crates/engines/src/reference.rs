@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use htapg_core::adapt::{AccessStats, Advisor, AdvisorConfig};
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
+use htapg_core::plan::{ColumnEvidence, DeviceCostProfile, Predicate};
 use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::txn::{MvStore, Timestamp, Txn, TxnManager};
 use htapg_core::wal::{LogRecord, LogStorage, ReplayReport, Wal, WalSink};
@@ -396,6 +397,45 @@ impl ReferenceEngine {
         Ok(())
     }
 
+    /// Build a query-driven device replica of `attr` when none is fresh:
+    /// the snapshot view (base patched by the committed overlay) is packed
+    /// to f64 and uploaded, paying the PCIe transfer the planner priced
+    /// for a cold device route. Unlike `maintain`'s all-or-nothing
+    /// placement, an opportunistic replica is evictable.
+    fn ensure_device_replica(&self, rel: RelationId, attr: AttrId) -> Result<()> {
+        let device = self.device.clone();
+        let cache = self.cache.clone();
+        let ts = self.mgr.now();
+        self.rels.read(rel, |r| {
+            if cache.contains(rel, attr, r.version) {
+                return Ok(());
+            }
+            let ty = r.relation.schema().ty(attr)?;
+            if matches!(ty, DataType::Text(_) | DataType::Bool) {
+                return Err(Error::TypeMismatch { expected: "numeric", got: ty.name() });
+            }
+            let rows = r.relation.row_count();
+            if rows == 0 {
+                return Err(Error::Internal("empty relation has no device replica".into()));
+            }
+            let mut bytes = Vec::with_capacity(rows as usize * 8);
+            for row in 0..rows {
+                let x = match r.overlay.get_as_of(ts, &(row, attr)) {
+                    Some(v) => v.as_f64()?,
+                    None => {
+                        r.relation.read_value(row, attr, AccessHint::AttributeCentric)?.as_f64()?
+                    }
+                };
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+            cache
+                .get_or_insert_with(rel, attr, r.version, rows, true, || {
+                    with_retry(&RetryPolicy::default(), device.ledger(), || device.upload(&bytes))
+                })
+                .map(|_| ())
+        })
+    }
+
     fn pack_column_f64(r: &RefRelation, attr: AttrId) -> Result<Vec<u8>> {
         let ty = r.relation.schema().ty(attr)?;
         match ty {
@@ -590,6 +630,118 @@ impl StorageEngine for ReferenceEngine {
 
     fn row_count(&self, rel: RelationId) -> Result<u64> {
         self.rels.read(rel, |r| Ok(r.relation.row_count()))
+    }
+
+    // --------------------------------------------------------------
+    // Planner surface
+    // --------------------------------------------------------------
+
+    fn device_cost_profile(&self) -> Option<DeviceCostProfile> {
+        Some(self.device.spec().cost_profile())
+    }
+
+    /// Planner evidence without side effects: contiguity holds only when
+    /// the overlay is drained and the column is delegated to the analytic
+    /// (thin DSM) layout; warmth is a cache peek at the current relation
+    /// version (no counters, no virtual launches charged).
+    fn column_evidence(&self, rel: RelationId, attr: AttrId) -> Result<ColumnEvidence> {
+        self.rels.read(rel, |r| {
+            let schema = r.relation.schema();
+            let ty = schema.ty(attr)?;
+            let contiguous = r.overlay.version_count() == 0 && r.delegated.contains(&attr);
+            Ok(ColumnEvidence {
+                rows: r.relation.row_count(),
+                ty,
+                scan_stride: if contiguous {
+                    ty.width() as u64
+                } else {
+                    schema.tuple_width() as u64
+                },
+                contiguous,
+                device_warm: self.cache.contains(rel, attr, r.version),
+            })
+        })
+    }
+
+    fn device_sum_column(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
+        self.ensure_device_replica(rel, attr)?;
+        self.sum_column_device(rel, attr)
+    }
+
+    fn device_filter_sum(&self, rel: RelationId, attr: AttrId, pred: &Predicate) -> Result<f64> {
+        self.ensure_device_replica(rel, attr)?;
+        let device = self.device.clone();
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(attr);
+            let col = self.cache.lookup(rel, attr, r.version)?.ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {attr}"))
+            })?;
+            with_retry(&RetryPolicy::default(), device.ledger(), || {
+                kernels::filter_sum_f64(&device, col.buf, |v| pred.matches(v))
+            })
+        })
+    }
+
+    /// Device group-sum: keys are scanned on the host (grouping is
+    /// control-heavy), the per-group value runs are gathered from the
+    /// fresh value replica and reduced with the canonical kernel — so
+    /// every group's sum is bit-identical to the host route.
+    fn device_group_sum(
+        &self,
+        rel: RelationId,
+        key_attr: AttrId,
+        value_attr: AttrId,
+    ) -> Result<Vec<(i64, f64)>> {
+        self.ensure_device_replica(rel, value_attr)?;
+        let mut positions: std::collections::BTreeMap<i64, Vec<u64>> = Default::default();
+        self.scan_column(rel, key_attr, &mut |row, v| {
+            if let Ok(k) = v.as_i64() {
+                positions.entry(k).or_default().push(row);
+            }
+        })?;
+        let device = self.device.clone();
+        self.rels.read(rel, |r| {
+            r.stats.record_scan(value_attr);
+            let col = self.cache.lookup(rel, value_attr, r.version)?.ok_or_else(|| {
+                Error::Internal(format!("no fresh device replica of attr {value_attr}"))
+            })?;
+            let mut out = Vec::with_capacity(positions.len());
+            for (key, pos) in &positions {
+                let gathered = kernels::gather(&device, col.buf, 8, pos)?;
+                let sum = with_retry(&RetryPolicy::default(), device.ledger(), || {
+                    kernels::reduce_sum_f64(&device, gathered)
+                });
+                device.free(gathered)?;
+                out.push((*key, sum?));
+            }
+            Ok(out)
+        })
+    }
+
+    /// Batch materialization: one registry read, one snapshot timestamp,
+    /// base rows visited in sorted order (sequential chunk walk), results
+    /// restored to request order.
+    fn materialize_rows(&self, rel: RelationId, rows: &[RowId]) -> Result<Vec<Record>> {
+        self.rels.read(rel, |r| {
+            let schema = r.relation.schema();
+            let attrs: Vec<AttrId> = schema.attr_ids().collect();
+            r.stats.record_point_read(&attrs);
+            let ts = self.mgr.now();
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by_key(|&i| rows[i]);
+            let mut out: Vec<Record> = vec![Vec::new(); rows.len()];
+            for i in order {
+                let row = rows[i];
+                out[i] = attrs
+                    .iter()
+                    .map(|&a| match r.overlay.get_as_of(ts, &(row, a)) {
+                        Some(v) => Ok(v),
+                        None => r.relation.read_value(row, a, AccessHint::RecordCentric),
+                    })
+                    .collect::<Result<Record>>()?;
+            }
+            Ok(out)
+        })
     }
 
     /// Maintenance: (1) merge committed overlay versions into the base

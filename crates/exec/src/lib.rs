@@ -22,15 +22,21 @@
 //!   materialization, as used in the paper's experiments;
 //! * [`device_exec`] — offload to the simulated GPU: column placement,
 //!   resident-column caching, and the reduction-kernel sum (Figure 2's
-//!   "column-store / device" series).
+//!   "column-store / device" series);
+//! * [`physical`] — the physical-plan interpreter: executes the routed
+//!   [`htapg_core::PhysicalPlan`]s produced by the cost-based planner,
+//!   guaranteeing bit-identical results across the device-pipelined,
+//!   host-pooled-morsel, and inline-volcano routes.
 
 pub mod bulk;
 pub mod device_exec;
 pub mod join;
 pub mod materialize;
+pub mod physical;
 pub mod pool;
 pub mod scan;
 pub mod threading;
 pub mod volcano;
 
+pub use physical::QueryOutput;
 pub use threading::ThreadingPolicy;

@@ -1,0 +1,707 @@
+//! Physical-plan interpreter: executes a routed [`PhysicalPlan`] against
+//! any [`StorageEngine`], using the persistent morsel pool for host routes
+//! and the engine's device hooks for device routes.
+//!
+//! **Bit-identity across routes** is the module's invariant and what the
+//! planner property tests pin: every route reduces in the *canonical
+//! order* — the device kernels' two-pass tree reduction
+//! ([`htapg_device::kernels::reduce_seg_len`] segmentation, per-segment
+//! [`htapg_device::kernels::tree_sum`], then a tree sum of the partials).
+//! [`canonical_sum`] replicates it on the host; the pooled variant folds
+//! per-segment partials in morsel order, so thread count cannot perturb
+//! the result; the naive volcano oracle ([`volcano_sum`]) feeds the same
+//! reduction from tuple-at-a-time reads. A query may therefore bounce
+//! between host and device from one execution to the next (cache warmth,
+//! relation growth) without ever changing a single result bit.
+//!
+//! Every executed node opens a `plan.*` span carrying the route, the
+//! planner's estimate, and the input rows, so PR 4's `TraceReport` renders
+//! estimated-vs-actual virtual ns per plan node (DESIGN.md §12).
+
+use htapg_core::engine::StorageEngine;
+use htapg_core::plan::{PhysicalNode, PhysicalOp, PhysicalPlan, Predicate, Route, ScanStrategy};
+use htapg_core::{obs, AttrId, DataType, Error, Record, RelationId, Result, Value};
+use htapg_device::kernels;
+use std::collections::BTreeMap;
+
+use crate::threading::{run_blocks, ThreadingPolicy};
+
+/// Result of interpreting a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    Sum(f64),
+    Groups(Vec<(i64, f64)>),
+    Records(Vec<Record>),
+    Record(Record),
+    Updated,
+}
+
+impl QueryOutput {
+    pub fn as_sum(&self) -> Option<f64> {
+        match self {
+            QueryOutput::Sum(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_groups(&self) -> Option<&[(i64, f64)]> {
+        match self {
+            QueryOutput::Groups(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// The canonical reduction: segment exactly like the device's pass 1
+/// (`reduce_seg_len`), tree-sum each segment, tree-sum the partials.
+/// Bit-identical to [`kernels::reduce_sum_f64`] over the same values.
+pub fn canonical_sum(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let seg = kernels::reduce_seg_len(values.len());
+    let partials: Vec<f64> = values.chunks(seg).map(kernels::tree_sum).collect();
+    kernels::tree_sum(&partials)
+}
+
+/// Pooled canonical reduction: the per-segment partials are computed by
+/// the morsel pool and folded *in segment order*, so the partial vector —
+/// and therefore the result — is bit-identical to [`canonical_sum`] for
+/// every pool size.
+pub fn pooled_canonical_sum(values: &[f64], policy: ThreadingPolicy) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len();
+    let seg = kernels::reduce_seg_len(n);
+    let segments = kernels::reduce_segments(n);
+    let partials = run_blocks(
+        segments as u64,
+        policy,
+        |lo, hi| {
+            (lo as usize..hi as usize)
+                .map(|s| kernels::tree_sum(&values[s * seg..((s + 1) * seg).min(n)]))
+                .collect::<Vec<f64>>()
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+        Vec::new(),
+    );
+    kernels::tree_sum(&partials)
+}
+
+/// Canonical *fused* filter+sum: per segment, compact the values matching
+/// `pred` and tree-sum the compacted slice — exactly the semantics of
+/// [`kernels::filter_partials_f64`], so host and device filtered sums are
+/// bit-identical.
+pub fn canonical_filter_sum(values: &[f64], pred: &Predicate) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let seg = kernels::reduce_seg_len(values.len());
+    let partials: Vec<f64> = values
+        .chunks(seg)
+        .map(|c| {
+            let kept: Vec<f64> = c.iter().copied().filter(|&v| pred.matches(v)).collect();
+            kernels::tree_sum(&kept)
+        })
+        .collect();
+    kernels::tree_sum(&partials)
+}
+
+/// Pooled variant of [`canonical_filter_sum`] (same partials, morsel-order
+/// fold).
+pub fn pooled_canonical_filter_sum(
+    values: &[f64],
+    pred: &Predicate,
+    policy: ThreadingPolicy,
+) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len();
+    let seg = kernels::reduce_seg_len(n);
+    let segments = kernels::reduce_segments(n);
+    let partials = run_blocks(
+        segments as u64,
+        policy,
+        |lo, hi| {
+            (lo as usize..hi as usize)
+                .map(|s| {
+                    let kept: Vec<f64> = values[s * seg..((s + 1) * seg).min(n)]
+                        .iter()
+                        .copied()
+                        .filter(|&v| pred.matches(v))
+                        .collect();
+                    kernels::tree_sum(&kept)
+                })
+                .collect::<Vec<f64>>()
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+        Vec::new(),
+    );
+    kernels::tree_sum(&partials)
+}
+
+fn decoder(ty: DataType) -> Result<fn(&[u8]) -> f64> {
+    Ok(match ty {
+        DataType::Float64 => |b: &[u8]| f64::from_le_bytes(b.try_into().unwrap()),
+        DataType::Int64 => |b: &[u8]| i64::from_le_bytes(b.try_into().unwrap()) as f64,
+        DataType::Int32 | DataType::Date => {
+            |b: &[u8]| i32::from_le_bytes(b.try_into().unwrap()) as f64
+        }
+        DataType::Bool | DataType::Text(_) => {
+            return Err(Error::NonNumericAggregate { attr: u16::MAX, got: ty.name() })
+        }
+    })
+}
+
+/// Materialize a numeric column as `Vec<f64>` in row order, preferring the
+/// contiguous fast path when the plan says it is available (falling back
+/// to the value visit if the engine declines at run time — the overlay
+/// may have filled since planning).
+pub fn collect_f64(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    attr: AttrId,
+    strategy: ScanStrategy,
+) -> Result<Vec<f64>> {
+    let ty = engine.schema(rel)?.ty(attr)?;
+    if !ty.is_numeric() {
+        return Err(Error::NonNumericAggregate { attr, got: ty.name() });
+    }
+    let rows = engine.row_count(rel)? as usize;
+    let mut out = Vec::with_capacity(rows);
+    if strategy == ScanStrategy::ContiguousBytes {
+        let read = decoder(ty)?;
+        let width = ty.width();
+        let used = engine.with_column_bytes(rel, attr, &mut |block| {
+            for chunk in block.chunks_exact(width) {
+                out.push(read(chunk));
+            }
+        })?;
+        if used {
+            return Ok(out);
+        }
+        out.clear();
+    }
+    engine.scan_column(rel, attr, &mut |_, v| {
+        out.push(v.as_f64().expect("column type checked numeric above"));
+    })?;
+    Ok(out)
+}
+
+/// Collect an integer key column in row order.
+fn collect_keys(engine: &dyn StorageEngine, rel: RelationId, attr: AttrId) -> Result<Vec<i64>> {
+    let ty = engine.schema(rel)?.ty(attr)?;
+    if !matches!(ty, DataType::Int32 | DataType::Int64 | DataType::Date) {
+        return Err(Error::NonNumericAggregate { attr, got: ty.name() });
+    }
+    let mut keys = Vec::with_capacity(engine.row_count(rel)? as usize);
+    engine.scan_column(rel, attr, &mut |_, v| {
+        keys.push(v.as_i64().expect("key type checked integer above"));
+    })?;
+    Ok(keys)
+}
+
+/// Host group-sum: group values by key preserving row order, reduce each
+/// group canonically, return `(key, sum)` ordered by key. The pooled
+/// route distributes the per-group reductions over the morsel pool (fold
+/// in group order — bit-identical to the serial pass).
+pub fn group_sum_host(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    key_attr: AttrId,
+    value_attr: AttrId,
+    strategy: ScanStrategy,
+    policy: Option<ThreadingPolicy>,
+) -> Result<Vec<(i64, f64)>> {
+    let keys = collect_keys(engine, rel, key_attr)?;
+    let values = collect_f64(engine, rel, value_attr, strategy)?;
+    if keys.len() != values.len() {
+        return Err(Error::Internal(format!(
+            "group-sum column length mismatch: {} keys vs {} values",
+            keys.len(),
+            values.len()
+        )));
+    }
+    let mut groups: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
+    for (k, v) in keys.into_iter().zip(values) {
+        groups.entry(k).or_default().push(v);
+    }
+    let groups: Vec<(i64, Vec<f64>)> = groups.into_iter().collect();
+    match policy {
+        None => Ok(groups.into_iter().map(|(k, vs)| (k, canonical_sum(&vs))).collect()),
+        Some(policy) => Ok(run_blocks(
+            groups.len() as u64,
+            policy,
+            |lo, hi| {
+                groups[lo as usize..hi as usize]
+                    .iter()
+                    .map(|(k, vs)| (*k, canonical_sum(vs)))
+                    .collect::<Vec<(i64, f64)>>()
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+            Vec::new(),
+        )),
+    }
+}
+
+/// The naive volcano oracle: tuple-at-a-time `read_field` per row, then
+/// the canonical reduction. Every planner route must be bit-identical to
+/// this (the property the planner tests check).
+pub fn volcano_sum(engine: &dyn StorageEngine, rel: RelationId, attr: AttrId) -> Result<f64> {
+    Ok(canonical_sum(&volcano_values(engine, rel, attr)?))
+}
+
+/// Volcano oracle for the fused filter+sum shape.
+pub fn volcano_filter_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    attr: AttrId,
+    pred: &Predicate,
+) -> Result<f64> {
+    Ok(canonical_filter_sum(&volcano_values(engine, rel, attr)?, pred))
+}
+
+/// Volcano oracle for group-sum.
+pub fn volcano_group_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    key_attr: AttrId,
+    value_attr: AttrId,
+) -> Result<Vec<(i64, f64)>> {
+    let rows = engine.row_count(rel)?;
+    let mut groups: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
+    for row in 0..rows {
+        let k = engine.read_field(rel, row, key_attr)?.as_i64()?;
+        let v = engine.read_field(rel, row, value_attr)?.as_f64()?;
+        groups.entry(k).or_default().push(v);
+    }
+    Ok(groups.into_iter().map(|(k, vs)| (k, canonical_sum(&vs))).collect())
+}
+
+fn volcano_values(engine: &dyn StorageEngine, rel: RelationId, attr: AttrId) -> Result<Vec<f64>> {
+    let ty = engine.schema(rel)?.ty(attr)?;
+    if !ty.is_numeric() {
+        return Err(Error::NonNumericAggregate { attr, got: ty.name() });
+    }
+    let rows = engine.row_count(rel)?;
+    let mut values = Vec::with_capacity(rows as usize);
+    for row in 0..rows {
+        values.push(engine.read_field(rel, row, attr)?.as_f64()?);
+    }
+    Ok(values)
+}
+
+fn node_span(node: &PhysicalNode) -> obs::SpanGuard {
+    let mut span = obs::span("plan", node.op.span_name());
+    if span.is_recording() {
+        span.arg("route", node.route.label());
+        span.arg("est_ns", node.estimated_ns);
+        span.arg("rows", node.rows);
+        span.arg("scan", node.strategy.label());
+        if node.bytes_to_device > 0 {
+            span.arg("bytes_to_device", node.bytes_to_device);
+        }
+        if let Some(m) = node.mirror {
+            span.arg("mirror", m);
+        }
+    }
+    span
+}
+
+/// Execute a routed plan. `policy` is the host pool policy used when a
+/// node is routed `HostPooledMorsel` (inline routes always run
+/// single-threaded on the issuing thread).
+pub fn execute(
+    engine: &dyn StorageEngine,
+    plan: &PhysicalPlan,
+    policy: ThreadingPolicy,
+) -> Result<QueryOutput> {
+    exec_node(engine, &plan.root, policy)
+}
+
+fn exec_node(
+    engine: &dyn StorageEngine,
+    node: &PhysicalNode,
+    policy: ThreadingPolicy,
+) -> Result<QueryOutput> {
+    let mut span = node_span(node);
+    match &node.op {
+        PhysicalOp::Materialize { rel, rows } => {
+            Ok(QueryOutput::Records(engine.materialize_rows(*rel, rows)?))
+        }
+        PhysicalOp::PointRead { rel, row } => {
+            Ok(QueryOutput::Record(engine.read_record(*rel, *row)?))
+        }
+        PhysicalOp::Update { rel, row, attr, value } => {
+            engine.update_field(*rel, *row, *attr, value)?;
+            Ok(QueryOutput::Updated)
+        }
+        PhysicalOp::Project { attrs } => {
+            let child = node
+                .children
+                .first()
+                .ok_or_else(|| Error::Internal("project without input".into()))?;
+            let out = exec_node(engine, child, policy)?;
+            match out {
+                QueryOutput::Records(recs) => Ok(QueryOutput::Records(
+                    recs.into_iter()
+                        .map(|r| attrs.iter().map(|&a| r[a as usize].clone()).collect())
+                        .collect(),
+                )),
+                QueryOutput::Record(r) => {
+                    Ok(QueryOutput::Record(attrs.iter().map(|&a| r[a as usize].clone()).collect()))
+                }
+                other => Ok(other),
+            }
+        }
+        PhysicalOp::AggregateSum => {
+            let (rel, attr, pred) = sum_input(node)?;
+            exec_sum(engine, node, rel, attr, pred, policy, &mut span)
+        }
+        PhysicalOp::AggregateGroupSum { key_attr } => {
+            let (rel, value_attr) = group_input(node)?;
+            exec_group_sum(engine, node, rel, *key_attr, value_attr, policy, &mut span)
+        }
+        PhysicalOp::Scan { rel, attr } => {
+            // A bare scan materializes the column as records of one value
+            // (rarely used directly; aggregates inline their scans).
+            let values = collect_f64(engine, *rel, *attr, node.strategy)?;
+            Ok(QueryOutput::Records(values.into_iter().map(|v| vec![Value::Float64(v)]).collect()))
+        }
+        PhysicalOp::Filter { .. } => {
+            Err(Error::Internal("filter outside an aggregate is not executable".into()))
+        }
+    }
+}
+
+/// Pull `(rel, attr, predicate)` out of an `AggregateSum` node's children.
+fn sum_input(node: &PhysicalNode) -> Result<(RelationId, AttrId, Option<Predicate>)> {
+    match node.children.first().map(|c| &c.op) {
+        Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr, None)),
+        Some(PhysicalOp::Filter { pred }) => {
+            match node.children[0].children.first().map(|c| &c.op) {
+                Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr, Some(*pred))),
+                _ => Err(Error::Internal("filter without scan input".into())),
+            }
+        }
+        _ => Err(Error::Internal("aggregate without scan input".into())),
+    }
+}
+
+/// Pull `(rel, value_attr)` out of a group-sum node (children are the key
+/// scan then the value scan).
+fn group_input(node: &PhysicalNode) -> Result<(RelationId, AttrId)> {
+    match node.children.last().map(|c| &c.op) {
+        Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr)),
+        _ => Err(Error::Internal("group-sum without value scan".into())),
+    }
+}
+
+fn exec_sum(
+    engine: &dyn StorageEngine,
+    node: &PhysicalNode,
+    rel: RelationId,
+    attr: AttrId,
+    pred: Option<Predicate>,
+    policy: ThreadingPolicy,
+    span: &mut obs::SpanGuard,
+) -> Result<QueryOutput> {
+    if node.route == Route::DevicePipelined {
+        let device_result = match pred {
+            None => engine.device_sum_column(rel, attr),
+            Some(ref p) => engine.device_filter_sum(rel, attr, p),
+        };
+        match device_result {
+            Ok(sum) => return Ok(QueryOutput::Sum(sum)),
+            // Stale replica, device fault, or no hook: degrade to the host
+            // canonical reduction — bit-identical, just differently
+            // priced. Recorded on the span so EXPLAIN shows the miss.
+            Err(e) if !matches!(e, Error::NonNumericAggregate { .. }) => {
+                if span.is_recording() {
+                    span.arg("fallback", "host");
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let values = collect_f64(engine, rel, attr, node.strategy)?;
+    let sum = match (node.route, pred) {
+        (Route::HostPooledMorsel, None) => pooled_canonical_sum(&values, policy),
+        (Route::HostPooledMorsel, Some(ref p)) => pooled_canonical_filter_sum(&values, p, policy),
+        (_, None) => canonical_sum(&values),
+        (_, Some(ref p)) => canonical_filter_sum(&values, p),
+    };
+    Ok(QueryOutput::Sum(sum))
+}
+
+fn exec_group_sum(
+    engine: &dyn StorageEngine,
+    node: &PhysicalNode,
+    rel: RelationId,
+    key_attr: AttrId,
+    value_attr: AttrId,
+    policy: ThreadingPolicy,
+    span: &mut obs::SpanGuard,
+) -> Result<QueryOutput> {
+    if node.route == Route::DevicePipelined {
+        match engine.device_group_sum(rel, key_attr, value_attr) {
+            Ok(groups) => return Ok(QueryOutput::Groups(groups)),
+            Err(e) if !matches!(e, Error::NonNumericAggregate { .. }) => {
+                if span.is_recording() {
+                    span.arg("fallback", "host");
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let pooled = if node.route == Route::HostPooledMorsel { Some(policy) } else { None };
+    Ok(QueryOutput::Groups(group_sum_host(
+        engine,
+        rel,
+        key_attr,
+        value_attr,
+        node.strategy,
+        pooled,
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htapg_core::plan::LogicalPlan;
+    use htapg_core::prng::Prng;
+    use htapg_core::sync::RwLock;
+    use htapg_core::{LayoutTemplate, Relation, RowId, Schema};
+    use htapg_taxonomy::{
+        Classification, DataLocality, DataLocation, FragmentLinearization, FragmentScheme,
+        LayoutAdaptability, LayoutFlexibility, LayoutHandling, ProcessorSupport, WorkloadSupport,
+    };
+
+    // A minimal NSM engine (mirrors the Toy engine in core's tests).
+    struct Toy {
+        rel: RwLock<Option<Relation>>,
+    }
+
+    impl StorageEngine for Toy {
+        fn name(&self) -> &'static str {
+            "TOY-EXEC"
+        }
+
+        fn classification(&self) -> Classification {
+            Classification {
+                name: "TOY-EXEC",
+                layout_handling: LayoutHandling::Single,
+                layout_flexibility: LayoutFlexibility::Inflexible,
+                layout_adaptability: LayoutAdaptability::Static,
+                data_location: DataLocation::host_only(),
+                data_locality: DataLocality::Centralized,
+                fragment_linearization: FragmentLinearization::FatNsmFixed,
+                fragment_scheme: FragmentScheme::None,
+                processor_support: ProcessorSupport::Cpu,
+                workload_support: WorkloadSupport::Htap,
+                year: 2017,
+            }
+        }
+
+        fn create_relation(&self, schema: Schema) -> Result<RelationId> {
+            *self.rel.write() = Some(Relation::new(schema.clone(), LayoutTemplate::nsm(&schema))?);
+            Ok(0)
+        }
+
+        fn schema(&self, _rel: RelationId) -> Result<Schema> {
+            Ok(self.rel.read().as_ref().unwrap().schema().clone())
+        }
+
+        fn insert(&self, _rel: RelationId, record: &Record) -> Result<RowId> {
+            self.rel.write().as_mut().unwrap().insert(record)
+        }
+
+        fn read_record(&self, _rel: RelationId, row: RowId) -> Result<Record> {
+            self.rel.read().as_ref().unwrap().read_record(row)
+        }
+
+        fn read_field(&self, _rel: RelationId, row: RowId, attr: AttrId) -> Result<Value> {
+            self.rel.read().as_ref().unwrap().read_value(
+                row,
+                attr,
+                htapg_core::AccessHint::RecordCentric,
+            )
+        }
+
+        fn update_field(
+            &self,
+            _rel: RelationId,
+            row: RowId,
+            attr: AttrId,
+            value: &Value,
+        ) -> Result<()> {
+            self.rel.write().as_mut().unwrap().update_field(row, attr, value)
+        }
+
+        fn scan_column(
+            &self,
+            _rel: RelationId,
+            attr: AttrId,
+            visit: &mut dyn FnMut(RowId, &Value),
+        ) -> Result<()> {
+            let guard = self.rel.read();
+            let rel = guard.as_ref().unwrap();
+            let ty = rel.schema().ty(attr)?;
+            rel.for_each_field(attr, |row, bytes| visit(row, &Value::decode(ty, bytes)))
+        }
+
+        fn row_count(&self, _rel: RelationId) -> Result<u64> {
+            Ok(self.rel.read().as_ref().unwrap().row_count())
+        }
+    }
+
+    fn toy_with_rows(n: usize, rng: &mut Prng) -> Toy {
+        let e = Toy { rel: RwLock::new(None) };
+        let s = Schema::of(&[("d", DataType::Int32), ("price", DataType::Float64)]);
+        e.create_relation(s).unwrap();
+        for _ in 0..n {
+            e.insert(
+                0,
+                &vec![
+                    Value::Int32(rng.gen_range(0..8)),
+                    Value::Float64(rng.gen_range(0..100_000) as f64 / 7.0),
+                ],
+            )
+            .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn canonical_sum_matches_device_reduction_shape() {
+        // Mirror of the device kernels' bit-identity test, host-side.
+        let values: Vec<f64> = (0..123_457).map(|i| (i as f64) * 0.3125).collect();
+        let serial = canonical_sum(&values);
+        for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
+            assert_eq!(serial.to_bits(), pooled_canonical_sum(&values, policy).to_bits());
+        }
+        // And against the actual device kernel.
+        let device = htapg_device::SimDevice::with_defaults();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = device.alloc(bytes.len()).unwrap();
+        device.write(buf, 0, &bytes).unwrap();
+        let dev = kernels::reduce_sum_f64(&device, buf).unwrap();
+        assert_eq!(serial.to_bits(), dev.to_bits());
+    }
+
+    #[test]
+    fn filter_sum_is_bit_identical_to_device_fused_kernel() {
+        let values: Vec<f64> = (0..50_000).map(|i| (i as f64) * 0.5 - 1000.0).collect();
+        let pred = Predicate::Ge(0.0);
+        let host = canonical_filter_sum(&values, &pred);
+        for policy in [ThreadingPolicy::Single, ThreadingPolicy::multi8()] {
+            assert_eq!(
+                host.to_bits(),
+                pooled_canonical_filter_sum(&values, &pred, policy).to_bits()
+            );
+        }
+        let device = htapg_device::SimDevice::with_defaults();
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let buf = device.alloc(bytes.len()).unwrap();
+        device.write(buf, 0, &bytes).unwrap();
+        let dev = kernels::filter_sum_f64(&device, buf, |v| pred.matches(v)).unwrap();
+        assert_eq!(host.to_bits(), dev.to_bits());
+    }
+
+    #[test]
+    fn plan_threshold_matches_pool_morsel_size() {
+        assert_eq!(htapg_core::plan::INLINE_MORSEL_ROWS, crate::pool::MORSEL_ROWS);
+    }
+
+    #[test]
+    fn executed_plan_matches_volcano_oracle() {
+        let mut rng = Prng::seed_from_u64(0xA1);
+        for &n in &[0usize, 1, 7, 1000, 70_000] {
+            let e = toy_with_rows(n, &mut rng);
+            let plan = e.plan(&LogicalPlan::sum(0, 1)).unwrap();
+            let got = execute(&e, &plan, ThreadingPolicy::multi8()).unwrap();
+            let want = volcano_sum(&e, 0, 1).unwrap();
+            assert_eq!(got.as_sum().unwrap().to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn group_sum_matches_volcano_oracle() {
+        let mut rng = Prng::seed_from_u64(0xA2);
+        let e = toy_with_rows(5000, &mut rng);
+        let plan = e.plan(&LogicalPlan::group_sum(0, 0, 1)).unwrap();
+        let got = execute(&e, &plan, ThreadingPolicy::Single).unwrap();
+        let want = volcano_group_sum(&e, 0, 0, 1).unwrap();
+        assert_eq!(got.as_groups().unwrap(), &want[..]);
+        // Keys are sorted and cover the inserted domain.
+        let keys: Vec<i64> = want.iter().map(|&(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn update_and_point_read_execute_through_plans() {
+        let mut rng = Prng::seed_from_u64(0xA3);
+        let e = toy_with_rows(100, &mut rng);
+        let upd = e
+            .plan(&LogicalPlan::Update { rel: 0, row: 5, attr: 1, value: Value::Float64(42.0) })
+            .unwrap();
+        assert_eq!(upd.route(), Route::InlineVolcano);
+        assert_eq!(execute(&e, &upd, ThreadingPolicy::Single).unwrap(), QueryOutput::Updated);
+        let read = e.plan(&LogicalPlan::PointRead { rel: 0, row: 5 }).unwrap();
+        match execute(&e, &read, ThreadingPolicy::Single).unwrap() {
+            QueryOutput::Record(r) => assert_eq!(r[1], Value::Float64(42.0)),
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_and_project_execute_through_plans() {
+        let mut rng = Prng::seed_from_u64(0xA4);
+        let e = toy_with_rows(50, &mut rng);
+        let mat = e.plan(&LogicalPlan::Materialize { rel: 0, rows: vec![3, 1, 4] }).unwrap();
+        match execute(&e, &mat, ThreadingPolicy::Single).unwrap() {
+            QueryOutput::Records(recs) => {
+                assert_eq!(recs.len(), 3);
+                assert_eq!(recs[0], e.read_record(0, 3).unwrap());
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        let proj = e
+            .plan(&LogicalPlan::Project {
+                input: Box::new(LogicalPlan::Materialize { rel: 0, rows: vec![2] }),
+                attrs: vec![1],
+            })
+            .unwrap();
+        match execute(&e, &proj, ThreadingPolicy::Single).unwrap() {
+            QueryOutput::Records(recs) => {
+                assert_eq!(recs[0].len(), 1);
+                assert_eq!(recs[0][0], e.read_field(0, 2, 1).unwrap());
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filtered_sum_plan_matches_oracle() {
+        let mut rng = Prng::seed_from_u64(0xA5);
+        let e = toy_with_rows(3000, &mut rng);
+        let pred = Predicate::Ge(5000.0);
+        let plan = e.plan(&LogicalPlan::filter_sum(0, 1, pred)).unwrap();
+        let got = execute(&e, &plan, ThreadingPolicy::Single).unwrap();
+        let want = volcano_filter_sum(&e, 0, 1, &pred).unwrap();
+        assert_eq!(got.as_sum().unwrap().to_bits(), want.to_bits());
+    }
+}

@@ -10,9 +10,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use htapg_core::engine::{StorageEngine, StorageEngineExt};
-use htapg_core::{obs, RelationId, Result};
-use htapg_exec::pool;
+use htapg_core::engine::StorageEngine;
+use htapg_core::plan::LogicalPlan;
+use htapg_core::{obs, Error, RelationId, Result};
+use htapg_exec::threading::ThreadingPolicy;
+use htapg_exec::{physical, pool};
 
 use crate::queries::Op;
 
@@ -105,8 +107,29 @@ impl HtapReport {
     }
 }
 
+/// Build the logical plan for one workload op: every variant of [`Op`] is
+/// expressed in the plan IR — the driver holds no direct engine-method
+/// dispatch.
+fn logical_for(rel: RelationId, op: &Op) -> LogicalPlan {
+    match op {
+        Op::Materialize(positions) => LogicalPlan::Materialize { rel, rows: positions.clone() },
+        Op::PointRead(row) => LogicalPlan::PointRead { rel, row: *row },
+        Op::UpdateField { row, attr, value } => {
+            LogicalPlan::Update { rel, row: *row, attr: *attr, value: value.clone() }
+        }
+        Op::SumColumn(attr) => LogicalPlan::sum(rel, *attr),
+        Op::GroupSum { key_attr, value_attr } => {
+            LogicalPlan::group_sum(rel, *key_attr, *value_attr)
+        }
+    }
+}
+
 /// Execute one op against the engine (shared by sequential and concurrent
 /// drivers). Returns whether the op was analytic.
+///
+/// Every op is lowered to a [`LogicalPlan`], routed by the engine's
+/// cost-based planner ([`StorageEngine::plan`]) and interpreted by the
+/// physical executor — the same path the repro binary and benches take.
 ///
 /// Each op runs under a `query.{class}.{kind}` span, and its *virtual*
 /// latency (the engine's [`StorageEngine::trace_clock`] delta, when the
@@ -123,17 +146,12 @@ pub fn execute_op(engine: &dyn StorageEngine, rel: RelationId, op: &Op) -> Resul
     let clock = engine.trace_clock();
     let v0 = clock.as_ref().map(|c| c.now_ns());
     let _span = obs::span("query", name);
-    let result = match op {
-        Op::Materialize(positions) => engine.materialize(rel, positions).map(|_| false),
-        Op::PointRead(row) => engine.read_record(rel, *row).map(|_| false),
-        Op::UpdateField { row, attr, value } => {
-            engine.update_field(rel, *row, *attr, value).map(|_| false)
-        }
-        Op::SumColumn(attr) => engine.sum_column_f64(rel, *attr).map(|_| true),
-        Op::GroupSum { key_attr, value_attr } => {
-            group_sum(engine, rel, *key_attr, *value_attr).map(|_| true)
-        }
-    };
+    // The driver's workers are themselves pool tasks, so routed host work
+    // stays on the issuing thread rather than re-entering the pool.
+    let result = engine
+        .plan(&logical_for(rel, op))
+        .and_then(|plan| physical::execute(engine, &plan, ThreadingPolicy::Single))
+        .map(|_| op.is_analytic());
     if let (Some(clock), Some(v0)) = (clock, v0) {
         let m = driver_metrics();
         let hist = if op.is_analytic() { &m.olap_latency } else { &m.oltp_latency };
@@ -142,29 +160,20 @@ pub fn execute_op(engine: &dyn StorageEngine, rel: RelationId, op: &Op) -> Resul
     result
 }
 
-/// Engine-level hash group-by: sum `value_attr` grouped by the integer
-/// `key_attr`, via two column scans.
+/// Plan-routed group-by: sum `value_attr` grouped by the integer
+/// `key_attr`, ordered by key. A thin wrapper over the planner + physical
+/// executor, kept for callers that want the grouped result directly.
 pub fn group_sum(
     engine: &dyn StorageEngine,
     rel: RelationId,
     key_attr: u16,
     value_attr: u16,
 ) -> Result<Vec<(i64, f64)>> {
-    let mut keys = Vec::new();
-    engine.scan_column(rel, key_attr, &mut |_, v| {
-        keys.push(v.as_i64().unwrap_or(0));
-    })?;
-    let mut groups: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
-    let mut i = 0usize;
-    engine.scan_column(rel, value_attr, &mut |_, v| {
-        if let (Some(k), Ok(x)) = (keys.get(i), v.as_f64()) {
-            *groups.entry(*k).or_insert(0.0) += x;
-        }
-        i += 1;
-    })?;
-    let mut out: Vec<(i64, f64)> = groups.into_iter().collect();
-    out.sort_unstable_by_key(|(k, _)| *k);
-    Ok(out)
+    let plan = engine.plan(&LogicalPlan::group_sum(rel, key_attr, value_attr))?;
+    match physical::execute(engine, &plan, ThreadingPolicy::Single)? {
+        physical::QueryOutput::Groups(groups) => Ok(groups),
+        other => Err(Error::Internal(format!("group-sum plan returned {other:?}"))),
+    }
 }
 
 /// Run a pre-generated op stream sequentially, timing each op.
