@@ -182,11 +182,28 @@ impl Recommendation {
 #[derive(Debug, Clone, Default)]
 pub struct Advisor {
     pub config: AdvisorConfig,
+    /// Learned cost corrections shared with the planner
+    /// ([`crate::calibrate::CalibrationProfiles`]); `None` keeps
+    /// predictions on the uncorrected analytic model.
+    calibration: Option<std::sync::Arc<crate::calibrate::CalibrationProfiles>>,
 }
 
 impl Advisor {
     pub fn new(config: AdvisorConfig) -> Self {
-        Advisor { config }
+        Advisor { config, calibration: None }
+    }
+
+    /// Scale future predictions by the planner's learned correction
+    /// factors: scan-shaped work by the host aggregate factors,
+    /// record-centric work by the point-read factor. Until a route is
+    /// warmed its factor is identity, so an uncalibrated advisor is
+    /// bit-identical to the default one.
+    pub fn with_calibration(
+        mut self,
+        profiles: std::sync::Arc<crate::calibrate::CalibrationProfiles>,
+    ) -> Self {
+        self.calibration = Some(profiles);
+        self
     }
 
     /// Build the greedy clustered template from statistics:
@@ -265,7 +282,23 @@ impl Advisor {
         let scan_w: Vec<f64> =
             (0..schema.arity()).map(|a| stats.scans(a as AttrId) as f64).collect();
         let record_w = stats.total_point_reads() as f64 / schema.arity().max(1) as f64;
-        costmodel::workload_ns(schema, template, &scan_w, record_w, rows, &self.config.cache)
+        let (scan_ns, record_ns) = costmodel::workload_ns_split(
+            schema,
+            template,
+            &scan_w,
+            record_w,
+            rows,
+            &self.config.cache,
+        );
+        match &self.calibration {
+            Some(cal) => {
+                let scan_f = cal
+                    .mean_factor("plan.aggregate.sum", &["inline-volcano", "host-pooled-morsel"]);
+                let record_f = cal.mean_factor("plan.point_read", &["inline-volcano"]);
+                scan_ns * scan_f + record_ns * record_f
+            }
+            None => scan_ns + record_ns,
+        }
     }
 
     /// Recommend a layout for the observed workload, comparing standard
@@ -408,6 +441,30 @@ mod tests {
         stats.record_point_read(&[2, 3]);
         let t = Advisor::default().cluster(&s, &stats);
         t.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn calibrated_advisor_scales_predictions_by_learned_factors() {
+        let s = schema();
+        let stats = AccessStats::new(s.arity());
+        for _ in 0..100 {
+            stats.record_scan(1);
+        }
+        let t = LayoutTemplate::dsm_emulated(&s);
+        let base = Advisor::default();
+        let profiles = std::sync::Arc::new(crate::calibrate::CalibrationProfiles::new());
+        let calibrated = Advisor::default().with_calibration(profiles.clone());
+        // Unwarmed calibration is bit-identical to none.
+        let raw = base.predict_ns(&s, &stats, &t, 100_000);
+        assert_eq!(raw.to_bits(), calibrated.predict_ns(&s, &stats, &t, 100_000).to_bits());
+        // Teach it "host scans run 2x the estimate" and the prediction
+        // doubles; point-read factors must not leak into scan work.
+        for _ in 0..8 {
+            profiles.observe("plan.aggregate.sum", "inline-volcano", 1_000_000, 2_000_000);
+            profiles.observe("plan.point_read", "inline-volcano", 1_000_000, 10_000_000);
+        }
+        let corrected = calibrated.predict_ns(&s, &stats, &t, 100_000);
+        assert!((corrected / raw - 2.0).abs() < 1e-9, "corrected={corrected} raw={raw}");
     }
 
     #[test]

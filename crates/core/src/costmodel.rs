@@ -164,17 +164,34 @@ pub fn workload_ns(
     rows: u64,
     cache: &CacheSpec,
 ) -> f64 {
-    let mut total = 0.0;
+    let (scan, record) =
+        workload_ns_split(schema, template, scan_weight, record_weight, rows, cache);
+    scan + record
+}
+
+/// [`workload_ns`] with the scan and point-read contributions kept
+/// apart, so callers (the calibrated advisor) can scale each half by an
+/// independently learned correction factor.
+pub fn workload_ns_split(
+    schema: &Schema,
+    template: &LayoutTemplate,
+    scan_weight: &[f64],
+    record_weight: f64,
+    rows: u64,
+    cache: &CacheSpec,
+) -> (f64, f64) {
+    let mut scan_total = 0.0;
     for (a, w) in scan_weight.iter().enumerate() {
         if *w > 0.0 {
-            total += w * scan_ns(schema, template, a as AttrId, rows, cache);
+            scan_total += w * scan_ns(schema, template, a as AttrId, rows, cache);
         }
     }
+    let mut record_total = 0.0;
     if record_weight > 0.0 {
         let all: Vec<AttrId> = schema.attr_ids().collect();
-        total += record_weight * record_ns(schema, template, &all, cache);
+        record_total = record_weight * record_ns(schema, template, &all, cache);
     }
-    total
+    (scan_total, record_total)
 }
 
 #[cfg(test)]

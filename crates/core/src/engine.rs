@@ -198,12 +198,25 @@ pub trait StorageEngine: Send + Sync {
         let caps = self.capabilities();
         let device = self.device_cost_profile();
         let cache = CacheSpec::default();
+        let cal = self.calibration();
         plan::build_plan(
             logical,
-            &plan::PlannerContext { caps: &caps, device: device.as_ref(), cache: &cache },
+            &plan::PlannerContext {
+                caps: &caps,
+                device: device.as_ref(),
+                cache: &cache,
+                calibration: cal.as_deref(),
+            },
             &mut |rel, attr| self.column_evidence(rel, attr),
             &mut |rel| self.table_evidence(rel),
         )
+    }
+
+    /// The engine's online cost-calibration profiles, if it keeps any.
+    /// `None` (the default) leaves the planner on its static estimates
+    /// and disables the executor's residual feedback for this engine.
+    fn calibration(&self) -> Option<Arc<crate::calibrate::CalibrationProfiles>> {
+        None
     }
 
     /// Device route for `SUM(attr)`: answer from device memory, charging

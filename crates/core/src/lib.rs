@@ -20,6 +20,8 @@
 //! * [`txn`] — an MVCC transaction manager (snapshot isolation,
 //!   first-updater-wins) for the HTAP side;
 //! * [`costmodel`] — the cache-line cost model behind layout advice;
+//! * [`calibrate`] — online EWMA calibration of the planner's cost
+//!   estimates from observed virtual-time residuals;
 //! * [`adapt`] — workload tracking and the layout advisor that makes engines
 //!   *responsive*;
 //! * [`wal`] — write-ahead logging (framed, checksummed, torn-tail-safe)
@@ -35,6 +37,7 @@
 //!   engine archetypes in `htapg-engines` implement.
 
 pub mod adapt;
+pub mod calibrate;
 pub mod compress;
 pub mod costmodel;
 pub mod engine;

@@ -29,6 +29,24 @@ pub struct SpanNode {
     pub exclusive_ns: u64,
 }
 
+/// One plan node's estimated-vs-actual virtual-ns residual, extracted
+/// from a finished trace — the calibration feed
+/// ([`crate::calibrate::CalibrationProfiles::absorb`]). The route is the
+/// one that *actually executed*: a device node degraded by a fault
+/// carries `fallback=host` on its span and is attributed to the inline
+/// host route, never to the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Residual {
+    /// The node's span name (`plan.aggregate.sum`, ...).
+    pub op: String,
+    /// Label of the executed route.
+    pub route: String,
+    /// The planner's uncalibrated estimate for the node.
+    pub raw_est_ns: u64,
+    /// Inclusive virtual ns the node actually charged.
+    pub actual_ns: u64,
+}
+
 /// A span tree plus per-category rollups, built from a finished trace.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
@@ -91,6 +109,33 @@ impl TraceReport {
     /// The first root span with exactly this name, if any.
     pub fn find_root(&self, name: &str) -> Option<&SpanNode> {
         self.roots.iter().map(|&r| &self.nodes[r]).find(|n| n.record.name == name)
+    }
+
+    /// Per-node residuals of every executed `plan.*` span that carries
+    /// the planner's estimate args, for calibration feedback. Spans
+    /// marked `fallback=host` are re-attributed to the inline host route
+    /// — the route that actually ran.
+    pub fn residuals(&self) -> Vec<Residual> {
+        self.nodes
+            .iter()
+            .filter(|n| n.record.name.starts_with("plan."))
+            .filter_map(|n| {
+                let arg = |key: &str| {
+                    n.record.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+                };
+                let route = if arg("fallback") == Some("host") {
+                    "inline-volcano".to_string()
+                } else {
+                    arg("route")?.to_string()
+                };
+                Some(Residual {
+                    op: n.record.name.to_string(),
+                    route,
+                    raw_est_ns: arg("raw_est_ns")?.parse().ok()?,
+                    actual_ns: n.inclusive_ns,
+                })
+            })
+            .collect()
     }
 
     /// Number of spans (including instants).
@@ -238,6 +283,44 @@ mod tests {
     fn orphan_parents_become_roots() {
         let report = TraceReport::from_spans(vec![rec(7, Some(99), "late", "cpu", 5, 5)]);
         assert_eq!(report.roots.len(), 1);
+    }
+
+    #[test]
+    fn residuals_follow_the_executed_route() {
+        let mut planned = rec(1, None, "plan.aggregate.sum", "plan", 0, 42_000);
+        planned.args = vec![
+            ("route", "device-pipelined".to_string()),
+            ("est_ns", "30000".to_string()),
+            ("raw_est_ns", "30000".to_string()),
+        ];
+        let mut degraded = rec(2, None, "plan.aggregate.group_sum", "plan", 50_000, 7_000);
+        degraded.args = vec![
+            ("route", "device-pipelined".to_string()),
+            ("raw_est_ns", "9000".to_string()),
+            ("fallback", "host".to_string()),
+        ];
+        // No raw_est_ns arg (pre-calibration span shape): skipped.
+        let mut legacy = rec(3, None, "plan.scan", "plan", 60_000, 5);
+        legacy.args = vec![("route", "inline-volcano".to_string())];
+        let report = TraceReport::from_spans(vec![
+            planned,
+            degraded,
+            legacy,
+            rec(4, None, "query.olap.sum", "query", 70_000, 10),
+        ]);
+        let res = report.residuals();
+        assert_eq!(res.len(), 2);
+        assert_eq!(
+            res[0],
+            Residual {
+                op: "plan.aggregate.sum".into(),
+                route: "device-pipelined".into(),
+                raw_est_ns: 30_000,
+                actual_ns: 42_000,
+            }
+        );
+        assert_eq!(res[1].route, "inline-volcano", "fallback=host re-attributes the residual");
+        assert_eq!(res[1].actual_ns, 7_000);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod metrics;
 mod trace;
 
 pub use chrome::to_chrome_trace;
-pub use explain::{SpanNode, TraceReport};
+pub use explain::{Residual, SpanNode, TraceReport};
 pub use metrics::{
     metrics, Counter, Gauge, Histogram, HistogramState, MetricsRegistry, MetricsSnapshot,
     LATENCY_NS_EDGES,

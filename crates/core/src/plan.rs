@@ -234,7 +234,14 @@ pub struct PhysicalNode {
     pub strategy: ScanStrategy,
     /// Estimated virtual ns for this node *including* children (same
     /// inclusive accounting as the span tree it is compared against).
+    /// Calibrated when the planner context carries warmed
+    /// [`crate::calibrate::CalibrationProfiles`].
     pub estimated_ns: u64,
+    /// The uncalibrated estimate the cost model produced. Residual
+    /// feedback is keyed on this value, so corrections never compound on
+    /// top of already-corrected estimates. Equal to `estimated_ns` when no
+    /// (warmed) calibration applies.
+    pub raw_estimated_ns: u64,
     /// PCIe bytes this node is expected to move host→device (zero for
     /// host routes and warm device columns).
     pub bytes_to_device: u64,
@@ -448,6 +455,26 @@ pub struct PlannerContext<'a> {
     pub caps: &'a EngineCapabilities,
     pub device: Option<&'a DeviceCostProfile>,
     pub cache: &'a CacheSpec,
+    /// Learned correction factors consulted at plan time. `None` (and any
+    /// unwarmed profile) reproduces the static router bit-for-bit.
+    pub calibration: Option<&'a crate::calibrate::CalibrationProfiles>,
+}
+
+impl PlannerContext<'_> {
+    /// Calibrated estimate for a node: the raw cost-model estimate scaled
+    /// by the learned (op, route) factor, identity when uncalibrated.
+    fn calibrated(&self, op: &PhysicalOp, route: Route, raw_ns: u64) -> u64 {
+        match self.calibration {
+            Some(c) => c.calibrated_ns(op.span_name(), route.label(), raw_ns),
+            None => raw_ns,
+        }
+    }
+
+    /// Whether the (op, route) factor has warmed up — warm-branch routing
+    /// only reconsiders the static decision on real evidence.
+    fn is_warmed(&self, op: &PhysicalOp, route: Route) -> bool {
+        self.calibration.is_some_and(|c| c.is_warmed(op.span_name(), route.label()))
+    }
 }
 
 /// Host scan cost from the cache model: sequential line streaming when the
@@ -504,11 +531,15 @@ fn plan_node(
     match logical {
         LogicalPlan::Scan { rel, attr } => {
             let ev = column(*rel, *attr)?;
+            let op = PhysicalOp::Scan { rel: *rel, attr: *attr };
+            let route = host_route(ev.rows);
+            let raw = host_scan_ns(&ev, cx.cache);
             Ok(PhysicalNode {
-                op: PhysicalOp::Scan { rel: *rel, attr: *attr },
-                route: host_route(ev.rows),
+                route,
                 strategy: scan_strategy(&ev),
-                estimated_ns: host_scan_ns(&ev, cx.cache),
+                estimated_ns: cx.calibrated(&op, route, raw),
+                raw_estimated_ns: raw,
+                op,
                 bytes_to_device: 0,
                 rows: ev.rows,
                 mirror: scan_mirror,
@@ -522,6 +553,7 @@ fn plan_node(
                 route: child.route,
                 strategy: child.strategy,
                 estimated_ns: child.estimated_ns,
+                raw_estimated_ns: child.raw_estimated_ns,
                 bytes_to_device: 0,
                 rows: child.rows,
                 mirror: child.mirror,
@@ -535,6 +567,7 @@ fn plan_node(
                 route: child.route,
                 strategy: child.strategy,
                 estimated_ns: child.estimated_ns,
+                raw_estimated_ns: child.raw_estimated_ns,
                 bytes_to_device: 0,
                 rows: child.rows,
                 mirror: child.mirror,
@@ -553,15 +586,18 @@ fn plan_node(
             } else {
                 (req as f64 * t.record_width.div_ceil(line).max(1) as f64 * cx.cache.miss_ns) as u64
             };
+            let op = PhysicalOp::Materialize { rel: *rel, rows: rows.clone() };
+            let route = host_route(req);
             Ok(PhysicalNode {
-                op: PhysicalOp::Materialize { rel: *rel, rows: rows.clone() },
-                route: host_route(req),
+                route,
                 strategy: if t.contiguous_nsm {
                     ScanStrategy::ContiguousBytes
                 } else {
                     ScanStrategy::ValueVisit
                 },
-                estimated_ns: est,
+                estimated_ns: cx.calibrated(&op, route, est),
+                raw_estimated_ns: est,
+                op,
                 bytes_to_device: 0,
                 rows: req,
                 mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
@@ -571,28 +607,35 @@ fn plan_node(
         LogicalPlan::PointRead { rel, row } => {
             let t = table(*rel)?;
             let line = cx.cache.line_bytes as u64;
+            let op = PhysicalOp::PointRead { rel: *rel, row: *row };
+            let raw = (t.record_width.div_ceil(line).max(1) as f64 * cx.cache.miss_ns) as u64;
             Ok(PhysicalNode {
-                op: PhysicalOp::PointRead { rel: *rel, row: *row },
                 route: Route::InlineVolcano,
                 strategy: ScanStrategy::ValueVisit,
-                estimated_ns: (t.record_width.div_ceil(line).max(1) as f64 * cx.cache.miss_ns)
-                    as u64,
+                estimated_ns: cx.calibrated(&op, Route::InlineVolcano, raw),
+                raw_estimated_ns: raw,
+                op,
                 bytes_to_device: 0,
                 rows: 1,
                 mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
                 children: Vec::new(),
             })
         }
-        LogicalPlan::Update { rel, row, attr, value } => Ok(PhysicalNode {
-            op: PhysicalOp::Update { rel: *rel, row: *row, attr: *attr, value: value.clone() },
-            route: Route::InlineVolcano,
-            strategy: ScanStrategy::ValueVisit,
-            estimated_ns: cx.cache.miss_ns as u64,
-            bytes_to_device: 0,
-            rows: 1,
-            mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
-            children: Vec::new(),
-        }),
+        LogicalPlan::Update { rel, row, attr, value } => {
+            let op = PhysicalOp::Update { rel: *rel, row: *row, attr: *attr, value: value.clone() };
+            let raw = cx.cache.miss_ns as u64;
+            Ok(PhysicalNode {
+                route: Route::InlineVolcano,
+                strategy: ScanStrategy::ValueVisit,
+                estimated_ns: cx.calibrated(&op, Route::InlineVolcano, raw),
+                raw_estimated_ns: raw,
+                op,
+                bytes_to_device: 0,
+                rows: 1,
+                mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                children: Vec::new(),
+            })
+        }
     }
 }
 
@@ -631,37 +674,52 @@ fn plan_aggregate(
 
     match agg {
         AggregateKind::Sum => {
+            let agg_op = PhysicalOp::AggregateSum;
             // Host price: the scan plus (virtually free) combine.
             let host_ns = host_scan_ns(&ev, cx.cache);
-            let mut route = host_route(ev.rows);
-            let mut scan_est = host_ns;
-            let mut total_est = host_ns;
+            let host_r = host_route(ev.rows);
+            let host_cal = cx.calibrated(&agg_op, host_r, host_ns);
+            let mut route = host_r;
+            let mut scan_raw = host_ns;
+            let mut total_raw = host_ns;
+            let mut total_cal = host_cal;
             let mut bytes = 0u64;
             if cx.caps.device_placement {
                 if let Some(d) = cx.device {
+                    let dev_r = Route::DevicePipelined;
                     if ev.device_warm {
-                        // Warm replica: kernel time only, no PCIe. Always
-                        // routed to the device — that is what placement
-                        // paid for.
-                        route = Route::DevicePipelined;
-                        scan_est = 0;
-                        total_est = d.warm_sum_ns(ev.rows, predicated);
+                        // Warm replica: kernel time only, no PCIe. Routed
+                        // to the device — that is what placement paid for
+                        // — unless calibrated evidence says the kernel
+                        // actually costs more than the host scan.
+                        let warm = d.warm_sum_ns(ev.rows, predicated);
+                        let warm_cal = cx.calibrated(&agg_op, dev_r, warm);
+                        if !(cx.is_warmed(&agg_op, dev_r) && warm_cal > host_cal) {
+                            route = dev_r;
+                            scan_raw = 0;
+                            total_raw = warm;
+                            total_cal = warm_cal;
+                        }
                     } else {
                         let cold = d.cold_sum_ns(ev.rows, predicated);
-                        if cold < host_ns {
-                            route = Route::DevicePipelined;
+                        let cold_cal = cx.calibrated(&agg_op, dev_r, cold);
+                        if cold_cal < host_cal {
+                            route = dev_r;
                             bytes = ev.rows * 8;
-                            scan_est = d.transfer_ns(bytes);
-                            total_est = cold;
+                            scan_raw = d.transfer_ns(bytes);
+                            total_raw = cold;
+                            total_cal = cold_cal;
                         }
                     }
                 }
             }
+            let scan_op = PhysicalOp::Scan { rel, attr };
             let scan = PhysicalNode {
-                op: PhysicalOp::Scan { rel, attr },
                 route,
                 strategy,
-                estimated_ns: scan_est,
+                estimated_ns: cx.calibrated(&scan_op, route, scan_raw),
+                raw_estimated_ns: scan_raw,
+                op: scan_op,
                 bytes_to_device: bytes,
                 rows: ev.rows,
                 mirror: scan_mirror,
@@ -674,6 +732,7 @@ fn plan_aggregate(
                     route,
                     strategy,
                     estimated_ns: scan.estimated_ns,
+                    raw_estimated_ns: scan.raw_estimated_ns,
                     bytes_to_device: 0,
                     rows: ev.rows,
                     mirror: scan_mirror,
@@ -681,10 +740,11 @@ fn plan_aggregate(
                 },
             };
             Ok(PhysicalNode {
-                op: PhysicalOp::AggregateSum,
+                op: agg_op,
                 route,
                 strategy,
-                estimated_ns: total_est,
+                estimated_ns: total_cal,
+                raw_estimated_ns: total_raw,
                 bytes_to_device: 0,
                 rows: ev.rows,
                 mirror: scan_mirror,
@@ -702,48 +762,64 @@ fn plan_aggregate(
             // Keys are always grouped on the host; only the value column's
             // per-group reductions can go to the device (gather + reduce
             // over a resident replica).
+            let agg_op = PhysicalOp::AggregateGroupSum { key_attr: *key_attr };
             let key_ns = host_scan_ns(&key_ev, cx.cache);
             let value_host_ns = host_scan_ns(&ev, cx.cache);
-            let mut route = host_route(ev.rows);
-            let mut value_est = value_host_ns;
-            let mut total_est = key_ns + value_host_ns;
+            let host_r = host_route(ev.rows);
+            let host_cal = cx.calibrated(&agg_op, host_r, key_ns + value_host_ns);
+            let mut route = host_r;
+            let mut value_raw = value_host_ns;
+            let mut total_raw = key_ns + value_host_ns;
+            let mut total_cal = host_cal;
             if cx.caps.device_placement && ev.device_warm {
                 if let Some(d) = cx.device {
-                    route = Route::DevicePipelined;
+                    let dev_r = Route::DevicePipelined;
                     // Gather (one launch over all rows, device-to-device)
                     // plus the reductions; group count is unknown at plan
                     // time, so the reduction is priced as one full pass.
                     let gather =
                         d.kernel_ns(REDUCE_GRID * REDUCE_BLOCK, ev.rows.max(1), 8.0, ev.rows * 16);
-                    value_est = gather + d.warm_sum_ns(ev.rows, false);
-                    total_est = key_ns + value_est;
+                    let value_dev = gather + d.warm_sum_ns(ev.rows, false);
+                    let dev_cal = cx.calibrated(&agg_op, dev_r, key_ns + value_dev);
+                    if !(cx.is_warmed(&agg_op, dev_r) && dev_cal > host_cal) {
+                        route = dev_r;
+                        value_raw = value_dev;
+                        total_raw = key_ns + value_dev;
+                        total_cal = dev_cal;
+                    }
                 }
             }
+            let key_op = PhysicalOp::Scan { rel, attr: *key_attr };
+            let key_route = host_route(key_ev.rows);
             let key_scan = PhysicalNode {
-                op: PhysicalOp::Scan { rel, attr: *key_attr },
-                route: host_route(key_ev.rows),
+                route: key_route,
                 strategy: scan_strategy(&key_ev),
-                estimated_ns: key_ns,
+                estimated_ns: cx.calibrated(&key_op, key_route, key_ns),
+                raw_estimated_ns: key_ns,
+                op: key_op,
                 bytes_to_device: 0,
                 rows: key_ev.rows,
                 mirror: scan_mirror,
                 children: Vec::new(),
             };
+            let value_op = PhysicalOp::Scan { rel, attr };
             let value_scan = PhysicalNode {
-                op: PhysicalOp::Scan { rel, attr },
                 route,
                 strategy,
-                estimated_ns: value_est,
+                estimated_ns: cx.calibrated(&value_op, route, value_raw),
+                raw_estimated_ns: value_raw,
+                op: value_op,
                 bytes_to_device: 0,
                 rows: ev.rows,
                 mirror: scan_mirror,
                 children: Vec::new(),
             };
             Ok(PhysicalNode {
-                op: PhysicalOp::AggregateGroupSum { key_attr: *key_attr },
+                op: agg_op,
                 route,
                 strategy,
-                estimated_ns: total_est,
+                estimated_ns: total_cal,
+                raw_estimated_ns: total_raw,
                 bytes_to_device: 0,
                 rows: ev.rows,
                 mirror: scan_mirror,
@@ -773,7 +849,7 @@ mod tests {
         device: Option<&'a DeviceCostProfile>,
         cache: &'a CacheSpec,
     ) -> PlannerContext<'a> {
-        PlannerContext { caps, device, cache }
+        PlannerContext { caps, device, cache, calibration: None }
     }
 
     fn paper_device() -> DeviceCostProfile {
@@ -936,6 +1012,82 @@ mod tests {
         .unwrap();
         assert_eq!(mat_plan.root.mirror, Some("nsm"));
         assert!(mat_plan.render().contains("mirror=nsm"));
+    }
+
+    #[test]
+    fn warmed_calibration_flips_a_mispriced_cold_route() {
+        use crate::calibrate::CalibrationProfiles;
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        // A lying device profile that makes a cold offload look nearly
+        // free, so the static router sends a tiny cold sum to the device.
+        let dev = DeviceCostProfile {
+            pcie_bandwidth: 1.0e15,
+            pcie_latency_ns: 1,
+            kernel_launch_ns: 1,
+            mem_bandwidth: 1.0e15,
+            clock_hz: 1.0e15,
+            lanes: 640,
+        };
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(1000, false, false));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 1000, record_width: 16, contiguous_nsm: false });
+        let logical = LogicalPlan::sum(0, 1);
+
+        let profiles = CalibrationProfiles::new();
+        let cx = PlannerContext {
+            caps: &caps,
+            device: Some(&dev),
+            cache: &cache,
+            calibration: Some(&profiles),
+        };
+        let lied = build_plan(&logical, &cx, &mut col, &mut tab).unwrap();
+        assert_eq!(lied.route(), Route::DevicePipelined, "the lie wins while unwarmed");
+
+        // Observed actuals say the device really costs 100 µs a run —
+        // far above the ~80 µs strided host scan. After warm-up the same
+        // context flips the decision, from evidence alone.
+        for _ in 0..4 {
+            profiles.observe(
+                "plan.aggregate.sum",
+                "device-pipelined",
+                lied.estimated_ns(),
+                100_000,
+            );
+        }
+        let flipped = build_plan(&logical, &cx, &mut col, &mut tab).unwrap();
+        assert_eq!(flipped.route(), Route::InlineVolcano, "calibration overrides the lie");
+        assert_eq!(
+            flipped.root.raw_estimated_ns, flipped.root.estimated_ns,
+            "host factor identity"
+        );
+    }
+
+    #[test]
+    fn unwarmed_calibration_is_bit_identical_to_none() {
+        use crate::calibrate::CalibrationProfiles;
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(5_000, true, true));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 5_000, record_width: 16, contiguous_nsm: false });
+        let logical = LogicalPlan::sum(0, 1);
+        let base =
+            build_plan(&logical, &ctx(&caps, Some(&dev), &cache), &mut col, &mut tab).unwrap();
+        let profiles = CalibrationProfiles::new();
+        // Below the warm-up threshold: factors exist but are not consulted.
+        for _ in 0..3 {
+            profiles.observe("plan.aggregate.sum", "device-pipelined", 1_000, 999_000);
+        }
+        let cx = PlannerContext {
+            caps: &caps,
+            device: Some(&dev),
+            cache: &cache,
+            calibration: Some(&profiles),
+        };
+        let with = build_plan(&logical, &cx, &mut col, &mut tab).unwrap();
+        assert_eq!(base, with, "unwarmed profiles must not perturb the plan");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
+use htapg_core::calibrate::CalibrationProfiles;
 use htapg_core::compress::{self, Codec, Dictionary, ForBitPack, Rle};
 use htapg_core::index::{BPlusTree, HashIndex};
 use htapg_core::prng::{check_cases, Prng};
@@ -341,6 +342,102 @@ fn mvcc_committed_history_matches_model() {
         let reader = mgr.begin();
         for k in 0u8..4 {
             assert_eq!(store.get(&reader, &k), model.get(&k).copied());
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Calibration: EWMA factors converge to the true cost ratio, stay
+// positive/finite under arbitrary residual streams, and snapshot
+// byte-identically under the same seed.
+// ---------------------------------------------------------------------
+
+#[test]
+fn calibration_converges_monotonically_to_true_ratio() {
+    check_cases("calibration_converges_monotonically_to_true_ratio", 64, 0xC0DE_000B, |_, rng| {
+        // A constant true ratio r: every observation reports actual =
+        // r * raw. Restricted to ratios and estimates where integer
+        // truncation of `actual` is far below the EWMA step, so the
+        // convergence error is monotone up to a tiny additive slack.
+        let r = rng.gen_range(1e-2..1e4);
+        let mut prev_err = f64::INFINITY;
+        let p = CalibrationProfiles::new();
+        for _ in 0..24 {
+            let raw = rng.gen_range(10_000u64..1_000_000);
+            let actual = (raw as f64 * r) as u64;
+            p.observe("plan.aggregate.sum", "device-pipelined", raw, actual);
+            let f = p.learned_factor("plan.aggregate.sum", "device-pipelined").unwrap();
+            assert!(f.is_finite() && f > 0.0, "factor {f}");
+            let err = (f - r).abs();
+            assert!(
+                err <= prev_err + r * 1e-2,
+                "convergence not monotone: err {err} after prev {prev_err} (r = {r})"
+            );
+            prev_err = err;
+        }
+        let f = p.learned_factor("plan.aggregate.sum", "device-pipelined").unwrap();
+        assert!((f - r).abs() / r < 0.02, "factor {f} should be within 2% of true ratio {r}");
+    });
+}
+
+#[test]
+fn calibration_factors_never_nan_zero_or_negative() {
+    check_cases("calibration_factors_never_nan_zero_or_negative", 64, 0xC0DE_000C, |_, rng| {
+        let p = CalibrationProfiles::new();
+        for _ in 0..rng.gen_range(1usize..200) {
+            // Adversarial residuals: zeros, u64::MAX, and everything
+            // in between, on a handful of keys.
+            let raw = match rng.gen_range(0usize..4) {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.next_u64() >> rng.gen_range(0u64..64),
+            };
+            let actual = match rng.gen_range(0usize..4) {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.next_u64() >> rng.gen_range(0u64..64),
+            };
+            let op =
+                ["plan.scan", "plan.aggregate.sum", "plan.point_read"][rng.gen_range(0usize..3)];
+            let route = ["inline-volcano", "device-pipelined"][rng.gen_range(0usize..2)];
+            p.observe(op, route, raw, actual);
+            let f = p.learned_factor(op, route).unwrap();
+            assert!(f.is_finite(), "factor {f} for ({op}, {route})");
+            assert!(f > 0.0, "factor {f} for ({op}, {route})");
+            let cal = p.calibrated_ns(op, route, raw);
+            let _ = cal; // must not panic/overflow; saturates at u64::MAX
+        }
+        for e in p.snapshot().entries {
+            assert!(e.factor.is_finite() && e.factor > 0.0, "{e:?}");
+        }
+    });
+}
+
+#[test]
+fn calibration_is_byte_identical_under_same_seed() {
+    // Two profiles fed the identical seeded residual stream snapshot to
+    // byte-identical factors (f64::to_bits equality), independent of
+    // HTAPG_THREADS — observation order is the only input.
+    check_cases("calibration_is_byte_identical_under_same_seed", 32, 0xC0DE_000D, |case, _| {
+        let run = |seed: u64| {
+            let mut rng = Prng::seed_from_u64(seed);
+            let p = CalibrationProfiles::new();
+            for _ in 0..50 {
+                let raw = rng.gen_range(1u64..1_000_000);
+                let actual = rng.gen_range(0u64..1_000_000);
+                let op = ["plan.scan", "plan.aggregate.sum"][rng.gen_range(0usize..2)];
+                p.observe(op, "inline-volcano", raw, actual);
+            }
+            p.snapshot()
+        };
+        let a = run(case);
+        let b = run(case);
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.op, y.op);
+            assert_eq!(x.route, y.route);
+            assert_eq!(x.observations, y.observations);
+            assert_eq!(x.factor.to_bits(), y.factor.to_bits(), "factors differ in bits");
         }
     });
 }

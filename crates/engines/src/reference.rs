@@ -25,6 +25,7 @@ use htapg_core::sync::RwLock as PRwLock;
 use std::sync::Arc;
 
 use htapg_core::adapt::{AccessStats, Advisor, AdvisorConfig};
+use htapg_core::calibrate::CalibrationProfiles;
 use htapg_core::engine::{MaintenanceReport, StorageEngine};
 use htapg_core::plan::{ColumnEvidence, DeviceCostProfile, Predicate};
 use htapg_core::retry::{with_retry, RetryPolicy};
@@ -86,6 +87,9 @@ pub struct ReferenceEngine {
     /// Device-resident analytic column replicas, versioned per relation.
     cache: Arc<DeviceColumnCache>,
     advisor: Advisor,
+    /// Learned planner cost corrections, fed by observed execution
+    /// residuals and shared with the advisor.
+    calibration: Arc<CalibrationProfiles>,
     improvement_threshold: f64,
     chunk_rows: u64,
     /// Serializes maintenance against itself.
@@ -110,6 +114,7 @@ impl ReferenceEngine {
     pub fn with_device(device: Arc<SimDevice>) -> Self {
         let chunk_rows = DEFAULT_CHUNK_ROWS;
         let cache = Arc::new(DeviceColumnCache::new(device.clone()));
+        let calibration = Arc::new(CalibrationProfiles::new());
         ReferenceEngine {
             rels: Registry::new(),
             mgr: Arc::new(TxnManager::new()),
@@ -118,7 +123,9 @@ impl ReferenceEngine {
             advisor: Advisor::new(AdvisorConfig {
                 chunk_rows: Some(chunk_rows),
                 ..Default::default()
-            }),
+            })
+            .with_calibration(calibration.clone()),
+            calibration,
             improvement_threshold: 0.10,
             chunk_rows,
             maint_lock: PRwLock::new(()),
@@ -477,6 +484,10 @@ impl StorageEngine for ReferenceEngine {
     fn trace_clock(&self) -> Option<Arc<dyn htapg_core::obs::VirtualClock>> {
         let ledger: Arc<htapg_device::CostLedger> = Arc::clone(self.device().ledger());
         Some(ledger)
+    }
+
+    fn calibration(&self) -> Option<Arc<CalibrationProfiles>> {
+        Some(self.calibration.clone())
     }
 
     fn classification(&self) -> Classification {

@@ -19,7 +19,9 @@
 //! estimated-vs-actual virtual ns per plan node (DESIGN.md §12).
 
 use htapg_core::engine::StorageEngine;
-use htapg_core::plan::{PhysicalNode, PhysicalOp, PhysicalPlan, Predicate, Route, ScanStrategy};
+use htapg_core::plan::{
+    LogicalPlan, PhysicalNode, PhysicalOp, PhysicalPlan, Predicate, Route, ScanStrategy,
+};
 use htapg_core::{obs, AttrId, DataType, Error, Record, RelationId, Result, Value};
 use htapg_device::kernels;
 use std::collections::BTreeMap;
@@ -307,6 +309,7 @@ fn node_span(node: &PhysicalNode) -> obs::SpanGuard {
     if span.is_recording() {
         span.arg("route", node.route.label());
         span.arg("est_ns", node.estimated_ns);
+        span.arg("raw_est_ns", node.raw_estimated_ns);
         span.arg("rows", node.rows);
         span.arg("scan", node.strategy.label());
         if node.bytes_to_device > 0 {
@@ -327,13 +330,89 @@ pub fn execute(
     plan: &PhysicalPlan,
     policy: ThreadingPolicy,
 ) -> Result<QueryOutput> {
-    exec_node(engine, &plan.root, policy)
+    let mut executed = plan.root.route;
+    exec_node(engine, &plan.root, policy, &mut executed)
+}
+
+/// What [`execute_observed`] learned from one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    pub output: QueryOutput,
+    /// The route that actually ran: the planned root route, unless a
+    /// device fault/stale replica degraded the node to the host fallback.
+    pub executed_route: Route,
+    /// Virtual ns the execution charged to the engine's trace clock
+    /// (zero for host-only engines, whose work advances no virtual time).
+    pub actual_ns: u64,
+    /// The root node's observed cost fell outside the calibrated
+    /// tolerance band — the replanning trigger.
+    pub diverged: bool,
+}
+
+/// Execute a plan and feed the root's estimated-vs-actual residual back
+/// into the engine's [`calibration
+/// profiles`](htapg_core::calibrate::CalibrationProfiles), keyed by the
+/// route that *actually executed* (a failed-then-degraded device node is
+/// attributed to the host fallback, never to the device). Engines without
+/// calibration behave exactly like [`execute`].
+pub fn execute_observed(
+    engine: &dyn StorageEngine,
+    plan: &PhysicalPlan,
+    policy: ThreadingPolicy,
+) -> Result<ExecOutcome> {
+    let clock = engine.trace_clock();
+    let t0 = clock.as_ref().map_or(0, |c| c.now_ns());
+    let mut executed = plan.root.route;
+    let output = exec_node(engine, &plan.root, policy, &mut executed)?;
+    let actual_ns = clock.as_ref().map_or(0, |c| c.now_ns()).saturating_sub(t0);
+    let mut diverged = false;
+    if let Some(cal) = engine.calibration() {
+        let op = plan.root.op.span_name();
+        cal.observe(op, executed.label(), plan.root.raw_estimated_ns, actual_ns);
+        // Only a node that ran its planned route can diverge from its own
+        // estimate; a fallback's residual belongs to the fallback route.
+        diverged = executed == plan.root.route
+            && cal.diverged(op, executed.label(), plan.root.estimated_ns, actual_ns);
+    }
+    Ok(ExecOutcome { output, executed_route: executed, actual_ns, diverged })
+}
+
+/// What [`execute_adaptive`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    pub output: QueryOutput,
+    pub diverged: bool,
+    /// The route a post-divergence replan chose, when one happened. The
+    /// result is *not* re-executed — routes are bit-identical by the
+    /// module invariant — so the fresh route simply serves the next
+    /// execution of the same shape.
+    pub replanned: Option<Route>,
+}
+
+/// Plan → execute with residual feedback → replan on divergence. The
+/// workload driver's adaptivity loop: calibration happens live under
+/// mixed load, and a diverged estimate triggers an immediate replan
+/// (counted on the `plan.replans` metric).
+pub fn execute_adaptive(
+    engine: &dyn StorageEngine,
+    logical: &LogicalPlan,
+    policy: ThreadingPolicy,
+) -> Result<AdaptiveOutcome> {
+    let plan = engine.plan(logical)?;
+    let outcome = execute_observed(engine, &plan, policy)?;
+    let mut replanned = None;
+    if outcome.diverged {
+        obs::metrics().counter("plan.replans").inc();
+        replanned = Some(engine.plan(logical)?.route());
+    }
+    Ok(AdaptiveOutcome { output: outcome.output, diverged: outcome.diverged, replanned })
 }
 
 fn exec_node(
     engine: &dyn StorageEngine,
     node: &PhysicalNode,
     policy: ThreadingPolicy,
+    executed: &mut Route,
 ) -> Result<QueryOutput> {
     let mut span = node_span(node);
     match &node.op {
@@ -352,7 +431,7 @@ fn exec_node(
                 .children
                 .first()
                 .ok_or_else(|| Error::Internal("project without input".into()))?;
-            let out = exec_node(engine, child, policy)?;
+            let out = exec_node(engine, child, policy, executed)?;
             match out {
                 QueryOutput::Records(recs) => Ok(QueryOutput::Records(
                     recs.into_iter()
@@ -367,11 +446,11 @@ fn exec_node(
         }
         PhysicalOp::AggregateSum => {
             let (rel, attr, pred) = sum_input(node)?;
-            exec_sum(engine, node, rel, attr, pred, policy, &mut span)
+            exec_sum(engine, node, rel, attr, pred, policy, &mut span, executed)
         }
         PhysicalOp::AggregateGroupSum { key_attr } => {
             let (rel, value_attr) = group_input(node)?;
-            exec_group_sum(engine, node, rel, *key_attr, value_attr, policy, &mut span)
+            exec_group_sum(engine, node, rel, *key_attr, value_attr, policy, &mut span, executed)
         }
         PhysicalOp::Scan { rel, attr } => {
             // A bare scan materializes the column as records of one value
@@ -408,6 +487,7 @@ fn group_input(node: &PhysicalNode) -> Result<(RelationId, AttrId)> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_sum(
     engine: &dyn StorageEngine,
     node: &PhysicalNode,
@@ -416,6 +496,7 @@ fn exec_sum(
     pred: Option<Predicate>,
     policy: ThreadingPolicy,
     span: &mut obs::SpanGuard,
+    executed: &mut Route,
 ) -> Result<QueryOutput> {
     if node.route == Route::DevicePipelined {
         let device_result = match pred {
@@ -426,11 +507,14 @@ fn exec_sum(
             Ok(sum) => return Ok(QueryOutput::Sum(sum)),
             // Stale replica, device fault, or no hook: degrade to the host
             // canonical reduction — bit-identical, just differently
-            // priced. Recorded on the span so EXPLAIN shows the miss.
+            // priced. Recorded on the span so EXPLAIN shows the miss, and
+            // on `executed` so calibration attributes the residual to the
+            // route that actually ran.
             Err(e) if !matches!(e, Error::NonNumericAggregate { .. }) => {
                 if span.is_recording() {
                     span.arg("fallback", "host");
                 }
+                *executed = Route::InlineVolcano;
             }
             Err(e) => return Err(e),
         }
@@ -445,6 +529,7 @@ fn exec_sum(
     Ok(QueryOutput::Sum(sum))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_group_sum(
     engine: &dyn StorageEngine,
     node: &PhysicalNode,
@@ -453,6 +538,7 @@ fn exec_group_sum(
     value_attr: AttrId,
     policy: ThreadingPolicy,
     span: &mut obs::SpanGuard,
+    executed: &mut Route,
 ) -> Result<QueryOutput> {
     if node.route == Route::DevicePipelined {
         match engine.device_group_sum(rel, key_attr, value_attr) {
@@ -461,6 +547,7 @@ fn exec_group_sum(
                 if span.is_recording() {
                     span.arg("fallback", "host");
                 }
+                *executed = Route::InlineVolcano;
             }
             Err(e) => return Err(e),
         }
@@ -692,6 +779,35 @@ mod tests {
             }
             other => panic!("expected records, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observed_execution_calibrates_and_triggers_one_replan() {
+        use htapg_core::calibrate::Calibrated;
+        let mut rng = Prng::seed_from_u64(0xA6);
+        let engine = Calibrated::new(Box::new(toy_with_rows(1000, &mut rng)));
+        let profiles = engine.profiles();
+        let logical = LogicalPlan::sum(0, 1);
+        let want = volcano_sum(&engine, 0, 1).unwrap();
+        let mut replans = 0;
+        for round in 0..6 {
+            let out = execute_adaptive(&engine, &logical, ThreadingPolicy::Single).unwrap();
+            assert_eq!(out.output.as_sum().unwrap().to_bits(), want.to_bits(), "round {round}");
+            if out.diverged {
+                replans += 1;
+                assert_eq!(out.replanned, Some(Route::InlineVolcano));
+            }
+        }
+        // The Toy engine is host-only: its work advances no virtual time,
+        // so every actual is 0 against a positive cache-model estimate.
+        // The run that crosses the warm-up threshold flags the stale
+        // estimate once; afterwards the calibrated estimate is ~0 and the
+        // loop is quiet again.
+        assert_eq!(replans, 1, "exactly the warm-up-crossing run diverges");
+        assert_eq!(profiles.observations("plan.aggregate.sum", "inline-volcano"), 6);
+        let plan = engine.plan(&logical).unwrap();
+        assert!(plan.root.raw_estimated_ns > 0, "raw estimate is untouched");
+        assert_eq!(plan.estimated_ns(), 0, "calibrated estimate tracks the observed zero");
     }
 
     #[test]

@@ -148,9 +148,10 @@ pub fn execute_op(engine: &dyn StorageEngine, rel: RelationId, op: &Op) -> Resul
     let _span = obs::span("query", name);
     // The driver's workers are themselves pool tasks, so routed host work
     // stays on the issuing thread rather than re-entering the pool.
-    let result = engine
-        .plan(&logical_for(rel, op))
-        .and_then(|plan| physical::execute(engine, &plan, ThreadingPolicy::Single))
+    // Adaptive execution observes each op's residual into the engine's
+    // calibration profiles (when it has any) and replans on divergence,
+    // so a live mixed workload continuously corrects the cost model.
+    let result = physical::execute_adaptive(engine, &logical_for(rel, op), ThreadingPolicy::Single)
         .map(|_| op.is_analytic());
     if let (Some(clock), Some(v0)) = (clock, v0) {
         let m = driver_metrics();

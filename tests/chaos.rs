@@ -13,7 +13,10 @@
 
 use std::sync::Arc;
 
+use htapg::core::calibrate::Calibrated;
 use htapg::core::engine::StorageEngine;
+use htapg::core::obs::{self, TraceReport, Tracer};
+use htapg::core::plan::{DeviceCostProfile, LogicalPlan, Route};
 use htapg::core::prng::env_seed;
 use htapg::core::wal::{MemStorage, Wal};
 use htapg::core::{DataType, Layout, LayoutTemplate, Record, Schema, Value};
@@ -24,6 +27,8 @@ use htapg::device::{
 };
 use htapg::engines::{Es2Engine, MirrorsEngine, ReferenceEngine};
 use htapg::exec::device_exec::{cached_offload_sum, offload_sum, PipelineConfig};
+use htapg::exec::physical::{self, QueryOutput};
+use htapg::exec::threading::ThreadingPolicy;
 use htapg::workload::tpcc::{item_attr, item_schema, Generator};
 
 /// Escalating fault rates the acceptance criteria call for.
@@ -326,6 +331,121 @@ fn fault_sequences_are_byte_identical_across_runs_of_one_seed() {
     // A different seed shakes a different sequence out of the same ops.
     let (_, _, other) = run_mirrors(seed ^ 0x5EED_CAFE, 0.1);
     assert_ne!(mh1, other, "distinct seeds must produce distinct sequences");
+}
+
+// ---------------------------------------------------------------------
+// (e) Faults × calibration: a device route that degrades to the host
+// fallback must charge its residual to the route that actually ran. The
+// device-pipelined key stays untouched (no poisoning), the host key
+// absorbs every observation, and the trace proves the attribution: each
+// aggregate span carries `fallback=host` and its extracted residual
+// names the host route.
+// ---------------------------------------------------------------------
+
+#[test]
+fn device_faults_do_not_poison_calibration() {
+    let seed = env_seed(DEFAULT_SEED);
+    // Certain transfer faults: every device upload fails terminally, so
+    // every planned device route degrades to the host fallback.
+    let fault_plan =
+        FaultPlan::seeded(seed, FaultRates { device_transfer: 1.0, ..FaultRates::none() });
+    let mut dev = SimDevice::with_defaults();
+    dev.set_fault_plan(fault_plan.clone());
+    // A lying-cheap device profile keeps the uncalibrated planner picking
+    // the device route on every round.
+    let lying = DeviceCostProfile {
+        pcie_bandwidth: 1.0e15,
+        pcie_latency_ns: 1,
+        kernel_launch_ns: 1,
+        mem_bandwidth: 1.0e15,
+        clock_hz: 1.0e15,
+        lanes: 640,
+    };
+    let engine = Calibrated::new(Box::new(ReferenceEngine::with_device(Arc::new(dev))))
+        .with_device_profile(lying);
+    let gen = Generator::new(seed ^ 0xCA1);
+    let rel = engine.create_relation(item_schema()).unwrap();
+    for i in 0..100 {
+        engine.insert(rel, &gen.item(i)).unwrap();
+    }
+    let logical = LogicalPlan::sum(rel, item_attr::I_PRICE);
+    let oracle = physical::volcano_sum(&engine, rel, item_attr::I_PRICE).unwrap();
+
+    let clock = engine.trace_clock().expect("reference engine has a ledger clock");
+    let tracer = Tracer::new(clock);
+    obs::install(tracer.clone());
+    const ROUNDS: u64 = 6;
+    for round in 0..ROUNDS {
+        let plan = engine.plan(&logical).unwrap();
+        assert_eq!(
+            plan.route(),
+            Route::DevicePipelined,
+            "round {round}: the lying profile must keep routing to the device (HTAPG_SEED={seed})"
+        );
+        let out = physical::execute_observed(&engine, &plan, ThreadingPolicy::Single).unwrap();
+        assert_eq!(
+            out.executed_route,
+            Route::InlineVolcano,
+            "round {round}: certain transfer faults must degrade to the host (HTAPG_SEED={seed})"
+        );
+        assert!(!out.diverged, "a fallback never diverges from its own plan (HTAPG_SEED={seed})");
+        match out.output {
+            QueryOutput::Sum(x) => assert_eq!(
+                x.to_bits(),
+                oracle.to_bits(),
+                "round {round}: degraded answer diverged (HTAPG_SEED={seed})"
+            ),
+            other => panic!("sum plan returned {other:?}"),
+        }
+    }
+    obs::uninstall();
+    assert!(
+        fault_plan.ops_at(FaultSite::DeviceTransfer) > 0,
+        "the workload never touched the faulty transfer path (HTAPG_SEED={seed})"
+    );
+
+    // Calibration attribution: the device key was never blamed for the
+    // fault-degraded rounds; the host key absorbed every observation and
+    // its factor stayed sane.
+    let profiles = engine.profiles();
+    assert_eq!(
+        profiles.observations("plan.aggregate.sum", "device-pipelined"),
+        0,
+        "fault-degraded rounds must not poison the device route (HTAPG_SEED={seed})"
+    );
+    assert_eq!(profiles.observations("plan.aggregate.sum", "inline-volcano"), ROUNDS);
+    let factor = profiles.learned_factor("plan.aggregate.sum", "inline-volcano").unwrap();
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "fallback residuals produced a degenerate factor {factor} (HTAPG_SEED={seed})"
+    );
+
+    // The trace agrees: every aggregate span records the degradation, and
+    // the extracted residuals name the route that actually executed.
+    let report = TraceReport::from_spans(tracer.drain());
+    let agg_spans: Vec<_> =
+        report.nodes.iter().filter(|n| n.record.name == "plan.aggregate.sum").collect();
+    assert_eq!(
+        agg_spans.len(),
+        ROUNDS as usize,
+        "one aggregate span per round (HTAPG_SEED={seed})"
+    );
+    for node in &agg_spans {
+        assert!(
+            node.record.args.iter().any(|(k, v)| *k == "fallback" && v == "host"),
+            "aggregate span missing fallback=host: {:?} (HTAPG_SEED={seed})",
+            node.record.args
+        );
+    }
+    let agg_residuals: Vec<_> =
+        report.residuals().into_iter().filter(|r| r.op == "plan.aggregate.sum").collect();
+    assert_eq!(agg_residuals.len(), ROUNDS as usize);
+    for r in &agg_residuals {
+        assert_eq!(
+            r.route, "inline-volcano",
+            "residual attributed to a route that never ran (HTAPG_SEED={seed})"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
