@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [planner] [obs] [ablations] [all]
+//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [delta] [planner] [obs] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
@@ -10,7 +10,7 @@
 //! (else 42); `--trace PATH` writes the obs section's Chrome trace JSON
 //! (open in `chrome://tracing` or Perfetto).
 
-use htapg_bench::{ablation, fig2, gpu_pipeline, obs, planner, pool, render_sweep};
+use htapg_bench::{ablation, delta, fig2, gpu_pipeline, obs, planner, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -299,6 +299,46 @@ fn main() {
         );
         let path = "BENCH_gpu_pipeline.json";
         match std::fs::write(path, gpu_pipeline::to_json(&points)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    if want("delta") {
+        section("Delta shipping — warm analytic latency under a rising write rate");
+        println!(
+            "(two identical reference engines, delta shipping on vs off; the\n\
+             cost ledger measures each warm device sum in virtual ns)\n"
+        );
+        let points = delta::measure(seed, quick);
+        let rows: Vec<(u64, Vec<f64>)> = points
+            .iter()
+            .map(|p| (p.writes_per_query, vec![p.ship_ns as f64, p.cliff_ns as f64]))
+            .collect();
+        print!(
+            "{}",
+            render_sweep(
+                "warm f64 column sum under writes, virtual ns",
+                "#writes/query",
+                &["ship", "cliff"],
+                &rows,
+            )
+        );
+        for p in &points {
+            println!(
+                "W={:>5}: shipped {} delta bytes vs {} re-upload bytes",
+                p.writes_per_query, p.ship_delta_bytes, p.cliff_bytes_to_device
+            );
+        }
+        println!(
+            "latency flat under writes (<=1.5x no-write warm): {}",
+            if delta::latency_flat_under_writes(&points) { "YES" } else { "NO (regression!)" }
+        );
+        println!(
+            "delta traffic undercuts re-uploads: {}",
+            if delta::delta_beats_reupload(&points) { "YES" } else { "NO (regression!)" }
+        );
+        let path = "BENCH_delta.json";
+        match std::fs::write(path, delta::to_json(seed, delta::table_rows(quick), &points)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => println!("could not write {path}: {e}"),
         }

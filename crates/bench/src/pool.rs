@@ -26,34 +26,43 @@ pub struct PoolPoint {
     pub spawn_ms: f64,
 }
 
-/// The standard sweep ladder (1e3 .. 1e7 rows); `quick` stops at 1e5.
+/// The standard sweep ladder (1e3 .. 3e7 rows); `quick` stops at 1e5. The
+/// ladder extends past 1e7 because that is where memory bandwidth — not
+/// claim traffic — finally separates the pooled executor from `Single` on
+/// typical hosts.
 pub fn sweep_sizes(quick: bool) -> Vec<u64> {
-    let all = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000];
+    let all = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000, 30_000_000];
     let n = if quick { 3 } else { all.len() };
     all[..n].to_vec()
 }
 
-/// Time a f64 column sum under all three executors at each size.
+/// Time a f64 column sum under all three executors at each size. Every
+/// executor's result goes through [`std::hint::black_box`]: the sequential
+/// fold has no side effects, so without the sink the optimizer deletes the
+/// very sum being timed and `single_ms` measures an empty loop — the bug
+/// that kept `pooled_beats_single_at_rows` pinned at null.
 pub fn measure(sizes: &[u64], reps: usize) -> Vec<PoolPoint> {
+    use std::hint::black_box;
     sizes
         .iter()
         .map(|&rows| {
             let data: Vec<f64> = (0..rows).map(|i| (i % 97) as f64 * 0.5).collect();
             let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
             let single_ms = min_time_ms(reps, || {
-                run_blocks(rows, ThreadingPolicy::Single, work, |a, b| a + b, 0.0)
+                black_box(run_blocks(rows, ThreadingPolicy::Single, work, |a, b| a + b, 0.0))
             });
             let pooled_ms = min_time_ms(reps, || {
-                run_blocks(
+                black_box(run_blocks(
                     rows,
                     ThreadingPolicy::Multi { threads: THREADS },
                     work,
                     |a, b| a + b,
                     0.0,
-                )
+                ))
             });
-            let spawn_ms =
-                min_time_ms(reps, || spawn_blocks(rows, THREADS, work, |a, b| a + b, 0.0));
+            let spawn_ms = min_time_ms(reps, || {
+                black_box(spawn_blocks(rows, THREADS, work, |a, b| a + b, 0.0))
+            });
             PoolPoint { rows, single_ms, pooled_ms, spawn_ms }
         })
         .collect()

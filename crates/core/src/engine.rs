@@ -176,7 +176,7 @@ pub trait StorageEngine: Send + Sync {
         let rows = self.row_count(rel)?;
         let contiguous = self.capabilities().contiguous_scan;
         let scan_stride = if contiguous { ty.width() as u64 } else { schema.tuple_width() as u64 };
-        Ok(ColumnEvidence { rows, ty, scan_stride, contiguous, device_warm: false })
+        Ok(ColumnEvidence { rows, ty, scan_stride, contiguous, device_warm: false, stale_rows: 0 })
     }
 
     /// Evidence for record-centric nodes (materialize, point reads).

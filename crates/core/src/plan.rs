@@ -409,7 +409,27 @@ impl DeviceCostProfile {
         self.transfer_ns(rows * 8).max(self.reduce_pass1_ns(rows, predicated))
             + self.reduce_final_ns(rows)
     }
+
+    /// Cost of summing a delta-stale replica: ship `stale_rows` coalesced
+    /// `(row, value)` pairs over PCIe overlapped with the scatter kernel,
+    /// then the warm-replica reduction. Crosses over `cold_sum_ns` once
+    /// the pair bytes approach the full column (≈ half the rows, since a
+    /// pair is twice a value).
+    pub fn delta_merge_sum_ns(&self, rows: u64, stale_rows: u64, predicated: bool) -> u64 {
+        let ship = self.transfer_ns(stale_rows * DELTA_PAIR_BYTES);
+        let scatter = self.kernel_ns(
+            REDUCE_GRID * REDUCE_BLOCK,
+            stale_rows.max(1),
+            8.0,
+            stale_rows * (DELTA_PAIR_BYTES + 8),
+        );
+        ship.max(scatter) + self.warm_sum_ns(rows, predicated)
+    }
 }
+
+/// Bytes per shipped delta pair (`u64` row + `f64` value) — must match the
+/// device-side encoding in `htapg_device::kernels`.
+pub const DELTA_PAIR_BYTES: u64 = 16;
 
 /// Per-column evidence the router prices scans from. The default engine
 /// implementation derives it statically from capabilities and schema;
@@ -427,6 +447,11 @@ pub struct ColumnEvidence {
     pub contiguous: bool,
     /// A fresh device replica exists (zero upload bytes to use it).
     pub device_warm: bool,
+    /// A *stale* device replica exists whose pending delta log covers this
+    /// many rows — a delta merge can refresh it for `stale_rows *`
+    /// [`DELTA_PAIR_BYTES`] PCIe bytes instead of a full re-upload. Zero
+    /// when the replica is fresh, absent, or unmergeable.
+    pub stale_rows: u64,
 }
 
 impl ColumnEvidence {
@@ -701,14 +726,28 @@ fn plan_aggregate(
                             total_cal = warm_cal;
                         }
                     } else {
+                        // Three-way pricing: a delta merge (when a stale
+                        // replica is mergeable) vs. a full re-upload, and
+                        // the winner vs. the host fallback.
                         let cold = d.cold_sum_ns(ev.rows, predicated);
                         let cold_cal = cx.calibrated(&agg_op, dev_r, cold);
-                        if cold_cal < host_cal {
+                        let (dev_raw, dev_cal, dev_bytes) = if ev.stale_rows > 0 {
+                            let merge = d.delta_merge_sum_ns(ev.rows, ev.stale_rows, predicated);
+                            let merge_cal = cx.calibrated(&agg_op, dev_r, merge);
+                            if merge_cal <= cold_cal {
+                                (merge, merge_cal, ev.stale_rows * DELTA_PAIR_BYTES)
+                            } else {
+                                (cold, cold_cal, ev.rows * 8)
+                            }
+                        } else {
+                            (cold, cold_cal, ev.rows * 8)
+                        };
+                        if dev_cal < host_cal {
                             route = dev_r;
-                            bytes = ev.rows * 8;
+                            bytes = dev_bytes;
                             scan_raw = d.transfer_ns(bytes);
-                            total_raw = cold;
-                            total_cal = cold_cal;
+                            total_raw = dev_raw;
+                            total_cal = dev_cal;
                         }
                     }
                 }
@@ -841,6 +880,7 @@ mod tests {
             scan_stride: if contiguous { 8 } else { 64 },
             contiguous,
             device_warm: warm,
+            stale_rows: 0,
         }
     }
 
@@ -984,6 +1024,7 @@ mod tests {
                 scan_stride: 8,
                 contiguous: true,
                 device_warm: false,
+                stale_rows: 0,
             })
         };
         let mut tab = |_r| Ok(TableEvidence { rows: 10, record_width: 16, contiguous_nsm: false });
@@ -1101,6 +1142,7 @@ mod tests {
                 scan_stride: 8,
                 contiguous: true,
                 device_warm: false,
+                stale_rows: 0,
             })
         };
         let mut tab =

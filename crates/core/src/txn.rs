@@ -171,6 +171,10 @@ struct Version<V> {
     end: u64,
 }
 
+/// Committed `(key, value)` pairs in write order (`None` = tombstone),
+/// as returned by [`MvStore::commit_with_writes`].
+pub type CommittedWrites<K, V> = Vec<(K, Option<V>)>;
+
 /// A multi-versioned key-value store bound to a [`TxnManager`].
 #[derive(Debug)]
 pub struct MvStore<K, V> {
@@ -275,6 +279,14 @@ impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
     /// between "clock advanced" and "versions stamped" — the atomicity a
     /// multi-key transaction needs against concurrent as-of scans.
     pub fn commit(&self, txn: &Txn) -> Result<Timestamp> {
+        Ok(self.commit_with_writes(txn)?.0)
+    }
+
+    /// Commit `txn`'s writes, additionally returning the committed
+    /// `(key, value)` pairs (`None` value = tombstone) in write order —
+    /// the delta a downstream replica (e.g. a device-resident column copy)
+    /// needs to catch up without rescanning the store.
+    pub fn commit_with_writes(&self, txn: &Txn) -> Result<(Timestamp, CommittedWrites<K, V>)> {
         let keys = {
             let mut sets = self.write_sets.lock();
             sets.remove(&txn.id).unwrap_or_default()
@@ -290,11 +302,13 @@ impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
                 return Err(e);
             }
         };
+        let mut writes = Vec::with_capacity(keys.len());
         for key in keys {
             if let Some(chain) = chains.get_mut(&key) {
                 for v in chain.iter_mut() {
                     if is_pending(v.begin) && pending_txn(v.begin) == txn.id {
                         v.begin = ts;
+                        writes.push((key.clone(), v.value.clone()));
                     }
                     if is_pending(v.end) && pending_txn(v.end) == txn.id {
                         v.end = ts;
@@ -302,7 +316,7 @@ impl<K: Hash + Eq + Clone, V: Clone> MvStore<K, V> {
                 }
             }
         }
-        Ok(ts)
+        Ok((ts, writes))
     }
 
     /// Abort `txn`, rolling back its pending versions.

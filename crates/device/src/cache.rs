@@ -4,9 +4,18 @@
 //! 80 MB over PCIe for every query is the Figure 2 panel-3 tax. The cache
 //! keeps packed columns device-resident keyed by `(relation, attr)` with a
 //! *version* stamp: a write through the engine bumps the version, so the
-//! next lookup sees a stale entry, frees it, and re-uploads — panel-4
-//! ("data already device-resident") becomes the steady state for repeat
-//! queries.
+//! next lookup sees a stale entry — panel-4 ("data already
+//! device-resident") becomes the steady state for repeat queries.
+//!
+//! Writes no longer have to re-pay the full upload (the *invalidation
+//! cliff*): engines append `(row, value)` deltas to a per-column log via
+//! [`DeviceColumnCache::append_delta`], the stale replica stays resident,
+//! and [`DeviceColumnCache::merge_deltas`] ships the coalesced log over
+//! the copy stream (double-buffered against the scatter kernel, bytes
+//! charged as `delta_bytes` on the ledger) to stamp the replica fresh —
+//! Polynesia's update-propagation path between the transactional and
+//! analytical islands. A version *gap* (bulk insert, missed commits)
+//! still drops the replica.
 //!
 //! Capacity pressure is handled with LRU eviction through the device's
 //! all-or-nothing allocator: when an upload fails with
@@ -20,12 +29,15 @@
 //! they save.
 
 use htapg_core::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 
+use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::{obs, AttrId, Error, RelationId, Result};
 
+use crate::kernels;
 use crate::memory::{BufferId, SimDevice};
+use crate::stream::{sync_streams, SimStream, StreamEvent};
 
 /// Registry handles for cache events, resolved once (hot path stays a
 /// single atomic add per event).
@@ -62,12 +74,68 @@ struct Entry {
     bytes: usize,
     /// Recency stamp from the cache's logical clock (larger = more recent).
     used_at: u64,
+    /// Version the pending delta log brings this replica up to. Fresh
+    /// entries have `target_version == version` and an empty log; a stale
+    /// entry (`version < target_version`) stays resident and mergeable.
+    target_version: u64,
+    /// Pending `(row → latest f64 value)` deltas, coalesced per row.
+    deltas: BTreeMap<u64, f64>,
 }
 
-#[derive(Debug, Default)]
+impl Entry {
+    fn is_stale(&self) -> bool {
+        self.version != self.target_version
+    }
+}
+
+#[derive(Debug)]
 struct CacheState {
     entries: HashMap<ColumnKey, Entry>,
     clock: u64,
+    /// When off, [`DeviceColumnCache::append_delta`] reverts to the pre-
+    /// delta-shipping behaviour (drop the replica — the invalidation
+    /// cliff). The benches flip this for A/B comparison.
+    ship_deltas: bool,
+}
+
+impl Default for CacheState {
+    fn default() -> Self {
+        CacheState { entries: HashMap::new(), clock: 0, ship_deltas: true }
+    }
+}
+
+/// How shipped deltas reach the device replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaTransport {
+    /// Encode `(row, value)` pairs host-side and ship them over the copy
+    /// stream (PCIe bytes charged, counted as `delta_bytes`), double-
+    /// buffered against the scatter kernel on the compute stream.
+    Pcie,
+    /// The authoritative data already lives on the device (GPUTx):
+    /// scatter directly, kernel time only, zero PCIe bytes.
+    DeviceLocal,
+}
+
+/// Staleness peek for the planner's evidence surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleInfo {
+    /// Rows whose device copy is behind (pending coalesced deltas). Zero
+    /// means the replica is fresh at the asked version.
+    pub stale_rows: u64,
+    /// Total rows in the replica.
+    pub rows: u64,
+}
+
+/// Delta pairs shipped per staged chunk (64 KB of 16-byte records).
+const DELTA_CHUNK_PAIRS: usize = 4096;
+
+fn encode_pairs(pairs: &[(u64, f64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pairs.len() * kernels::DELTA_PAIR_BYTES);
+    for &(row, value) in pairs {
+        out.extend_from_slice(&row.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+    out
 }
 
 /// LRU cache of device-resident packed columns (see module docs).
@@ -116,8 +184,11 @@ impl DeviceColumnCache {
     }
 
     /// Look up a column at `version`. A fresh entry counts a hit and
-    /// refreshes recency; a stale entry (any other version) is freed and
-    /// removed. Both stale and absent count a miss.
+    /// refreshes recency. A *delta-stale* entry — one whose pending delta
+    /// log reaches exactly `version` — counts a miss but **stays
+    /// resident** (merge it with [`Self::merge_deltas`] or replace it via
+    /// [`Self::get_or_insert_with`]). Any other version mismatch is freed
+    /// and removed; absent and stale both count a miss.
     pub fn lookup(
         &self,
         rel: RelationId,
@@ -136,10 +207,34 @@ impl DeviceColumnCache {
     ) -> Result<Option<CachedColumn>> {
         state.clock += 1;
         let clock = state.clock;
-        let fresh = state.entries.get(&(rel, attr)).map(|e| e.version == version);
-        match fresh {
-            Some(true) => {
+        #[derive(PartialEq)]
+        enum Status {
+            Fresh,
+            /// Empty delta log already at `version`: stamp and hit.
+            Stampable,
+            /// Pending deltas reach `version`: keep resident, miss.
+            DeltaStale,
+            /// Unmergeable version mismatch: drop (the old cliff).
+            Gap,
+        }
+        let ship = state.ship_deltas;
+        let status = state.entries.get(&(rel, attr)).map(|e| {
+            if e.version == version {
+                Status::Fresh
+            } else if ship && e.target_version == version {
+                if e.deltas.is_empty() {
+                    Status::Stampable
+                } else {
+                    Status::DeltaStale
+                }
+            } else {
+                Status::Gap
+            }
+        });
+        match status {
+            Some(Status::Fresh) | Some(Status::Stampable) => {
                 let e = state.entries.get_mut(&(rel, attr)).expect("entry just seen");
+                e.version = version;
                 e.used_at = clock;
                 self.device.ledger().record_cache_hit();
                 counters().hits.inc();
@@ -152,7 +247,26 @@ impl DeviceColumnCache {
                 }
                 Ok(Some(CachedColumn { buf: e.buf, rows: e.rows }))
             }
-            Some(false) => {
+            Some(Status::DeltaStale) => {
+                let stale_rows =
+                    state.entries.get(&(rel, attr)).expect("entry just seen").deltas.len();
+                self.device.ledger().record_cache_miss();
+                counters().misses.inc();
+                if obs::enabled() {
+                    obs::instant_with(
+                        "cache",
+                        "cache.miss",
+                        &[
+                            ("rel", &rel.to_string()),
+                            ("attr", &attr.to_string()),
+                            ("stale", "1"),
+                            ("stale_rows", &stale_rows.to_string()),
+                        ],
+                    );
+                }
+                Ok(None)
+            }
+            Some(Status::Gap) => {
                 let e = state.entries.remove(&(rel, attr)).expect("entry just seen");
                 self.device.free(e.buf)?;
                 self.device.ledger().record_cache_miss();
@@ -204,15 +318,23 @@ impl DeviceColumnCache {
         if let Some(hit) = self.lookup_locked(&mut state, rel, attr, version)? {
             return Ok(hit);
         }
+        // A delta-stale replica may still be resident; this is the full
+        // re-upload path, so free it first rather than holding both copies.
+        if let Some(old) = state.entries.remove(&(rel, attr)) {
+            self.device.free(old.buf)?;
+        }
         let buf = loop {
             match upload() {
                 Ok(buf) => break buf,
                 Err(Error::DeviceOutOfMemory { .. }) if may_evict => {
+                    // Delta-stale replicas are cheaper to lose than fresh
+                    // ones (they'd need a merge before use), so they go
+                    // first; fresh entries fall back to LRU order.
                     let victim = state
                         .entries
                         .iter()
                         .filter(|(k, _)| **k != (rel, attr))
-                        .min_by_key(|(_, e)| e.used_at)
+                        .min_by_key(|(_, e)| (!e.is_stale(), e.used_at))
                         .map(|(k, _)| *k);
                     match victim {
                         Some(k) => {
@@ -246,13 +368,258 @@ impl DeviceColumnCache {
         state.clock += 1;
         let clock = state.clock;
         let bytes = self.device.buffer_len(buf)?;
-        if let Some(old) =
-            state.entries.insert((rel, attr), Entry { version, buf, rows, bytes, used_at: clock })
-        {
+        if let Some(old) = state.entries.insert(
+            (rel, attr),
+            Entry {
+                version,
+                buf,
+                rows,
+                bytes,
+                used_at: clock,
+                target_version: version,
+                deltas: BTreeMap::new(),
+            },
+        ) {
             // Unreachable under the lock, but never leak a replaced buffer.
             self.device.free(old.buf)?;
         }
         Ok(CachedColumn { buf, rows })
+    }
+
+    /// Toggle delta shipping. When off, [`Self::append_delta`] drops the
+    /// replica instead (the pre-delta invalidation cliff) and delta-stale
+    /// lookups stop keeping entries resident — the benches A/B against
+    /// exactly this.
+    pub fn set_delta_shipping(&self, on: bool) {
+        self.state.lock().ship_deltas = on;
+    }
+
+    /// Record one engine write: row `row` of `(rel, attr)` now holds
+    /// `value` as of `new_version`. If a replica is resident and its delta
+    /// log is contiguous with `new_version` (same commit batch, or the
+    /// immediately next version), the delta is coalesced into the log and
+    /// the replica stays resident-but-stale; any version gap — or delta
+    /// shipping being off — drops the replica as before. No-op when the
+    /// column is not resident.
+    pub fn append_delta(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        row: u64,
+        value: f64,
+        new_version: u64,
+    ) -> Result<()> {
+        let mut state = self.state.lock();
+        let ship = state.ship_deltas;
+        let Some(e) = state.entries.get_mut(&(rel, attr)) else {
+            return Ok(());
+        };
+        if ship && (e.target_version == new_version || e.target_version + 1 == new_version) {
+            e.deltas.insert(row, value);
+            e.target_version = new_version;
+            if obs::enabled() {
+                obs::instant_with(
+                    "delta",
+                    "delta.append",
+                    &[
+                        ("rel", &rel.to_string()),
+                        ("attr", &attr.to_string()),
+                        ("pending", &e.deltas.len().to_string()),
+                    ],
+                );
+            }
+            Ok(())
+        } else {
+            let e = state.entries.remove(&(rel, attr)).expect("entry just seen");
+            self.device.free(e.buf)
+        }
+    }
+
+    /// Advance resident replicas of `rel` across a commit that moved the
+    /// relation to `new_version` but did not touch their attrs: the delta
+    /// log is still contiguous, and an empty log means the replica is
+    /// fresh at the new version for free.
+    pub fn note_commit(&self, rel: RelationId, new_version: u64, touched: &[AttrId]) {
+        let mut state = self.state.lock();
+        if !state.ship_deltas {
+            return;
+        }
+        for ((r, a), e) in state.entries.iter_mut() {
+            if *r == rel && !touched.contains(a) && e.target_version + 1 == new_version {
+                e.target_version = new_version;
+                if e.deltas.is_empty() {
+                    e.version = new_version;
+                }
+            }
+        }
+    }
+
+    /// Staleness peek for `(rel, attr)` at `version`: `Some` iff a replica
+    /// is resident and reachable at that version (fresh ⇒ `stale_rows ==
+    /// 0`; delta-stale ⇒ the pending coalesced row count). `None` means
+    /// only a full upload can produce `version`. No counters, no recency.
+    pub fn stale_info(&self, rel: RelationId, attr: AttrId, version: u64) -> Option<StaleInfo> {
+        let state = self.state.lock();
+        state.entries.get(&(rel, attr)).and_then(|e| {
+            if e.version == version {
+                Some(StaleInfo { stale_rows: 0, rows: e.rows })
+            } else if state.ship_deltas && e.target_version == version {
+                Some(StaleInfo { stale_rows: e.deltas.len() as u64, rows: e.rows })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Bring a delta-stale replica of `(rel, attr)` up to `version` by
+    /// shipping its pending deltas and scattering them device-side, then
+    /// stamp it fresh. Fresh replicas return immediately; a replica whose
+    /// log does not reach `version` is an error (re-upload instead).
+    ///
+    /// Over [`DeltaTransport::Pcie`] the pairs are staged in 64 KB chunks,
+    /// double-buffered: chunk N uploads on the copy stream while chunk
+    /// N−1's scatter kernel runs on the compute stream; shipped bytes are
+    /// charged to the ledger as both `bytes_to_device` and `delta_bytes`.
+    /// [`DeltaTransport::DeviceLocal`] skips the staging writes (kernel
+    /// time only).
+    ///
+    /// Failure safety: the version stamp and the delta log are updated
+    /// only after every chunk landed, so a faulted transfer leaves the
+    /// replica at its old version with the full log intact — readers (who
+    /// ask for the *current* version) never see a partially-merged
+    /// replica, and because the scatter writes coalesced latest-values, a
+    /// retry that replays every pair converges to exactly the bytes of a
+    /// fresh upload.
+    pub fn merge_deltas(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+        version: u64,
+        transport: DeltaTransport,
+    ) -> Result<CachedColumn> {
+        let mut state = self.state.lock();
+        let Some(e) = state.entries.get(&(rel, attr)) else {
+            return Err(Error::Internal("no resident replica to merge into".into()));
+        };
+        let (buf, rows) = (e.buf, e.rows);
+        if e.version == version {
+            return Ok(CachedColumn { buf, rows });
+        }
+        if e.target_version != version {
+            return Err(Error::Internal("delta log does not reach the requested version".into()));
+        }
+        let pairs: Vec<(u64, f64)> = e.deltas.iter().map(|(&r, &v)| (r, v)).collect();
+        if !pairs.is_empty() {
+            self.ship_pairs(buf, &pairs, transport)?;
+        }
+        let e = state.entries.get_mut(&(rel, attr)).expect("entry held under lock");
+        e.version = version;
+        e.deltas.clear();
+        self.device.ledger().record_delta_merge();
+        if obs::enabled() {
+            obs::instant_with(
+                "delta",
+                "delta.merge.done",
+                &[
+                    ("rel", &rel.to_string()),
+                    ("attr", &attr.to_string()),
+                    ("pairs", &pairs.len().to_string()),
+                    ("bytes", &(pairs.len() * kernels::DELTA_PAIR_BYTES).to_string()),
+                ],
+            );
+        }
+        Ok(CachedColumn { buf, rows })
+    }
+
+    /// The transport core of [`Self::merge_deltas`] (state lock held by
+    /// the caller; only device memory and streams are touched here).
+    fn ship_pairs(
+        &self,
+        replica: BufferId,
+        pairs: &[(u64, f64)],
+        transport: DeltaTransport,
+    ) -> Result<()> {
+        let device = &*self.device;
+        let policy = RetryPolicy::default();
+        let mut compute = SimStream::new(device);
+        match transport {
+            DeltaTransport::DeviceLocal => {
+                for batch in pairs.chunks(DELTA_CHUNK_PAIRS) {
+                    with_retry(&policy, device.ledger(), || {
+                        kernels::scatter_deltas_f64(&mut compute, replica, batch)
+                    })?;
+                }
+                sync_streams(device, &[&compute]);
+                Ok(())
+            }
+            DeltaTransport::Pcie => {
+                let mut copy = SimStream::new(device);
+                let chunk = DELTA_CHUNK_PAIRS.min(pairs.len());
+                let stag0 = device.alloc(chunk * kernels::DELTA_PAIR_BYTES)?;
+                let stag1 = match device.alloc(chunk * kernels::DELTA_PAIR_BYTES) {
+                    Ok(b) => b,
+                    Err(err) => {
+                        let _ = device.free(stag0);
+                        return Err(err);
+                    }
+                };
+                let staging = [stag0, stag1];
+                let trace_epoch = obs::current().map(|t| t.now_ns());
+                let mut scatter_done: [Option<StreamEvent>; 2] = [None, None];
+                let result = (|| -> Result<()> {
+                    for (i, batch) in pairs.chunks(DELTA_CHUNK_PAIRS).enumerate() {
+                        let slot = i % 2;
+                        // The staging buffer is reused once the scatter
+                        // that read it has retired (double buffering).
+                        if let Some(ev) = scatter_done[slot] {
+                            copy.wait(ev);
+                        }
+                        let encoded = encode_pairs(batch);
+                        let c0 = copy.cursor_ns();
+                        with_retry(&policy, device.ledger(), || {
+                            copy.write(staging[slot], 0, &encoded)
+                        })?;
+                        device.ledger().record_delta_bytes(encoded.len() as u64);
+                        if let Some(epoch) = trace_epoch {
+                            obs::span_at(
+                                "delta",
+                                "delta.copy.chunk",
+                                "delta.copy",
+                                epoch + c0,
+                                epoch + copy.cursor_ns(),
+                            );
+                        }
+                        compute.wait(copy.record());
+                        let k0 = compute.cursor_ns();
+                        with_retry(&policy, device.ledger(), || {
+                            kernels::merge_deltas_f64(
+                                &mut compute,
+                                replica,
+                                staging[slot],
+                                batch.len(),
+                            )
+                        })?;
+                        if let Some(epoch) = trace_epoch {
+                            obs::span_at(
+                                "delta",
+                                "delta.merge.chunk",
+                                "delta.merge",
+                                epoch + k0,
+                                epoch + compute.cursor_ns(),
+                            );
+                        }
+                        scatter_done[slot] = Some(compute.record());
+                    }
+                    Ok(())
+                })();
+                for buf in staging {
+                    let _ = device.free(buf);
+                }
+                result?;
+                sync_streams(device, &[&copy, &compute]);
+                Ok(())
+            }
+        }
     }
 
     /// Drop the entry for one column, freeing its device memory. No-op if
@@ -407,6 +774,151 @@ mod tests {
         assert!(matches!(err, Error::DeviceOutOfMemory { .. }));
         assert!(c.is_empty());
         assert_eq!(c.device().used_bytes(), 0, "failed insert leaks nothing");
+    }
+
+    fn pack(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn delta_stale_replica_stays_resident_and_merges_bit_identically() {
+        let c = cache_with(DeviceSpec::default());
+        let mut values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let bytes = pack(&values);
+        c.get_or_insert_with(1, 0, 1, 1000, true, || c.device().upload(&bytes)).unwrap();
+        let resident = c.resident_bytes();
+        // Writes: coalesced per row, replica stays resident but stale.
+        c.append_delta(1, 0, 7, 70.5, 2).unwrap();
+        c.append_delta(1, 0, 900, -3.25, 2).unwrap();
+        c.append_delta(1, 0, 7, 71.5, 3).unwrap();
+        values[7] = 71.5;
+        values[900] = -3.25;
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), resident, "stale replica still counted");
+        assert_eq!(c.device().used_bytes(), c.resident_bytes());
+        assert!(c.lookup(1, 0, 3).unwrap().is_none(), "stale is a miss, not a hit");
+        assert_eq!(c.len(), 1, "but the replica survived the miss");
+        let info = c.stale_info(1, 0, 3).unwrap();
+        assert_eq!((info.stale_rows, info.rows), (2, 1000));
+        assert!(c.stale_info(1, 0, 9).is_none(), "unreachable version needs an upload");
+        // Merge ships 2 coalesced pairs and stamps the replica fresh.
+        let before = c.device().ledger().snapshot();
+        let col = c.merge_deltas(1, 0, 3, DeltaTransport::Pcie).unwrap();
+        let delta = c.device().ledger().snapshot().since(&before);
+        assert_eq!(delta.delta_bytes, 2 * 16);
+        assert_eq!(delta.bytes_to_device, 2 * 16, "only the pairs crossed PCIe");
+        assert_eq!(delta.delta_merges, 1);
+        assert!(delta.kernel_launches >= 1);
+        assert!(delta.wall_ns > 0, "merge lands on the wall clock");
+        assert!(c.lookup(1, 0, 3).unwrap().is_some(), "fresh after merge");
+        let merged = c.device().download(col.buf).unwrap();
+        assert_eq!(merged, pack(&values), "bit-identical to a fresh upload");
+        // Re-merging at the same version is free.
+        let before = c.device().ledger().snapshot();
+        c.merge_deltas(1, 0, 3, DeltaTransport::Pcie).unwrap();
+        assert_eq!(c.device().ledger().snapshot().since(&before), Default::default());
+    }
+
+    #[test]
+    fn device_local_merge_ships_zero_pcie_bytes() {
+        let c = cache_with(DeviceSpec::default());
+        let bytes = pack(&[1.0, 2.0, 3.0]);
+        c.get_or_insert_with(1, 0, 1, 3, true, || c.device().upload(&bytes)).unwrap();
+        c.append_delta(1, 0, 2, 30.0, 2).unwrap();
+        let before = c.device().ledger().snapshot();
+        let col = c.merge_deltas(1, 0, 2, DeltaTransport::DeviceLocal).unwrap();
+        let delta = c.device().ledger().snapshot().since(&before);
+        assert_eq!(delta.bytes_to_device, 0);
+        assert_eq!(delta.delta_bytes, 0);
+        assert_eq!(delta.delta_merges, 1);
+        assert_eq!(delta.kernel_launches, 1);
+        let merged = c.device().download(col.buf).unwrap();
+        assert_eq!(merged, pack(&[1.0, 2.0, 30.0]));
+    }
+
+    #[test]
+    fn version_gap_still_drops_the_replica() {
+        let c = cache_with(DeviceSpec::default());
+        let bytes = pack(&[1.0; 10]);
+        c.get_or_insert_with(1, 0, 1, 10, true, || c.device().upload(&bytes)).unwrap();
+        // Version jumps 1 → 3 (e.g. an insert bumped without deltas).
+        c.append_delta(1, 0, 0, 9.0, 3).unwrap();
+        assert!(c.is_empty(), "gap is unmergeable; the old cliff applies");
+        assert_eq!(c.device().used_bytes(), 0);
+    }
+
+    #[test]
+    fn shipping_disabled_reverts_to_the_invalidation_cliff() {
+        let c = cache_with(DeviceSpec::default());
+        let bytes = pack(&[1.0; 10]);
+        c.set_delta_shipping(false);
+        c.get_or_insert_with(1, 0, 1, 10, true, || c.device().upload(&bytes)).unwrap();
+        c.append_delta(1, 0, 3, 5.0, 2).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.device().used_bytes(), 0);
+    }
+
+    #[test]
+    fn note_commit_advances_untouched_replicas_for_free() {
+        let c = cache_with(DeviceSpec::default());
+        let bytes = pack(&[1.0; 10]);
+        c.get_or_insert_with(1, 0, 1, 10, true, || c.device().upload(&bytes)).unwrap();
+        c.get_or_insert_with(1, 1, 1, 10, true, || c.device().upload(&bytes)).unwrap();
+        // Commit to version 2 touches only attr 0.
+        c.append_delta(1, 0, 4, 2.0, 2).unwrap();
+        c.note_commit(1, 2, &[0]);
+        assert!(c.lookup(1, 1, 2).unwrap().is_some(), "untouched attr advanced for free");
+        assert!(c.lookup(1, 0, 2).unwrap().is_none(), "touched attr needs a merge");
+        assert_eq!(c.stale_info(1, 0, 2).unwrap().stale_rows, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_stale_replicas_over_lru_order() {
+        // Same geometry as the LRU test, but attr 1 — the most recently
+        // used column — is delta-stale and must be the victim anyway.
+        let c = cache_with(DeviceSpec::tiny());
+        let n = 40 * 1024 / 8;
+        for attr in 0..3u16 {
+            c.get_or_insert_with(1, attr, 1, n as u64, true, || {
+                c.device().upload(&col_bytes(n, attr as u8))
+            })
+            .unwrap();
+        }
+        c.lookup(1, 0, 1).unwrap().unwrap();
+        c.lookup(1, 1, 1).unwrap().unwrap();
+        c.lookup(1, 2, 1).unwrap().unwrap();
+        c.append_delta(1, 1, 0, 9.0, 2).unwrap();
+        assert_eq!(c.resident_bytes(), 3 * n * 8, "stale entry still counted");
+        let filler = c.device().alloc(1024 * 1024 - 140 * 1024).unwrap();
+        c.get_or_insert_with(1, 3, 1, n as u64, true, || c.device().upload(&col_bytes(n, 9)))
+            .unwrap();
+        assert_eq!(c.resident_attrs(1), vec![0, 2, 3], "stale attr 1 evicted first");
+        assert_eq!(c.device().ledger().snapshot().cache_evictions, 1);
+        assert_eq!(c.device().used_bytes() - (1024 * 1024 - 140 * 1024), c.resident_bytes());
+        c.device().free(filler).unwrap();
+    }
+
+    #[test]
+    fn faulted_merge_leaves_old_version_and_no_phantom_bytes() {
+        use crate::faults::{FaultPlan, FaultRates};
+        let mut d = SimDevice::new(0, DeviceSpec::default());
+        d.set_fault_plan(FaultPlan::seeded(
+            11,
+            FaultRates { device_transfer: 1.0, ..FaultRates::none() },
+        ));
+        let c = DeviceColumnCache::new(Arc::new(d));
+        // Seed the replica device-side (no PCIe write → no fault roll).
+        let buf = c.device().alloc(10 * 8).unwrap();
+        c.get_or_insert_with(1, 0, 1, 10, true, || Ok(buf)).unwrap();
+        let resident = c.resident_bytes();
+        c.append_delta(1, 0, 3, 5.0, 2).unwrap();
+        let err = c.merge_deltas(1, 0, 2, DeltaTransport::Pcie).unwrap_err();
+        assert!(matches!(err, Error::Transient { .. }));
+        assert!(c.contains(1, 0, 1), "replica still at the old version");
+        assert!(!c.contains(1, 0, 2), "partially-merged version never visible");
+        assert_eq!(c.stale_info(1, 0, 2).unwrap().stale_rows, 1, "log intact for retry");
+        assert_eq!(c.device().used_bytes(), resident, "staging freed, no phantom bytes");
+        assert_eq!(c.device().ledger().snapshot().delta_merges, 0);
     }
 
     #[test]

@@ -316,6 +316,77 @@ pub fn gather(
     Ok(result)
 }
 
+/// Byte width of one shipped delta pair: `(u64 row, f64 value)`.
+pub const DELTA_PAIR_BYTES: usize = 16;
+
+/// Scatter a staged batch of delta pairs into a device-resident packed
+/// `f64` column. `staging` holds `pairs` packed little-endian
+/// `(u64 row, f64 value)` records ([`DELTA_PAIR_BYTES`] each); each value
+/// is written at `row * 8` in `replica`. One launch on `stream`; rows
+/// beyond the replica are [`Error::UnknownRow`] and leave the ledger
+/// uncharged. The scatter is idempotent: replaying the same pairs after a
+/// partial failure converges to the same bytes.
+pub fn merge_deltas_f64(
+    stream: &mut SimStream<'_>,
+    replica: BufferId,
+    staging: BufferId,
+    pairs: usize,
+) -> Result<()> {
+    let device = stream.device();
+    let decoded = device.with_buffer(staging, |bytes| {
+        if bytes.len() < pairs * DELTA_PAIR_BYTES {
+            return Err(Error::Internal("staging buffer smaller than the delta batch".into()));
+        }
+        let mut out = Vec::with_capacity(pairs);
+        for rec in bytes[..pairs * DELTA_PAIR_BYTES].chunks_exact(DELTA_PAIR_BYTES) {
+            let row = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            let value = f64::from_le_bytes(rec[8..].try_into().unwrap());
+            out.push((row, value));
+        }
+        Ok(out)
+    })??;
+    scatter_decoded(stream, replica, &decoded)
+}
+
+/// Scatter host-resident delta pairs directly into a device column —
+/// the device-local transport for engines whose authoritative store is
+/// already on the device (no PCIe staging write, kernel charge only).
+pub fn scatter_deltas_f64(
+    stream: &mut SimStream<'_>,
+    replica: BufferId,
+    pairs: &[(u64, f64)],
+) -> Result<()> {
+    scatter_decoded(stream, replica, pairs)
+}
+
+fn scatter_decoded(
+    stream: &mut SimStream<'_>,
+    replica: BufferId,
+    pairs: &[(u64, f64)],
+) -> Result<()> {
+    let device = stream.device();
+    device.with_buffer_mut(replica, |bytes| {
+        for &(row, value) in pairs {
+            let off = row as usize * 8;
+            if off + 8 > bytes.len() {
+                return Err(Error::UnknownRow(row));
+            }
+            bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        }
+        Ok(())
+    })??;
+    let n = pairs.len();
+    stream.charge_launch(
+        LaunchConfig::new(REDUCE_GRID.min(n.max(1) as u32), REDUCE_BLOCK),
+        KernelCost {
+            work_items: n.max(1) as u64,
+            cycles_per_item: 8.0,
+            bytes: (n * (DELTA_PAIR_BYTES + 8)) as u64,
+        },
+    )?;
+    Ok(())
+}
+
 /// Filter a packed `f64` column by a predicate, returning the qualifying
 /// positions (selection kernel with a host-side position list result).
 pub fn filter_f64(
@@ -486,6 +557,34 @@ mod tests {
         assert_eq!(unfused, expect);
         assert_eq!(unfused_delta.kernel_launches, 4);
         assert!(fused_delta.kernel_ns < unfused_delta.kernel_ns);
+    }
+
+    #[test]
+    fn merge_scatter_applies_pairs_and_charges_one_launch() {
+        let d = SimDevice::with_defaults();
+        let buf = upload_f64(&d, &[1.0, 2.0, 3.0, 4.0]);
+        let pairs = [(1u64, 20.0f64), (3, 40.0)];
+        let encoded: Vec<u8> = pairs
+            .iter()
+            .flat_map(|(r, v)| r.to_le_bytes().into_iter().chain(v.to_le_bytes()))
+            .collect();
+        let staging = d.upload(&encoded).unwrap();
+        let before = d.ledger().snapshot();
+        let mut stream = SimStream::new(&d);
+        merge_deltas_f64(&mut stream, buf, staging, pairs.len()).unwrap();
+        let delta = d.ledger().snapshot().since(&before);
+        assert_eq!(delta.kernel_launches, 1);
+        assert_eq!(delta.transfer_ns, 0, "scatter itself must not touch PCIe");
+        assert_eq!(reduce_sum_f64(&d, buf).unwrap(), 1.0 + 20.0 + 3.0 + 40.0);
+        // Replaying the same batch is idempotent.
+        merge_deltas_f64(&mut stream, buf, staging, pairs.len()).unwrap();
+        assert_eq!(reduce_sum_f64(&d, buf).unwrap(), 64.0);
+        // Out-of-bounds rows are surfaced and charge nothing.
+        let before = d.ledger().snapshot();
+        let err = scatter_deltas_f64(&mut stream, buf, &[(9, 1.0)]).unwrap_err();
+        assert!(matches!(err, Error::UnknownRow(9)));
+        assert_eq!(d.ledger().snapshot().since(&before).kernel_launches, 0);
+        d.free(staging).unwrap();
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub struct CostLedger {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    delta_bytes: AtomicU64,
+    delta_merges: AtomicU64,
 }
 
 /// A snapshot of the ledger counters.
@@ -64,6 +66,13 @@ pub struct CostSnapshot {
     pub cache_misses: u64,
     /// Device column cache: entries freed to make room for others.
     pub cache_evictions: u64,
+    /// Bytes shipped host→device as update *deltas* (also counted in
+    /// `bytes_to_device` — this splits out the delta-propagation share so
+    /// EXPLAIN can report it as its own category).
+    pub delta_bytes: u64,
+    /// Delta-merge operations completed (a stale replica brought back to
+    /// the current version without a full re-upload).
+    pub delta_merges: u64,
 }
 
 impl CostSnapshot {
@@ -100,6 +109,8 @@ impl CostSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
+            delta_merges: self.delta_merges.saturating_sub(earlier.delta_merges),
         }
     }
 }
@@ -186,6 +197,18 @@ impl CostLedger {
         self.cache_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` bytes of a host→device transfer as delta traffic. The
+    /// transfer itself is charged through the normal overlapped write path
+    /// (so `bytes_to_device` includes these bytes too).
+    pub fn record_delta_bytes(&self, n: u64) {
+        self.delta_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one completed delta merge.
+    pub fn record_delta_merge(&self) {
+        self.delta_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
             transfer_ns: self.transfer_ns.load(Ordering::Relaxed),
@@ -201,6 +224,8 @@ impl CostLedger {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
+            delta_merges: self.delta_merges.load(Ordering::Relaxed),
         }
     }
 
@@ -218,6 +243,8 @@ impl CostLedger {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.delta_bytes.store(0, Ordering::Relaxed);
+        self.delta_merges.store(0, Ordering::Relaxed);
     }
 }
 

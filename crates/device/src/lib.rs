@@ -38,7 +38,7 @@ pub mod simt;
 pub mod spec;
 pub mod stream;
 
-pub use cache::{CachedColumn, DeviceColumnCache};
+pub use cache::{CachedColumn, DeltaTransport, DeviceColumnCache, StaleInfo};
 pub use faults::{FaultPlan, FaultRates, FaultSite, FaultyStorage};
 pub use ledger::CostLedger;
 pub use memory::{BufferId, SimDevice};

@@ -33,7 +33,7 @@ use htapg_core::{
     RowId, Schema, Value,
 };
 use htapg_device::kernels;
-use htapg_device::{DeviceColumnCache, SimDevice};
+use htapg_device::{CachedColumn, DeltaTransport, DeviceColumnCache, SimDevice, StaleInfo};
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -171,6 +171,25 @@ impl CogadbEngine {
     /// Columns currently replicated on the device (fresh or stale).
     pub fn device_resident(&self, rel: RelationId) -> Result<Vec<AttrId>> {
         self.rels.read(rel, |_| Ok(self.cache.resident_attrs(rel)))
+    }
+
+    /// A small delta log is cheaper to ship than a full column repack.
+    fn merge_beats_reupload(info: &StaleInfo) -> bool {
+        info.stale_rows > 0 && info.stale_rows * 2 <= info.rows
+    }
+
+    /// A fresh replica, merging a delta-stale one in place when the log is
+    /// small enough to beat re-upload. Errors mean "answer on the host".
+    fn fresh_or_merged(&self, rel: RelationId, attr: AttrId, version: u64) -> Result<CachedColumn> {
+        if let Some(col) = self.cache.lookup(rel, attr, version)? {
+            return Ok(col);
+        }
+        if let Some(info) = self.cache.stale_info(rel, attr, version) {
+            if Self::merge_beats_reupload(&info) {
+                return self.cache.merge_deltas(rel, attr, version, DeltaTransport::Pcie);
+            }
+        }
+        Err(Error::Internal(format!("no fresh device replica of attr {attr}")))
     }
 
     /// Pack a host column into device-ready f64 bytes.
@@ -315,6 +334,13 @@ impl StorageEngine for CogadbEngine {
             r.stats.record_update(attr);
             r.relation.update_field(row, attr, value)?;
             r.versions[attr as usize] += 1;
+            let nv = r.versions[attr as usize];
+            // Ship the write to any resident replica instead of dropping
+            // it; non-numeric values can't be delta-encoded as f64 pairs.
+            match value.as_f64() {
+                Ok(x) => self.cache.append_delta(rel, attr, row, x, nv)?,
+                Err(_) => self.cache.invalidate(rel, attr)?,
+            }
             Ok(())
         })
     }
@@ -361,14 +387,15 @@ impl StorageEngine for CogadbEngine {
     fn column_evidence(&self, rel: RelationId, attr: AttrId) -> Result<ColumnEvidence> {
         self.rels.read(rel, |r| {
             let ty = r.relation.schema().ty(attr)?;
-            let warm =
-                r.versions.get(attr as usize).is_some_and(|&v| self.cache.contains(rel, attr, v));
+            let version = r.versions.get(attr as usize).copied().unwrap_or(0);
+            let stale = self.cache.stale_info(rel, attr, version);
             Ok(ColumnEvidence {
                 rows: r.relation.row_count(),
                 ty,
                 scan_stride: ty.width() as u64,
                 contiguous: true,
-                device_warm: warm,
+                device_warm: stale.is_some_and(|i| i.stale_rows == 0),
+                stale_rows: stale.map_or(0, |i| i.stale_rows),
             })
         })
     }
@@ -377,9 +404,7 @@ impl StorageEngine for CogadbEngine {
         self.rels.read(rel, |r| {
             r.stats.record_scan(attr);
             let version = r.versions.get(attr as usize).copied().unwrap_or(0);
-            let col = self.cache.lookup(rel, attr, version)?.ok_or_else(|| {
-                Error::Internal(format!("no fresh device replica of attr {attr}"))
-            })?;
+            let col = self.fresh_or_merged(rel, attr, version)?;
             kernels::reduce_sum_f64(&self.device, col.buf)
         })
     }
@@ -388,9 +413,7 @@ impl StorageEngine for CogadbEngine {
         self.rels.read(rel, |r| {
             r.stats.record_scan(attr);
             let version = r.versions.get(attr as usize).copied().unwrap_or(0);
-            let col = self.cache.lookup(rel, attr, version)?.ok_or_else(|| {
-                Error::Internal(format!("no fresh device replica of attr {attr}"))
-            })?;
+            let col = self.fresh_or_merged(rel, attr, version)?;
             kernels::filter_sum_f64(&self.device, col.buf, |v| pred.matches(v))
         })
     }
@@ -412,9 +435,7 @@ impl StorageEngine for CogadbEngine {
         self.rels.read(rel, |r| {
             r.stats.record_scan(value_attr);
             let version = r.versions.get(value_attr as usize).copied().unwrap_or(0);
-            let col = self.cache.lookup(rel, value_attr, version)?.ok_or_else(|| {
-                Error::Internal(format!("no fresh device replica of attr {value_attr}"))
-            })?;
+            let col = self.fresh_or_merged(rel, value_attr, version)?;
             let mut out = Vec::with_capacity(positions.len());
             for (key, pos) in &positions {
                 let gathered = kernels::gather(&self.device, col.buf, 8, pos)?;
@@ -452,6 +473,20 @@ impl StorageEngine for CogadbEngine {
                 let version = r.versions[attr as usize];
                 if self.cache.contains(rel, attr, version) {
                     continue;
+                }
+                // Delta-stale replicas refresh in place: shipping the log
+                // is the all-or-nothing-friendly path (no new allocation).
+                if let Some(info) = self.cache.stale_info(rel, attr, version) {
+                    if Self::merge_beats_reupload(&info) {
+                        match self.cache.merge_deltas(rel, attr, version, DeltaTransport::Pcie) {
+                            Ok(_) => {
+                                report.fragments_moved += 1;
+                                continue;
+                            }
+                            Err(e) if e.is_transient() => continue,
+                            Err(_) => {}
+                        }
+                    }
                 }
                 let (bytes, rows) = Self::pack_column(&r, attr)?;
                 // `may_evict = false`: placement is all-or-nothing and must

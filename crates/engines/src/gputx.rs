@@ -26,7 +26,7 @@ use htapg_core::{AttrId, DataType, Error, Record, RelationId, Result, RowId, Sch
 use htapg_device::cache::CachedColumn;
 use htapg_device::kernels;
 use htapg_device::simt::{Executor, KernelCost, LaunchConfig};
-use htapg_device::{BufferId, DeviceColumnCache, DeviceSpec, SimDevice};
+use htapg_device::{BufferId, DeltaTransport, DeviceColumnCache, DeviceSpec, SimDevice};
 use htapg_taxonomy::{survey, Classification};
 
 use crate::common::Registry;
@@ -174,6 +174,19 @@ impl GputxEngine {
             }
             let rows = r.rows;
             let version = r.versions[attr as usize];
+            // Update waves left a delta log behind: scatter it into the
+            // resident replica device-side (both ends in device memory, so
+            // zero PCIe) instead of re-running the widening pass. A faulted
+            // merge falls through to the full rebuild below.
+            if let Some(info) = cache.stale_info(rel, attr, version) {
+                if info.stale_rows > 0 && info.stale_rows * 2 <= info.rows {
+                    if let Ok(col) =
+                        cache.merge_deltas(rel, attr, version, DeltaTransport::DeviceLocal)
+                    {
+                        return Ok(col);
+                    }
+                }
+            }
             cache.get_or_insert_with(rel, attr, version, rows, true, || {
                 let n = rows as usize;
                 let mut out = vec![0u8; n * 8];
@@ -273,8 +286,19 @@ impl GputxEngine {
                         bytes: (ups.len() * col.width * 2) as u64,
                     },
                 )?;
-                // The update wave invalidates this attr's cached replica.
+                // The update wave ships to this attr's cached replica as
+                // f64-widened deltas; values that can't widen drop it.
                 r.versions[a as usize] += 1;
+                let nv = r.versions[a as usize];
+                for (row, value) in &ups {
+                    match value.as_f64() {
+                        Ok(x) => self.cache.append_delta(rel, a, *row, x, nv)?,
+                        Err(_) => {
+                            self.cache.invalidate(rel, a)?;
+                            break;
+                        }
+                    }
+                }
             }
             // Read wave: gather all requested records into the result pool.
             let reads: Vec<RowId> = ops
@@ -452,12 +476,15 @@ impl StorageEngine for GputxEngine {
     fn column_evidence(&self, rel: RelationId, attr: AttrId) -> Result<ColumnEvidence> {
         self.rels.read(rel, |r| {
             let ty = r.schema.ty(attr)?;
+            // `stale_rows: 0` even when a delta log exists: the merge runs
+            // device-local with no PCIe, so warm pricing already fits.
             Ok(ColumnEvidence {
                 rows: r.rows,
                 ty,
                 scan_stride: ty.width() as u64,
                 contiguous: true,
                 device_warm: true,
+                stale_rows: 0,
             })
         })
     }

@@ -36,7 +36,7 @@ use htapg_core::{
     Relation, RelationId, Result, RowId, Schema, Scheme, Value,
 };
 use htapg_device::kernels;
-use htapg_device::{DeviceColumnCache, SimDevice};
+use htapg_device::{DeltaTransport, DeviceColumnCache, SimDevice};
 use htapg_taxonomy::{
     Classification, DataLocality, DataLocation, FragmentLinearization, FragmentScheme,
     LayoutAdaptability, LayoutFlexibility, LayoutHandling, ProcessorSupport, WorkloadSupport,
@@ -259,15 +259,30 @@ impl ReferenceEngine {
     /// Commit; returns the commit timestamp.
     pub fn txn_commit(&self, rel: RelationId, txn: &Txn) -> Result<Timestamp> {
         self.log(&LogRecord::Commit { txn: txn.id })?;
-        let ts = self.rels.read(rel, |r| r.overlay.commit(txn))?;
+        let (ts, writes) = self.rels.read(rel, |r| r.overlay.commit_with_writes(txn))?;
         // Written columns' device replicas are stale now: bump the version
-        // so cached copies miss (and are freed) at their next lookup.
-        self.rels
-            .write(rel, |r| {
-                r.version += 1;
-                Ok(())
-            })
-            .ok();
+        // and ship the committed writes into the cache's per-column delta
+        // logs, so resident replicas stay mergeable instead of being
+        // dropped (the invalidation cliff). Tombstones and non-numeric
+        // values are unmergeable — those replicas are dropped as before.
+        self.rels.write(rel, |r| {
+            r.version += 1;
+            let new_version = r.version;
+            let mut touched: Vec<AttrId> = Vec::new();
+            for ((row, attr), value) in &writes {
+                if !touched.contains(attr) {
+                    touched.push(*attr);
+                }
+                match value.as_ref().map(|v| v.as_f64()) {
+                    Some(Ok(x)) => self.cache.append_delta(rel, *attr, *row, x, new_version)?,
+                    _ => self.cache.invalidate(rel, *attr)?,
+                }
+            }
+            // Replicas of untouched columns advance across the commit for
+            // free (their data did not change).
+            self.cache.note_commit(rel, new_version, &touched);
+            Ok(())
+        })?;
         Ok(ts)
     }
 
@@ -353,13 +368,29 @@ impl ReferenceEngine {
         })
     }
 
-    /// Sum a column wherever it can be answered: on the device when a fresh
-    /// replica exists and the kernel (after retries) succeeds, otherwise on
-    /// the host from the current snapshot. Graceful degradation — a faulty
-    /// device costs speed, never availability or correctness.
+    /// Sum a column wherever it can be answered: on the device when a
+    /// fresh replica exists — or a delta-stale one is cheap to merge — and
+    /// the kernel (after retries) succeeds, otherwise on the host from the
+    /// current snapshot. Graceful degradation — a faulty device costs
+    /// speed, never availability or correctness.
     pub fn sum_column_auto(&self, rel: RelationId, attr: AttrId) -> Result<f64> {
-        let fresh = self.rels.read(rel, |r| Ok(self.cache.contains(rel, attr, r.version)))?;
-        if fresh {
+        let ready = self.rels.read(rel, |r| {
+            if self.cache.contains(rel, attr, r.version) {
+                return Ok(true);
+            }
+            match self.cache.stale_info(rel, attr, r.version) {
+                Some(info) if info.stale_rows > 0 && Self::merge_beats_reupload(&info) => {
+                    match self.cache.merge_deltas(rel, attr, r.version, DeltaTransport::Pcie) {
+                        Ok(_) => Ok(true),
+                        // Faulted or raced merge: the replica is untouched
+                        // at its old version; answer on the host.
+                        Err(_) => Ok(false),
+                    }
+                }
+                _ => Ok(false),
+            }
+        })?;
+        if ready {
             match self.sum_column_device(rel, attr) {
                 Ok(sum) => return Ok(sum),
                 Err(e) if e.is_transient() => {} // fall through to the host
@@ -367,6 +398,13 @@ impl ReferenceEngine {
             }
         }
         self.sum_column_as_of(rel, attr, self.mgr.now())
+    }
+
+    /// Engine-side merge-vs-reupload heuristic, mirroring the planner's
+    /// crossover: a 16-byte pair per stale row beats re-shipping 8 bytes
+    /// per row roughly while the log covers less than half the column.
+    fn merge_beats_reupload(info: &htapg_device::StaleInfo) -> bool {
+        info.stale_rows * 2 <= info.rows
     }
 
     // ------------------------------------------------------------------
@@ -416,6 +454,17 @@ impl ReferenceEngine {
         self.rels.read(rel, |r| {
             if cache.contains(rel, attr, r.version) {
                 return Ok(());
+            }
+            // A delta-stale replica is cheaper to merge than to re-pack
+            // and re-upload while its log is small; a faulted merge falls
+            // through to the full upload below.
+            if let Some(info) = cache.stale_info(rel, attr, r.version) {
+                if info.stale_rows > 0
+                    && Self::merge_beats_reupload(&info)
+                    && cache.merge_deltas(rel, attr, r.version, DeltaTransport::Pcie).is_ok()
+                {
+                    return Ok(());
+                }
             }
             let ty = r.relation.schema().ty(attr)?;
             if matches!(ty, DataType::Text(_) | DataType::Bool) {
@@ -660,6 +709,7 @@ impl StorageEngine for ReferenceEngine {
             let schema = r.relation.schema();
             let ty = schema.ty(attr)?;
             let contiguous = r.overlay.version_count() == 0 && r.delegated.contains(&attr);
+            let stale = self.cache.stale_info(rel, attr, r.version);
             Ok(ColumnEvidence {
                 rows: r.relation.row_count(),
                 ty,
@@ -669,7 +719,8 @@ impl StorageEngine for ReferenceEngine {
                     schema.tuple_width() as u64
                 },
                 contiguous,
-                device_warm: self.cache.contains(rel, attr, r.version),
+                device_warm: stale.is_some_and(|i| i.stale_rows == 0),
+                stale_rows: stale.map_or(0, |i| i.stale_rows),
             })
         })
     }
@@ -813,6 +864,23 @@ impl StorageEngine for ReferenceEngine {
                 }
                 if self.cache.contains(rel, attr, r.version) {
                     continue;
+                }
+                // Refresh a delta-stale replica in place when the log is
+                // small — shipping pairs is the Figure 1 re-assignment at
+                // delta granularity, not a fragment repack.
+                if let Some(info) = self.cache.stale_info(rel, attr, r.version) {
+                    if info.stale_rows > 0 && Self::merge_beats_reupload(&info) {
+                        match self.cache.merge_deltas(rel, attr, r.version, DeltaTransport::Pcie) {
+                            Ok(_) => {
+                                report.fragments_moved += 1;
+                                continue;
+                            }
+                            // Transient fault: leave it stale, retry next
+                            // round. Anything else: fall through to repack.
+                            Err(e) if e.is_transient() => continue,
+                            Err(_) => {}
+                        }
+                    }
                 }
                 let bytes = Self::pack_column_f64(&r, attr)?;
                 let rows = r.relation.row_count();

@@ -27,7 +27,9 @@ use std::sync::Arc;
 use htapg_core::retry::{with_retry, RetryPolicy};
 use htapg_core::{obs, DataType, Error, Layout, RelationId, Result};
 use htapg_device::kernels;
-use htapg_device::{sync_streams, BufferId, DeviceColumnCache, SimDevice, SimStream};
+use htapg_device::{
+    sync_streams, BufferId, DeltaTransport, DeviceColumnCache, SimDevice, SimStream,
+};
 
 /// A device-resident copy of one column.
 #[derive(Debug)]
@@ -335,10 +337,13 @@ fn pipelined_sum_into(
 }
 
 /// Cache-aware offload. A warm `(rel, attr, version)` entry answers with
-/// kernel time only (zero `bytes_to_device`); a miss runs the pipelined
-/// upload+reduce and leaves the column resident, evicting LRU entries
-/// under memory pressure (`may_evict` is on — this is the query-driven
-/// path, not maintain-time placement).
+/// kernel time only (zero `bytes_to_device`); a resident-but-stale entry
+/// with a small delta log takes the delta-merge route — shipping 16-byte
+/// `(row, value)` pairs over the copy stream instead of re-packing the
+/// whole column; any other miss runs the pipelined upload+reduce and
+/// leaves the column resident, evicting LRU entries under memory pressure
+/// (`may_evict` is on — this is the query-driven path, not maintain-time
+/// placement).
 pub fn cached_offload_sum(
     cache: &DeviceColumnCache,
     layout: &Layout,
@@ -349,6 +354,17 @@ pub fn cached_offload_sum(
     cfg: PipelineConfig,
 ) -> Result<f64> {
     let device = cache.device().clone();
+    if let Some(info) = cache.stale_info(rel, attr, version) {
+        if info.stale_rows > 0 && info.stale_rows * 2 <= info.rows {
+            // A faulted merge leaves the replica at its old version;
+            // falling through re-packs and re-uploads from scratch.
+            if let Ok(col) = cache.merge_deltas(rel, attr, version, DeltaTransport::Pcie) {
+                return with_retry(&RetryPolicy::default(), device.ledger(), || {
+                    kernels::reduce_sum_f64(&device, col.buf)
+                });
+            }
+        }
+    }
     let (bytes, rows) = pack_f64(layout, attr, ty)?;
     let mut pipelined: Option<f64> = None;
     let col = cache.get_or_insert_with(rel, attr, version, rows, true, || {
@@ -567,5 +583,38 @@ mod tests {
         let delta = cache.device().ledger().snapshot().since(&before);
         assert!(delta.bytes_to_device > 0, "stale entry re-uploaded");
         assert_eq!(delta.cache_misses, 1);
+    }
+
+    #[test]
+    fn cached_offload_merges_shipped_deltas_instead_of_reuploading() {
+        let (s, mut l) = setup(30_000);
+        let cache = DeviceColumnCache::new(Arc::new(SimDevice::with_defaults()));
+        cached_offload_sum(&cache, &l, 1, DataType::Float64, 7, 1, PipelineConfig::default())
+            .unwrap();
+        // An engine write lands on the host column and ships to the replica.
+        l.write_value(&s, 10, 1, &Value::Float64(9_999.5)).unwrap();
+        cache.append_delta(7, 1, 10, 9_999.5, 2).unwrap();
+        let before = cache.device().ledger().snapshot();
+        let merged =
+            cached_offload_sum(&cache, &l, 1, DataType::Float64, 7, 2, PipelineConfig::default())
+                .unwrap();
+        let delta = cache.device().ledger().snapshot().since(&before);
+        assert_eq!(delta.delta_bytes, 16, "one shipped pair");
+        assert_eq!(delta.bytes_to_device, 16, "delta route never re-uploads the column");
+        assert_eq!(delta.delta_merges, 1);
+        assert_eq!(delta.cache_misses, 0, "the replica never left the device");
+        // Bit-identical to a from-scratch upload of the updated column.
+        let fresh_cache = DeviceColumnCache::new(Arc::new(SimDevice::with_defaults()));
+        let fresh = cached_offload_sum(
+            &fresh_cache,
+            &l,
+            1,
+            DataType::Float64,
+            7,
+            2,
+            PipelineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(merged.to_bits(), fresh.to_bits());
     }
 }

@@ -92,9 +92,16 @@ thread_local! {
 }
 
 /// Morsel granularity in rows (~64K). Large enough that per-morsel
-/// bookkeeping (one `fetch_add`, one slot write) is noise against the scan
-/// itself; small enough that a straggling block re-balances across workers.
+/// bookkeeping (one slot write) is noise against the scan itself; small
+/// enough that a straggling block re-balances across workers.
 pub const MORSEL_ROWS: u64 = 1 << 16;
+
+/// Morsels claimed per shared-cursor `fetch_add` in [`run_morsels`]. One
+/// CAS per *batch* instead of one per morsel keeps the cursor cache line
+/// from ping-ponging between workers on large scans, where claim traffic —
+/// not the scan — set the old crossover point. Small enough that the tail
+/// imbalance is at most `CLAIM_BATCH - 1` morsels per worker.
+pub const CLAIM_BATCH: u64 = 4;
 
 /// Environment variable pinning the pool's worker-thread count.
 pub const THREADS_ENV: &str = "HTAPG_THREADS";
@@ -346,21 +353,26 @@ where
     pool.broadcast(extra, &|| {
         let _p = obs::process_scope(process.clone());
         loop {
-            let m = cursor.fetch_add(1, Ordering::Relaxed);
-            if m >= morsels {
+            // Claim a contiguous batch of morsels with one cursor bump;
+            // results are still recorded per morsel, so the ordered fold
+            // below is bit-identical to one-at-a-time claiming.
+            let m0 = cursor.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
+            if m0 >= morsels {
                 break;
             }
-            pool_counters().morsels_claimed.inc();
-            WORKER_COUNTERS.with(|w| w.morsels.inc());
-            let mut span = obs::span("pool", "pool.morsel");
-            if span.is_recording() {
-                span.arg("morsel", m);
+            for m in m0..(m0 + CLAIM_BATCH).min(morsels) {
+                pool_counters().morsels_claimed.inc();
+                WORKER_COUNTERS.with(|w| w.morsels.inc());
+                let mut span = obs::span("pool", "pool.morsel");
+                if span.is_recording() {
+                    span.arg("morsel", m);
+                }
+                let lo = m * MORSEL_ROWS;
+                let hi = n.min(lo + MORSEL_ROWS);
+                let r = work(lo, hi);
+                span.end();
+                relock(results.lock()).push((m, r));
             }
-            let lo = m * MORSEL_ROWS;
-            let hi = n.min(lo + MORSEL_ROWS);
-            let r = work(lo, hi);
-            span.end();
-            relock(results.lock()).push((m, r));
         }
     });
     let mut parts = results.into_inner().unwrap_or_else(PoisonError::into_inner);
@@ -473,6 +485,23 @@ mod tests {
     #[test]
     fn morsel_partition_covers_exactly_once() {
         let n = 3 * MORSEL_ROWS + 17;
+        let covered = run_morsels(n, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn batched_claims_cover_ragged_batch_tails() {
+        // 7 morsels with CLAIM_BATCH = 4: the second batch is ragged and
+        // the third is empty; coverage must still be exact, and the fold
+        // must be bit-identical to the sequential morsel walk.
+        let n = 6 * MORSEL_ROWS + 1;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let work = |lo: u64, hi: u64| data[lo as usize..hi as usize].iter().sum::<f64>();
+        let seq = fold_morsels_seq(n, work, |a, b| a + b, 0.0f64);
+        for threads in [2usize, 5, 16] {
+            let par = run_morsels(n, threads, work, |a, b| a + b, 0.0f64);
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
+        }
         let covered = run_morsels(n, 8, |lo, hi| hi - lo, |a, b| a + b, 0u64);
         assert_eq!(covered, n);
     }

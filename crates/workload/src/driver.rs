@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use htapg_core::engine::StorageEngine;
 use htapg_core::plan::LogicalPlan;
-use htapg_core::{obs, Error, RelationId, Result};
+use htapg_core::{obs, AttrId, Error, RelationId, Result, Value};
 use htapg_exec::threading::ThreadingPolicy;
 use htapg_exec::{physical, pool};
 
@@ -287,6 +287,29 @@ pub fn load_items(
         engine.insert(rel, &gen.item(i))?;
     }
     Ok(rel)
+}
+
+/// Apply a burst of `w` single-field updates to `w` *distinct* rows
+/// starting at `offset` (wrapping at `rows`), deterministic in
+/// `(offset, salt)`. This is the write half of an HTAP write-rate sweep:
+/// replaying the same burst against two engines keeps their tables
+/// bit-identical, and the distinct-row guarantee (for `w <= rows`) makes
+/// the burst's device-replica staleness exactly `w` rows.
+pub fn apply_write_burst(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    attr: AttrId,
+    rows: u64,
+    offset: u64,
+    w: u64,
+    salt: u64,
+) -> Result<()> {
+    for i in 0..w {
+        let row = (offset + i) % rows;
+        let v = Value::Float64((row % 89) as f64 * 1.25 + salt as f64);
+        engine.update_field(rel, row, attr, &v)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
