@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [delta] [planner] [obs] [ablations] [all]
+//! repro [--quick] [--seed N] [--trace PATH] [table1] [fig2] [fig3] [fig4] [reference-check] [pool] [gpu_pipeline] [delta] [planner] [cluster] [obs] [ablations] [all]
 //! ```
 //!
 //! With no selection, prints everything except the ablations. `--quick`
@@ -10,7 +10,7 @@
 //! (else 42); `--trace PATH` writes the obs section's Chrome trace JSON
 //! (open in `chrome://tracing` or Perfetto).
 
-use htapg_bench::{ablation, delta, fig2, gpu_pipeline, obs, planner, pool, render_sweep};
+use htapg_bench::{ablation, cluster, delta, fig2, gpu_pipeline, obs, planner, pool, render_sweep};
 use htapg_core::engine::StorageEngine;
 use htapg_core::{Fragment, FragmentSpec, Linearization, Schema, Value};
 use htapg_engines::{all_surveyed_engines, ReferenceEngine};
@@ -354,6 +354,55 @@ fn main() {
         print!("{}", planner::render(&points));
         let path = "BENCH_planner.json";
         match std::fs::write(path, planner::to_json(seed, &points)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+    if want("cluster") {
+        section("Cluster scale-out — scatter-gather scan throughput vs node count");
+        println!(
+            "(sharded placement over SimCluster; cross-node messages priced\n\
+             like PCIe — latency + bytes/bandwidth — on the cluster ledger;\n\
+             every scattered result asserted bit-identical to the\n\
+             single-node oracle)\n"
+        );
+        let rows = cluster::table_rows(quick);
+        let points = cluster::measure(seed, quick);
+        let table: Vec<(u64, Vec<f64>)> = points
+            .iter()
+            .map(|p| {
+                (p.nodes as u64, vec![p.scan_wall_ns as f64, p.rows_per_sec, p.net_bytes as f64])
+            })
+            .collect();
+        print!(
+            "{}",
+            render_sweep(
+                &format!("warm f64 column sum over {rows} rows"),
+                "#nodes",
+                &["wall_ns", "rows_per_s", "net_bytes"],
+                &table,
+            )
+        );
+        for &n in &[2u32, 4, 8] {
+            if let Some(s) = cluster::speedup_at(&points, n) {
+                println!("{n} nodes: {s:.2}x single-node scan throughput");
+            }
+        }
+        println!(
+            "scatter plans priced under single-node: {:.0}%",
+            100.0 * cluster::scatter_win_rate(&points)
+        );
+        println!(
+            "scaling gates (>=1.6x @ 2 nodes, >=3x @ 4 nodes): {} / {}",
+            if cluster::scaling_gate_2x(&points) { "YES" } else { "NO (regression!)" },
+            if cluster::scaling_gate_4x(&points) { "YES" } else { "NO (regression!)" },
+        );
+        println!(
+            "all results bit-identical to the single-node oracle: {}",
+            if cluster::all_bit_identical(&points) { "YES" } else { "NO (regression!)" },
+        );
+        let path = "BENCH_cluster.json";
+        match std::fs::write(path, cluster::to_json(seed, rows, &points)) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => println!("could not write {path}: {e}"),
         }

@@ -189,17 +189,31 @@ pub trait StorageEngine: Send + Sync {
         Ok(TableEvidence { rows, record_width: schema.tuple_width() as u64, contiguous_nsm })
     }
 
+    /// Per-node evidence for a partitioned column (DESIGN.md §15). `None`
+    /// (the default, for every single-node engine) keeps the planner on
+    /// the flat lowering; sharded engines return the placement geometry,
+    /// the interconnect price list, and one [`plan::ShardEvidence`] per
+    /// node so aggregates lower to scatter-gather.
+    fn shard_evidence(
+        &self,
+        rel: RelationId,
+        attr: AttrId,
+    ) -> Result<Option<plan::ShardPlanEvidence>> {
+        let _ = (rel, attr);
+        Ok(None)
+    }
+
     /// Build a routed physical plan for `logical`. The default runs the
     /// shared cost-based router over this engine's capabilities, device
-    /// profile, and live column evidence; engines with their own scheduler
-    /// may override (and still fall back to the default for shapes they
-    /// don't special-case).
+    /// profile, and live column (and shard) evidence; engines with their
+    /// own scheduler may override (and still fall back to the default for
+    /// shapes they don't special-case).
     fn plan(&self, logical: &LogicalPlan) -> Result<PhysicalPlan> {
         let caps = self.capabilities();
         let device = self.device_cost_profile();
         let cache = CacheSpec::default();
         let cal = self.calibration();
-        plan::build_plan(
+        plan::build_plan_sharded(
             logical,
             &plan::PlannerContext {
                 caps: &caps,
@@ -209,6 +223,7 @@ pub trait StorageEngine: Send + Sync {
             },
             &mut |rel, attr| self.column_evidence(rel, attr),
             &mut |rel| self.table_evidence(rel),
+            &mut |rel, attr| self.shard_evidence(rel, attr),
         )
     }
 
@@ -246,6 +261,30 @@ pub trait StorageEngine: Send + Sync {
     ) -> Result<Vec<(i64, f64)>> {
         let _ = (rel, key_attr, value_attr);
         Err(Error::Internal("engine has no device group-sum".into()))
+    }
+
+    /// Scatter route for `SUM(attr)` (optionally predicated): fan the
+    /// partial sums out to the owning cluster nodes and gather them in
+    /// canonical fragment order. Only sharded engines implement this; the
+    /// physical executor falls back to the host path (same sharded
+    /// reduction geometry) on any error, so a failed gather degrades
+    /// gracefully — and bit-identically.
+    fn scatter_sum(&self, rel: RelationId, attr: AttrId, pred: Option<&Predicate>) -> Result<f64> {
+        let _ = (rel, attr, pred);
+        Err(Error::Internal("engine has no scatter sum".into()))
+    }
+
+    /// Scatter route for `SUM(value) GROUP BY key`: per-shard keyed
+    /// partials merged per key over canonical fragment order. Returns
+    /// `(key, sum)` ordered by key.
+    fn scatter_group_sum(
+        &self,
+        rel: RelationId,
+        key_attr: AttrId,
+        value_attr: AttrId,
+    ) -> Result<Vec<(i64, f64)>> {
+        let _ = (rel, key_attr, value_attr);
+        Err(Error::Internal("engine has no scatter group-sum".into()))
     }
 
     /// The virtual clock this engine's work is charged against, for span

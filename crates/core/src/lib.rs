@@ -60,7 +60,10 @@ pub mod wal;
 pub use error::{Error, Result};
 pub use fragment::{ColumnView, Fragment, FragmentSpec, Linearization, Location};
 pub use layout::{GroupOrder, Layout, LayoutTemplate, VerticalGroup};
-pub use plan::{LogicalPlan, PhysicalPlan, Route, ScanStrategy};
+pub use plan::{
+    LogicalPlan, NetCostProfile, PhysicalPlan, Route, ScanStrategy, ShardEvidence,
+    ShardPlanEvidence, Sharding, ShardingKind,
+};
 pub use relation::Relation;
 pub use schema::{AttrId, Attribute, Record, RelationId, RowId, Schema};
 pub use scheme::{AccessHint, DelegationPolicy, DelegationRule, Scheme};

@@ -162,6 +162,10 @@ pub enum Route {
     /// Tuple-at-a-time interpretation inline on the issuing thread — the
     /// right choice for point ops and sub-morsel inputs.
     InlineVolcano,
+    /// Fan the aggregate out to `shards` cluster nodes as per-shard
+    /// partial aggregates; a [`PhysicalOp::Gather`] child merges the
+    /// partials in canonical shard order (DESIGN.md §15).
+    Scatter { shards: u16 },
 }
 
 impl Route {
@@ -170,6 +174,10 @@ impl Route {
             Route::DevicePipelined => "device-pipelined",
             Route::HostPooledMorsel => "host-pooled-morsel",
             Route::InlineVolcano => "inline-volcano",
+            // One calibration key for all shard counts: the residuals a
+            // scatter accumulates are network-dominated and do not alias
+            // the local routes above.
+            Route::Scatter { .. } => "scatter",
         }
     }
 }
@@ -197,14 +205,40 @@ impl ScanStrategy {
 /// decisions attached at the node ([`PhysicalNode`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalOp {
-    Scan { rel: RelationId, attr: AttrId },
-    Filter { pred: Predicate },
-    Project { attrs: Vec<AttrId> },
+    Scan {
+        rel: RelationId,
+        attr: AttrId,
+    },
+    Filter {
+        pred: Predicate,
+    },
+    Project {
+        attrs: Vec<AttrId>,
+    },
     AggregateSum,
-    AggregateGroupSum { key_attr: AttrId },
-    Materialize { rel: RelationId, rows: Vec<RowId> },
-    PointRead { rel: RelationId, row: RowId },
-    Update { rel: RelationId, row: RowId, attr: AttrId, value: Value },
+    AggregateGroupSum {
+        key_attr: AttrId,
+    },
+    Materialize {
+        rel: RelationId,
+        rows: Vec<RowId>,
+    },
+    PointRead {
+        rel: RelationId,
+        row: RowId,
+    },
+    Update {
+        rel: RelationId,
+        row: RowId,
+        attr: AttrId,
+        value: Value,
+    },
+    /// Merge per-shard partial aggregates in canonical shard order. Only
+    /// appears under a [`Route::Scatter`] aggregate root; its children are
+    /// the per-shard aggregate subtrees, ordered by node id.
+    Gather {
+        shards: u16,
+    },
 }
 
 impl PhysicalOp {
@@ -219,6 +253,7 @@ impl PhysicalOp {
             PhysicalOp::Materialize { .. } => "plan.materialize",
             PhysicalOp::PointRead { .. } => "plan.point_read",
             PhysicalOp::Update { .. } => "plan.update",
+            PhysicalOp::Gather { .. } => "plan.gather",
         }
     }
 }
@@ -250,6 +285,10 @@ pub struct PhysicalNode {
     /// For engines advertising per-plan mirror choice (Fractured
     /// Mirrors): which replica serves this node.
     pub mirror: Option<&'static str>,
+    /// Rows per placement fragment when this node executes under sharded
+    /// reduction geometry (per-fragment partials merged in global fragment
+    /// order); `0` means the flat single-node geometry.
+    pub partition_rows: u64,
     pub children: Vec<PhysicalNode>,
 }
 
@@ -297,6 +336,12 @@ impl PhysicalPlan {
             }
             if let Some(m) = n.mirror {
                 out.push_str(&format!(" mirror={m}"));
+            }
+            if n.partition_rows > 0 {
+                out.push_str(&format!(" part_rows={}", n.partition_rows));
+            }
+            if let PhysicalOp::Gather { shards } = &n.op {
+                out.push_str(&format!(" shards={shards}"));
             }
             if let PhysicalOp::Filter { pred } = &n.op {
                 out.push_str(&format!(" pred={}", pred.label()));
@@ -431,6 +476,135 @@ impl DeviceCostProfile {
 /// device-side encoding in `htapg_device::kernels`.
 pub const DELTA_PAIR_BYTES: u64 = 16;
 
+/// Fragments per contiguous run under range sharding. Striping runs of
+/// this many fragments round-robin across nodes keeps range placement
+/// balanced as relations grow, while preserving locality of adjacent
+/// fragments — and the assignment of existing fragments never changes when
+/// rows are appended.
+pub const RANGE_STRIPE_FRAGMENTS: u64 = 8;
+
+/// Wire size of a scatter request (relation, attribute, predicate, op tag)
+/// — the fixed header every shard RPC pays before its response bytes.
+pub const SCATTER_REQUEST_BYTES: u64 = 64;
+
+/// Response bytes per fragment for a scattered sum: one `f64` partial per
+/// fragment, shipped so the gather can merge in global fragment order.
+pub const SUM_PARTIAL_BYTES: u64 = 8;
+
+/// Response bytes per fragment for a scattered group-sum: priced as one
+/// `(i64 key, f64 partial)` pair plus a length per fragment; the true
+/// count depends on group cardinality, unknown at plan time.
+pub const GROUP_PARTIAL_BYTES: u64 = 24;
+
+/// How fragments map to cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardingKind {
+    /// `splitmix64(seed ^ fragment) % nodes` — uniform, seed-keyed.
+    Hash,
+    /// Contiguous stripes of [`RANGE_STRIPE_FRAGMENTS`] fragments,
+    /// round-robin across nodes.
+    Range,
+}
+
+impl ShardingKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardingKind::Hash => "hash",
+            ShardingKind::Range => "range",
+        }
+    }
+}
+
+/// Deterministic fragment → node placement descriptor. Rows are grouped
+/// into fragments of `partition_rows` consecutive global rows; fragments
+/// are assigned to nodes by `kind`. Both maps are pure functions of the
+/// descriptor, so every session (and every retry) sees the same placement
+/// for the same `HTAPG_SEED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharding {
+    pub kind: ShardingKind,
+    /// Cluster width (≥ 1).
+    pub nodes: u32,
+    /// Rows per placement fragment (≥ 1).
+    pub partition_rows: u64,
+    /// Placement seed (normally derived from `HTAPG_SEED`).
+    pub seed: u64,
+}
+
+impl Sharding {
+    pub fn new(kind: ShardingKind, nodes: u32, partition_rows: u64, seed: u64) -> Self {
+        assert!(nodes >= 1, "sharding needs at least one node");
+        assert!(partition_rows >= 1, "fragments must hold at least one row");
+        Sharding { kind, nodes, partition_rows, seed }
+    }
+
+    /// Fragment holding global `row`.
+    pub fn fragment_of_row(&self, row: u64) -> u64 {
+        row / self.partition_rows
+    }
+
+    /// Owning node of `fragment`.
+    pub fn shard_of_fragment(&self, fragment: u64) -> u32 {
+        match self.kind {
+            ShardingKind::Hash => {
+                (crate::prng::splitmix64(self.seed ^ fragment) % self.nodes as u64) as u32
+            }
+            ShardingKind::Range => ((fragment / RANGE_STRIPE_FRAGMENTS) % self.nodes as u64) as u32,
+        }
+    }
+
+    /// Owning node of global `row`.
+    pub fn shard_of_row(&self, row: u64) -> u32 {
+        self.shard_of_fragment(self.fragment_of_row(row))
+    }
+}
+
+/// Network cost parameters the router prices cross-node movement with —
+/// the same latency + bytes/bandwidth shape as
+/// [`DeviceCostProfile::transfer_ns`] prices PCIe, mirroring the simulated
+/// `NetSpec` (core cannot depend on `htapg-device`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCostProfile {
+    /// Fixed latency per message, ns.
+    pub latency_ns: u64,
+    /// Link bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl NetCostProfile {
+    /// Virtual ns to move `bytes` between two nodes (one message).
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bandwidth * 1e9) as u64
+    }
+}
+
+/// One node's slice of a sharded column, as the planner sees it: the same
+/// [`ColumnEvidence`] surface the single-node router prices from, scoped
+/// to the rows this node owns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardEvidence {
+    /// Owning cluster node.
+    pub node: u32,
+    /// Fragments resident on this node.
+    pub fragments: u64,
+    /// Evidence for this node's slice (rows/warmth/staleness are local).
+    pub evidence: ColumnEvidence,
+}
+
+/// Everything a sharded engine reports for one column so the router can
+/// lower a scatter-gather plan: the placement geometry, the network price
+/// list, and per-node evidence in canonical (node-id) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlanEvidence {
+    /// Rows per placement fragment.
+    pub partition_rows: u64,
+    /// Interconnect pricing (from the cluster's `NetSpec`).
+    pub net: NetCostProfile,
+    /// Per-node evidence, ordered by node id; empty slices included so the
+    /// gather order is always the full canonical node order.
+    pub shards: Vec<ShardEvidence>,
+}
+
 /// Per-column evidence the router prices scans from. The default engine
 /// implementation derives it statically from capabilities and schema;
 /// device-backed engines override it to report live replica warmth, and
@@ -543,7 +717,26 @@ pub fn build_plan(
     column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
     table: &mut dyn FnMut(RelationId) -> Result<TableEvidence>,
 ) -> Result<PhysicalPlan> {
-    Ok(PhysicalPlan { root: plan_node(logical, cx, column, table)? })
+    build_plan_sharded(logical, cx, column, table, &mut |_, _| Ok(None))
+}
+
+/// [`build_plan`] with a sharding probe. Engines owning partitioned
+/// relations report per-node evidence through `shard`; an aggregate over
+/// such a column lowers to a [`Route::Scatter`] root whose
+/// [`PhysicalOp::Gather`] child carries one per-shard aggregate subtree
+/// per node (in canonical node order), each priced with that node's own
+/// evidence — pool-or-device per shard — plus the [`NetCostProfile`]
+/// round trip the coordinator pays to reach it. `Ok(None)` everywhere
+/// (the [`build_plan`] default) reproduces the single-node lowering
+/// bit-for-bit.
+pub fn build_plan_sharded(
+    logical: &LogicalPlan,
+    cx: &PlannerContext<'_>,
+    column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
+    table: &mut dyn FnMut(RelationId) -> Result<TableEvidence>,
+    shard: &mut dyn FnMut(RelationId, AttrId) -> Result<Option<ShardPlanEvidence>>,
+) -> Result<PhysicalPlan> {
+    Ok(PhysicalPlan { root: plan_node(logical, cx, column, table, shard)? })
 }
 
 fn plan_node(
@@ -551,6 +744,7 @@ fn plan_node(
     cx: &PlannerContext<'_>,
     column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
     table: &mut dyn FnMut(RelationId) -> Result<TableEvidence>,
+    shard: &mut dyn FnMut(RelationId, AttrId) -> Result<Option<ShardPlanEvidence>>,
 ) -> Result<PhysicalNode> {
     let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
     match logical {
@@ -568,11 +762,12 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: ev.rows,
                 mirror: scan_mirror,
+                partition_rows: 0,
                 children: Vec::new(),
             })
         }
         LogicalPlan::Filter { input, pred } => {
-            let child = plan_node(input, cx, column, table)?;
+            let child = plan_node(input, cx, column, table, shard)?;
             Ok(PhysicalNode {
                 op: PhysicalOp::Filter { pred: *pred },
                 route: child.route,
@@ -582,11 +777,12 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: child.rows,
                 mirror: child.mirror,
+                partition_rows: child.partition_rows,
                 children: vec![child],
             })
         }
         LogicalPlan::Project { input, attrs } => {
-            let child = plan_node(input, cx, column, table)?;
+            let child = plan_node(input, cx, column, table, shard)?;
             Ok(PhysicalNode {
                 op: PhysicalOp::Project { attrs: attrs.clone() },
                 route: child.route,
@@ -596,10 +792,11 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: child.rows,
                 mirror: child.mirror,
+                partition_rows: child.partition_rows,
                 children: vec![child],
             })
         }
-        LogicalPlan::Aggregate { input, agg } => plan_aggregate(input, agg, cx, column),
+        LogicalPlan::Aggregate { input, agg } => plan_aggregate(input, agg, cx, column, shard),
         LogicalPlan::Materialize { rel, rows } => {
             let t = table(*rel)?;
             let req = rows.len() as u64;
@@ -626,6 +823,7 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: req,
                 mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                partition_rows: 0,
                 children: Vec::new(),
             })
         }
@@ -643,6 +841,7 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: 1,
                 mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                partition_rows: 0,
                 children: Vec::new(),
             })
         }
@@ -658,6 +857,7 @@ fn plan_node(
                 bytes_to_device: 0,
                 rows: 1,
                 mirror: if cx.caps.mirror_choice { Some("nsm") } else { None },
+                partition_rows: 0,
                 children: Vec::new(),
             })
         }
@@ -672,6 +872,7 @@ fn plan_aggregate(
     agg: &AggregateKind,
     cx: &PlannerContext<'_>,
     column: &mut dyn FnMut(RelationId, AttrId) -> Result<ColumnEvidence>,
+    shard: &mut dyn FnMut(RelationId, AttrId) -> Result<Option<ShardPlanEvidence>>,
 ) -> Result<PhysicalNode> {
     let (rel, attr, pred) = match input {
         LogicalPlan::Scan { rel, attr } => (*rel, *attr, None),
@@ -693,102 +894,17 @@ fn plan_aggregate(
     if !ev.numeric() {
         return Err(Error::NonNumericAggregate { attr, got: ev.ty.name() });
     }
-    let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
-    let strategy = scan_strategy(&ev);
     let predicated = pred.is_some();
 
     match agg {
         AggregateKind::Sum => {
-            let agg_op = PhysicalOp::AggregateSum;
-            // Host price: the scan plus (virtually free) combine.
-            let host_ns = host_scan_ns(&ev, cx.cache);
-            let host_r = host_route(ev.rows);
-            let host_cal = cx.calibrated(&agg_op, host_r, host_ns);
-            let mut route = host_r;
-            let mut scan_raw = host_ns;
-            let mut total_raw = host_ns;
-            let mut total_cal = host_cal;
-            let mut bytes = 0u64;
-            if cx.caps.device_placement {
-                if let Some(d) = cx.device {
-                    let dev_r = Route::DevicePipelined;
-                    if ev.device_warm {
-                        // Warm replica: kernel time only, no PCIe. Routed
-                        // to the device — that is what placement paid for
-                        // — unless calibrated evidence says the kernel
-                        // actually costs more than the host scan.
-                        let warm = d.warm_sum_ns(ev.rows, predicated);
-                        let warm_cal = cx.calibrated(&agg_op, dev_r, warm);
-                        if !(cx.is_warmed(&agg_op, dev_r) && warm_cal > host_cal) {
-                            route = dev_r;
-                            scan_raw = 0;
-                            total_raw = warm;
-                            total_cal = warm_cal;
-                        }
-                    } else {
-                        // Three-way pricing: a delta merge (when a stale
-                        // replica is mergeable) vs. a full re-upload, and
-                        // the winner vs. the host fallback.
-                        let cold = d.cold_sum_ns(ev.rows, predicated);
-                        let cold_cal = cx.calibrated(&agg_op, dev_r, cold);
-                        let (dev_raw, dev_cal, dev_bytes) = if ev.stale_rows > 0 {
-                            let merge = d.delta_merge_sum_ns(ev.rows, ev.stale_rows, predicated);
-                            let merge_cal = cx.calibrated(&agg_op, dev_r, merge);
-                            if merge_cal <= cold_cal {
-                                (merge, merge_cal, ev.stale_rows * DELTA_PAIR_BYTES)
-                            } else {
-                                (cold, cold_cal, ev.rows * 8)
-                            }
-                        } else {
-                            (cold, cold_cal, ev.rows * 8)
-                        };
-                        if dev_cal < host_cal {
-                            route = dev_r;
-                            bytes = dev_bytes;
-                            scan_raw = d.transfer_ns(bytes);
-                            total_raw = dev_raw;
-                            total_cal = dev_cal;
-                        }
-                    }
-                }
+            // A partitioned column has no flat execution: its fragments
+            // live where placement put them, so the only locality-
+            // preserving plan scatters to the owning nodes.
+            if let Some(sp) = shard(rel, attr)? {
+                return Ok(plan_scatter_sum(cx, rel, attr, pred, &sp));
             }
-            let scan_op = PhysicalOp::Scan { rel, attr };
-            let scan = PhysicalNode {
-                route,
-                strategy,
-                estimated_ns: cx.calibrated(&scan_op, route, scan_raw),
-                raw_estimated_ns: scan_raw,
-                op: scan_op,
-                bytes_to_device: bytes,
-                rows: ev.rows,
-                mirror: scan_mirror,
-                children: Vec::new(),
-            };
-            let input_node = match pred {
-                None => scan,
-                Some(p) => PhysicalNode {
-                    op: PhysicalOp::Filter { pred: p },
-                    route,
-                    strategy,
-                    estimated_ns: scan.estimated_ns,
-                    raw_estimated_ns: scan.raw_estimated_ns,
-                    bytes_to_device: 0,
-                    rows: ev.rows,
-                    mirror: scan_mirror,
-                    children: vec![scan],
-                },
-            };
-            Ok(PhysicalNode {
-                op: agg_op,
-                route,
-                strategy,
-                estimated_ns: total_cal,
-                raw_estimated_ns: total_raw,
-                bytes_to_device: 0,
-                rows: ev.rows,
-                mirror: scan_mirror,
-                children: vec![input_node],
-            })
+            Ok(sum_subtree(cx, rel, attr, &ev, pred, 0))
         }
         AggregateKind::GroupSum { key_attr } => {
             if predicated {
@@ -798,74 +914,326 @@ fn plan_aggregate(
             if !matches!(key_ev.ty, DataType::Int32 | DataType::Int64 | DataType::Date) {
                 return Err(Error::NonNumericAggregate { attr: *key_attr, got: key_ev.ty.name() });
             }
-            // Keys are always grouped on the host; only the value column's
-            // per-group reductions can go to the device (gather + reduce
-            // over a resident replica).
-            let agg_op = PhysicalOp::AggregateGroupSum { key_attr: *key_attr };
-            let key_ns = host_scan_ns(&key_ev, cx.cache);
-            let value_host_ns = host_scan_ns(&ev, cx.cache);
-            let host_r = host_route(ev.rows);
-            let host_cal = cx.calibrated(&agg_op, host_r, key_ns + value_host_ns);
-            let mut route = host_r;
-            let mut value_raw = value_host_ns;
-            let mut total_raw = key_ns + value_host_ns;
-            let mut total_cal = host_cal;
-            if cx.caps.device_placement && ev.device_warm {
-                if let Some(d) = cx.device {
-                    let dev_r = Route::DevicePipelined;
-                    // Gather (one launch over all rows, device-to-device)
-                    // plus the reductions; group count is unknown at plan
-                    // time, so the reduction is priced as one full pass.
-                    let gather =
-                        d.kernel_ns(REDUCE_GRID * REDUCE_BLOCK, ev.rows.max(1), 8.0, ev.rows * 16);
-                    let value_dev = gather + d.warm_sum_ns(ev.rows, false);
-                    let dev_cal = cx.calibrated(&agg_op, dev_r, key_ns + value_dev);
-                    if !(cx.is_warmed(&agg_op, dev_r) && dev_cal > host_cal) {
-                        route = dev_r;
-                        value_raw = value_dev;
-                        total_raw = key_ns + value_dev;
-                        total_cal = dev_cal;
-                    }
-                }
+            if let Some(sp) = shard(rel, attr)? {
+                return Ok(plan_scatter_group(cx, rel, attr, *key_attr, &key_ev, &sp));
             }
-            let key_op = PhysicalOp::Scan { rel, attr: *key_attr };
-            let key_route = host_route(key_ev.rows);
-            let key_scan = PhysicalNode {
-                route: key_route,
-                strategy: scan_strategy(&key_ev),
-                estimated_ns: cx.calibrated(&key_op, key_route, key_ns),
-                raw_estimated_ns: key_ns,
-                op: key_op,
-                bytes_to_device: 0,
-                rows: key_ev.rows,
-                mirror: scan_mirror,
-                children: Vec::new(),
-            };
-            let value_op = PhysicalOp::Scan { rel, attr };
-            let value_scan = PhysicalNode {
-                route,
-                strategy,
-                estimated_ns: cx.calibrated(&value_op, route, value_raw),
-                raw_estimated_ns: value_raw,
-                op: value_op,
-                bytes_to_device: 0,
-                rows: ev.rows,
-                mirror: scan_mirror,
-                children: Vec::new(),
-            };
-            Ok(PhysicalNode {
-                op: agg_op,
-                route,
-                strategy,
-                estimated_ns: total_cal,
-                raw_estimated_ns: total_raw,
-                bytes_to_device: 0,
-                rows: ev.rows,
-                mirror: scan_mirror,
-                children: vec![key_scan, value_scan],
-            })
+            Ok(group_subtree(cx, rel, attr, *key_attr, &ev, &key_ev, 0))
         }
     }
+}
+
+/// Priced routing decision for a (possibly predicated) sum over one
+/// column's evidence — shared by the flat lowering and every per-shard
+/// subtree of a scatter, so local and sharded slices are priced by the
+/// identical model.
+struct SumPricing {
+    route: Route,
+    scan_raw: u64,
+    total_raw: u64,
+    total_cal: u64,
+    bytes: u64,
+}
+
+fn price_sum(cx: &PlannerContext<'_>, ev: &ColumnEvidence, predicated: bool) -> SumPricing {
+    let agg_op = PhysicalOp::AggregateSum;
+    // Host price: the scan plus (virtually free) combine.
+    let host_ns = host_scan_ns(ev, cx.cache);
+    let host_r = host_route(ev.rows);
+    let host_cal = cx.calibrated(&agg_op, host_r, host_ns);
+    let mut p = SumPricing {
+        route: host_r,
+        scan_raw: host_ns,
+        total_raw: host_ns,
+        total_cal: host_cal,
+        bytes: 0,
+    };
+    if cx.caps.device_placement {
+        if let Some(d) = cx.device {
+            let dev_r = Route::DevicePipelined;
+            if ev.device_warm {
+                // Warm replica: kernel time only, no PCIe. Routed
+                // to the device — that is what placement paid for
+                // — unless calibrated evidence says the kernel
+                // actually costs more than the host scan.
+                let warm = d.warm_sum_ns(ev.rows, predicated);
+                let warm_cal = cx.calibrated(&agg_op, dev_r, warm);
+                if !(cx.is_warmed(&agg_op, dev_r) && warm_cal > host_cal) {
+                    p.route = dev_r;
+                    p.scan_raw = 0;
+                    p.total_raw = warm;
+                    p.total_cal = warm_cal;
+                }
+            } else {
+                // Three-way pricing: a delta merge (when a stale
+                // replica is mergeable) vs. a full re-upload, and
+                // the winner vs. the host fallback.
+                let cold = d.cold_sum_ns(ev.rows, predicated);
+                let cold_cal = cx.calibrated(&agg_op, dev_r, cold);
+                let (dev_raw, dev_cal, dev_bytes) = if ev.stale_rows > 0 {
+                    let merge = d.delta_merge_sum_ns(ev.rows, ev.stale_rows, predicated);
+                    let merge_cal = cx.calibrated(&agg_op, dev_r, merge);
+                    if merge_cal <= cold_cal {
+                        (merge, merge_cal, ev.stale_rows * DELTA_PAIR_BYTES)
+                    } else {
+                        (cold, cold_cal, ev.rows * 8)
+                    }
+                } else {
+                    (cold, cold_cal, ev.rows * 8)
+                };
+                if dev_cal < host_cal {
+                    p.route = dev_r;
+                    p.bytes = dev_bytes;
+                    p.scan_raw = d.transfer_ns(dev_bytes);
+                    p.total_raw = dev_raw;
+                    p.total_cal = dev_cal;
+                }
+            }
+        }
+    }
+    p
+}
+
+/// The routed `AggregateSum` subtree over one evidence slice: the flat
+/// plan when `partition_rows == 0`, a per-shard subtree otherwise.
+fn sum_subtree(
+    cx: &PlannerContext<'_>,
+    rel: RelationId,
+    attr: AttrId,
+    ev: &ColumnEvidence,
+    pred: Option<Predicate>,
+    partition_rows: u64,
+) -> PhysicalNode {
+    let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
+    let strategy = scan_strategy(ev);
+    let p = price_sum(cx, ev, pred.is_some());
+    let scan_op = PhysicalOp::Scan { rel, attr };
+    let scan = PhysicalNode {
+        route: p.route,
+        strategy,
+        estimated_ns: cx.calibrated(&scan_op, p.route, p.scan_raw),
+        raw_estimated_ns: p.scan_raw,
+        op: scan_op,
+        bytes_to_device: p.bytes,
+        rows: ev.rows,
+        mirror: scan_mirror,
+        partition_rows,
+        children: Vec::new(),
+    };
+    let input_node = match pred {
+        None => scan,
+        Some(pr) => PhysicalNode {
+            op: PhysicalOp::Filter { pred: pr },
+            route: p.route,
+            strategy,
+            estimated_ns: scan.estimated_ns,
+            raw_estimated_ns: scan.raw_estimated_ns,
+            bytes_to_device: 0,
+            rows: ev.rows,
+            mirror: scan_mirror,
+            partition_rows,
+            children: vec![scan],
+        },
+    };
+    PhysicalNode {
+        op: PhysicalOp::AggregateSum,
+        route: p.route,
+        strategy,
+        estimated_ns: p.total_cal,
+        raw_estimated_ns: p.total_raw,
+        bytes_to_device: 0,
+        rows: ev.rows,
+        mirror: scan_mirror,
+        partition_rows,
+        children: vec![input_node],
+    }
+}
+
+/// The routed `AggregateGroupSum` subtree over one (value, key) evidence
+/// pair — flat when `partition_rows == 0`, per-shard otherwise. Keys are
+/// always grouped on the host; only the value column's per-group
+/// reductions can go to the device (gather + reduce over a resident
+/// replica).
+fn group_subtree(
+    cx: &PlannerContext<'_>,
+    rel: RelationId,
+    attr: AttrId,
+    key_attr: AttrId,
+    ev: &ColumnEvidence,
+    key_ev: &ColumnEvidence,
+    partition_rows: u64,
+) -> PhysicalNode {
+    let scan_mirror = if cx.caps.mirror_choice { Some("dsm") } else { None };
+    let strategy = scan_strategy(ev);
+    let agg_op = PhysicalOp::AggregateGroupSum { key_attr };
+    let key_ns = host_scan_ns(key_ev, cx.cache);
+    let value_host_ns = host_scan_ns(ev, cx.cache);
+    let host_r = host_route(ev.rows);
+    let host_cal = cx.calibrated(&agg_op, host_r, key_ns + value_host_ns);
+    let mut route = host_r;
+    let mut value_raw = value_host_ns;
+    let mut total_raw = key_ns + value_host_ns;
+    let mut total_cal = host_cal;
+    if cx.caps.device_placement && ev.device_warm {
+        if let Some(d) = cx.device {
+            let dev_r = Route::DevicePipelined;
+            // Gather (one launch over all rows, device-to-device)
+            // plus the reductions; group count is unknown at plan
+            // time, so the reduction is priced as one full pass.
+            let gather = d.kernel_ns(REDUCE_GRID * REDUCE_BLOCK, ev.rows.max(1), 8.0, ev.rows * 16);
+            let value_dev = gather + d.warm_sum_ns(ev.rows, false);
+            let dev_cal = cx.calibrated(&agg_op, dev_r, key_ns + value_dev);
+            if !(cx.is_warmed(&agg_op, dev_r) && dev_cal > host_cal) {
+                route = dev_r;
+                value_raw = value_dev;
+                total_raw = key_ns + value_dev;
+                total_cal = dev_cal;
+            }
+        }
+    }
+    let key_op = PhysicalOp::Scan { rel, attr: key_attr };
+    let key_route = host_route(key_ev.rows);
+    let key_scan = PhysicalNode {
+        route: key_route,
+        strategy: scan_strategy(key_ev),
+        estimated_ns: cx.calibrated(&key_op, key_route, key_ns),
+        raw_estimated_ns: key_ns,
+        op: key_op,
+        bytes_to_device: 0,
+        rows: key_ev.rows,
+        mirror: scan_mirror,
+        partition_rows,
+        children: Vec::new(),
+    };
+    let value_op = PhysicalOp::Scan { rel, attr };
+    let value_scan = PhysicalNode {
+        route,
+        strategy,
+        estimated_ns: cx.calibrated(&value_op, route, value_raw),
+        raw_estimated_ns: value_raw,
+        op: value_op,
+        bytes_to_device: 0,
+        rows: ev.rows,
+        mirror: scan_mirror,
+        partition_rows,
+        children: Vec::new(),
+    };
+    PhysicalNode {
+        op: agg_op,
+        route,
+        strategy,
+        estimated_ns: total_cal,
+        raw_estimated_ns: total_raw,
+        bytes_to_device: 0,
+        rows: ev.rows,
+        mirror: scan_mirror,
+        partition_rows,
+        children: vec![key_scan, value_scan],
+    }
+}
+
+/// Round trip the coordinator (node 0) pays to reach `se`'s node: the
+/// fixed-size request out, plus the per-fragment partial response back —
+/// both priced like PCIe, latency + bytes/bandwidth. Free for node 0,
+/// which answers its own slice locally.
+fn shard_rtt_ns(net: &NetCostProfile, se: &ShardEvidence, partial_bytes: u64) -> u64 {
+    if se.node == 0 {
+        0
+    } else {
+        net.transfer_ns(SCATTER_REQUEST_BYTES) + net.transfer_ns(se.fragments * partial_bytes)
+    }
+}
+
+/// Assemble the `Aggregate(Scatter) → Gather → per-shard subtrees` tree.
+/// Per-shard executions overlap, so the root estimate is the slowest
+/// shard's subtree-plus-round-trip; the root is calibrated under the
+/// distinct `scatter` route key so learned network residuals never alias
+/// the local routes.
+fn scatter_root(
+    cx: &PlannerContext<'_>,
+    agg_op: PhysicalOp,
+    sp: &ShardPlanEvidence,
+    children: Vec<PhysicalNode>,
+    partial_bytes: u64,
+) -> PhysicalNode {
+    let shards = sp.shards.len() as u16;
+    let route = Route::Scatter { shards };
+    let mut raw = 0u64;
+    let mut total_rows = 0u64;
+    for (sub, se) in children.iter().zip(&sp.shards) {
+        let rtt = shard_rtt_ns(&sp.net, se, partial_bytes);
+        raw = raw.max(sub.raw_estimated_ns.saturating_add(rtt));
+        total_rows += se.evidence.rows;
+    }
+    let strategy = children.first().map(|c| c.strategy).unwrap_or(ScanStrategy::ContiguousBytes);
+    let gather = PhysicalNode {
+        op: PhysicalOp::Gather { shards },
+        route,
+        strategy,
+        estimated_ns: raw,
+        raw_estimated_ns: raw,
+        bytes_to_device: 0,
+        rows: total_rows,
+        mirror: None,
+        partition_rows: sp.partition_rows,
+        children,
+    };
+    PhysicalNode {
+        route,
+        strategy,
+        estimated_ns: cx.calibrated(&agg_op, route, raw),
+        raw_estimated_ns: raw,
+        op: agg_op,
+        bytes_to_device: 0,
+        rows: total_rows,
+        mirror: None,
+        partition_rows: sp.partition_rows,
+        children: vec![gather],
+    }
+}
+
+fn plan_scatter_sum(
+    cx: &PlannerContext<'_>,
+    rel: RelationId,
+    attr: AttrId,
+    pred: Option<Predicate>,
+    sp: &ShardPlanEvidence,
+) -> PhysicalNode {
+    let children: Vec<PhysicalNode> = sp
+        .shards
+        .iter()
+        .map(|se| sum_subtree(cx, rel, attr, &se.evidence, pred, sp.partition_rows))
+        .collect();
+    scatter_root(cx, PhysicalOp::AggregateSum, sp, children, SUM_PARTIAL_BYTES)
+}
+
+fn plan_scatter_group(
+    cx: &PlannerContext<'_>,
+    rel: RelationId,
+    attr: AttrId,
+    key_attr: AttrId,
+    key_ev: &ColumnEvidence,
+    sp: &ShardPlanEvidence,
+) -> PhysicalNode {
+    let children: Vec<PhysicalNode> = sp
+        .shards
+        .iter()
+        .map(|se| {
+            // The key column shards with the value column, so the shard's
+            // key slice inherits the flat key shape (type, stride,
+            // contiguity) at the shard's cardinality; keys are host-
+            // grouped, so warmth is irrelevant to the subtree price.
+            let shard_key_ev = ColumnEvidence {
+                rows: se.evidence.rows,
+                ty: key_ev.ty,
+                scan_stride: key_ev.scan_stride,
+                contiguous: key_ev.contiguous,
+                device_warm: false,
+                stale_rows: 0,
+            };
+            group_subtree(cx, rel, attr, key_attr, &se.evidence, &shard_key_ev, sp.partition_rows)
+        })
+        .collect();
+    scatter_root(cx, PhysicalOp::AggregateGroupSum { key_attr }, sp, children, GROUP_PARTIAL_BYTES)
 }
 
 #[cfg(test)]
@@ -1156,5 +1524,159 @@ mod tests {
         .unwrap();
         assert_eq!(plan.root.children.len(), 2);
         assert!(matches!(plan.root.op, PhysicalOp::AggregateGroupSum { key_attr: 0 }));
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_covers_all_nodes() {
+        for kind in [ShardingKind::Hash, ShardingKind::Range] {
+            let s = Sharding::new(kind, 4, 1024, 0xDEAD_BEEF);
+            let t = Sharding::new(kind, 4, 1024, 0xDEAD_BEEF);
+            let mut seen = [false; 4];
+            for frag in 0..256u64 {
+                let n = s.shard_of_fragment(frag);
+                assert_eq!(n, t.shard_of_fragment(frag), "same descriptor, same map");
+                assert!(n < 4);
+                seen[n as usize] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{kind:?} placement uses every node");
+        }
+        // Rows map through their fragment.
+        let s = Sharding::new(ShardingKind::Range, 2, 100, 7);
+        assert_eq!(s.fragment_of_row(0), 0);
+        assert_eq!(s.fragment_of_row(199), 1);
+        assert_eq!(s.shard_of_row(50), s.shard_of_fragment(0));
+    }
+
+    #[test]
+    fn range_sharding_stripes_contiguous_runs() {
+        let s = Sharding::new(ShardingKind::Range, 2, 64, 0);
+        for frag in 0..RANGE_STRIPE_FRAGMENTS {
+            assert_eq!(s.shard_of_fragment(frag), 0);
+        }
+        for frag in RANGE_STRIPE_FRAGMENTS..2 * RANGE_STRIPE_FRAGMENTS {
+            assert_eq!(s.shard_of_fragment(frag), 1);
+        }
+        // Appending fragments never moves existing ones.
+        let frozen: Vec<u32> = (0..64).map(|f| s.shard_of_fragment(f)).collect();
+        assert_eq!(frozen, (0..64).map(|f| s.shard_of_fragment(f)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_sharding_depends_on_seed() {
+        let a = Sharding::new(ShardingKind::Hash, 4, 64, 1);
+        let b = Sharding::new(ShardingKind::Hash, 4, 64, 2);
+        let differs = (0..128u64).any(|f| a.shard_of_fragment(f) != b.shard_of_fragment(f));
+        assert!(differs, "distinct seeds must place differently");
+    }
+
+    fn shard_probe(nodes: u32, rows_per_shard: u64) -> ShardPlanEvidence {
+        ShardPlanEvidence {
+            partition_rows: 1024,
+            net: NetCostProfile { latency_ns: 2_000, bandwidth: 10.0e9 },
+            shards: (0..nodes)
+                .map(|node| ShardEvidence {
+                    node,
+                    fragments: rows_per_shard.div_ceil(1024),
+                    evidence: evidence(rows_per_shard, true, false),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shard_evidence_lowers_to_scatter_gather() {
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(4 * 100_000, true, false));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 4 * 100_000, record_width: 16, contiguous_nsm: false });
+        let sp = shard_probe(4, 100_000);
+        let plan = build_plan_sharded(
+            &LogicalPlan::sum(0, 1),
+            &ctx(&caps, Some(&dev), &cache),
+            &mut col,
+            &mut tab,
+            &mut |_, _| Ok(Some(sp.clone())),
+        )
+        .unwrap();
+        assert_eq!(plan.route(), Route::Scatter { shards: 4 });
+        assert_eq!(plan.root.rows, 400_000);
+        assert_eq!(plan.root.partition_rows, 1024);
+        let gather = &plan.root.children[0];
+        assert!(matches!(gather.op, PhysicalOp::Gather { shards: 4 }));
+        assert_eq!(gather.children.len(), 4, "one subtree per node, canonical order");
+        // Overlapped shards: the root estimate is the slowest shard plus
+        // its round trip, not the sum of all shards.
+        let per_shard = gather.children[0].raw_estimated_ns;
+        let rtt = sp.net.transfer_ns(SCATTER_REQUEST_BYTES)
+            + sp.net.transfer_ns(sp.shards[1].fragments * SUM_PARTIAL_BYTES);
+        assert_eq!(plan.root.raw_estimated_ns, per_shard + rtt);
+        let rendered = plan.render();
+        assert!(rendered.contains("route=scatter"));
+        assert!(rendered.contains("plan.gather"));
+        assert!(rendered.contains("shards=4"));
+        assert!(rendered.contains("part_rows=1024"));
+    }
+
+    #[test]
+    fn scatter_group_sum_keeps_key_shape_per_shard() {
+        let caps = EngineCapabilities::from_classification(&survey::pax());
+        let cache = CacheSpec::default();
+        let mut col = |_r, a: AttrId| {
+            Ok(ColumnEvidence {
+                rows: 20_000,
+                ty: if a == 0 { DataType::Int32 } else { DataType::Float64 },
+                scan_stride: 8,
+                contiguous: true,
+                device_warm: false,
+                stale_rows: 0,
+            })
+        };
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 20_000, record_width: 16, contiguous_nsm: false });
+        let sp = shard_probe(2, 10_000);
+        let plan = build_plan_sharded(
+            &LogicalPlan::group_sum(0, 0, 1),
+            &ctx(&caps, None, &cache),
+            &mut col,
+            &mut tab,
+            &mut |_, _| Ok(Some(sp.clone())),
+        )
+        .unwrap();
+        assert_eq!(plan.route(), Route::Scatter { shards: 2 });
+        let gather = &plan.root.children[0];
+        for sub in &gather.children {
+            assert!(matches!(sub.op, PhysicalOp::AggregateGroupSum { key_attr: 0 }));
+            assert_eq!(sub.children.len(), 2, "per-shard key and value scans");
+            assert_eq!(sub.rows, 10_000);
+        }
+    }
+
+    #[test]
+    fn empty_shard_probe_is_bit_identical_to_build_plan() {
+        let caps = EngineCapabilities::from_classification(&survey::cogadb());
+        let dev = paper_device();
+        let cache = CacheSpec::default();
+        let mut col = |_r, _a| Ok(evidence(500_000, true, false));
+        let mut tab =
+            |_r| Ok(TableEvidence { rows: 500_000, record_width: 16, contiguous_nsm: false });
+        for logical in [
+            LogicalPlan::sum(0, 1),
+            LogicalPlan::filter_sum(0, 1, Predicate::Ge(0.5)),
+            LogicalPlan::Materialize { rel: 0, rows: vec![1, 2, 3] },
+        ] {
+            let flat =
+                build_plan(&logical, &ctx(&caps, Some(&dev), &cache), &mut col, &mut tab).unwrap();
+            let probed = build_plan_sharded(
+                &logical,
+                &ctx(&caps, Some(&dev), &cache),
+                &mut col,
+                &mut tab,
+                &mut |_, _| Ok(None),
+            )
+            .unwrap();
+            assert_eq!(flat, probed, "no shard evidence must not perturb the plan");
+        }
     }
 }

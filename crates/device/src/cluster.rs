@@ -121,6 +121,20 @@ impl SimCluster {
         &self.ledger
     }
 
+    pub fn net(&self) -> &NetSpec {
+        &self.net
+    }
+
+    /// The interconnect price list in the planner's vocabulary, so the
+    /// router charges cross-node movement exactly like PCIe: latency +
+    /// bytes/bandwidth (core cannot depend on this crate).
+    pub fn net_cost_profile(&self) -> htapg_core::plan::NetCostProfile {
+        htapg_core::plan::NetCostProfile {
+            latency_ns: self.net.latency_ns,
+            bandwidth: self.net.bandwidth,
+        }
+    }
+
     pub fn node(&self, id: NodeId) -> Result<&Node> {
         self.nodes.get(id as usize).ok_or(Error::UnknownDevice(id))
     }
@@ -132,6 +146,26 @@ impl SimCluster {
         }
         let ns = self.net.latency_ns + (bytes as f64 / self.net.bandwidth * 1e9) as u64;
         self.ledger.charge_network(ns);
+        self.ledger.record_network_bytes(bytes as u64);
+    }
+
+    /// Send a message whose flight time overlaps other traffic (scatter
+    /// RPCs to different nodes fly concurrently): rolls the fault plan and
+    /// node health like [`ship`](Self::ship), charges the `net` category
+    /// *without* advancing the wall, and returns the message's virtual ns
+    /// so the caller can settle the wall with the `max` across concurrent
+    /// round trips. Same-node sends are free and return 0.
+    pub fn send_overlapped(&self, from: NodeId, to: NodeId, bytes: usize) -> Result<u64> {
+        self.faults.check_node(from)?;
+        self.faults.check_node(to)?;
+        self.roll_send(from, to)?;
+        if from == to {
+            return Ok(0);
+        }
+        let ns = self.net.latency_ns + (bytes as f64 / self.net.bandwidth * 1e9) as u64;
+        self.ledger.charge_network_overlapped(ns);
+        self.ledger.record_network_bytes(bytes as u64);
+        Ok(ns)
     }
 
     /// Inject a cross-node message fault, if the plan says so: either the
@@ -242,5 +276,34 @@ mod tests {
     fn unknown_node_errors() {
         let c = SimCluster::with_defaults(1);
         assert!(c.node(5).is_err());
+    }
+
+    #[test]
+    fn overlapped_sends_charge_net_but_not_wall() {
+        let c = SimCluster::with_defaults(3);
+        let a = c.send_overlapped(0, 1, 1000).unwrap();
+        let b = c.send_overlapped(0, 2, 2000).unwrap();
+        assert!(b > a, "bigger payload, longer flight");
+        let s = c.ledger().snapshot();
+        assert_eq!(s.network_ns, a + b);
+        assert_eq!(s.network_bytes, 3000);
+        assert_eq!(s.wall_ns, 0, "caller settles the wall at the gather");
+        assert_eq!(c.send_overlapped(1, 1, 4096).unwrap(), 0, "same-node sends are free");
+        assert_eq!(c.ledger().snapshot().network_bytes, 3000);
+    }
+
+    #[test]
+    fn net_cost_profile_matches_charges() {
+        let c = SimCluster::with_defaults(2);
+        let p = c.net_cost_profile();
+        let ns = c.send_overlapped(0, 1, 1 << 16).unwrap();
+        assert_eq!(ns, p.transfer_ns(1 << 16));
+    }
+
+    #[test]
+    fn charge_message_counts_bytes() {
+        let c = SimCluster::with_defaults(2);
+        c.charge_message(0, 1, 512);
+        assert_eq!(c.ledger().snapshot().network_bytes, 512);
     }
 }

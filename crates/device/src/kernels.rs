@@ -204,6 +204,110 @@ pub fn filter_sum_f64(
     Ok(total)
 }
 
+/// Per-fragment pass-1 partials for a shard's device-resident slice: the
+/// buffer holds the shard's fragments back to back (`frag_rows` rows each,
+/// the last possibly short), and each fragment reduces to one tree-ordered
+/// partial. One launch over the whole slice. A gather that concatenates
+/// these per-fragment partials in *global* fragment order and tree-reduces
+/// them is bit-identical for every node count and placement — the
+/// scatter-gather analogue of [`reduce_partials_f64`]'s segment property.
+pub fn reduce_fragment_partials_f64(
+    device: &SimDevice,
+    buf: BufferId,
+    frag_rows: usize,
+) -> Result<Vec<f64>> {
+    fragment_partials(device, buf, frag_rows, None)
+}
+
+/// Fused per-fragment filter+sum partials: each fragment's partial is the
+/// tree sum of only its qualifying values (one extra cycle per item, like
+/// [`filter_partials_f64`]).
+pub fn filter_fragment_partials_f64(
+    device: &SimDevice,
+    buf: BufferId,
+    frag_rows: usize,
+    pred: &dyn Fn(f64) -> bool,
+) -> Result<Vec<f64>> {
+    fragment_partials(device, buf, frag_rows, Some(pred))
+}
+
+fn fragment_partials(
+    device: &SimDevice,
+    buf: BufferId,
+    frag_rows: usize,
+    pred: Option<&dyn Fn(f64) -> bool>,
+) -> Result<Vec<f64>> {
+    if frag_rows == 0 {
+        return Err(Error::Internal("fragment size must be positive".into()));
+    }
+    let ex = Executor::new(device);
+    let values = device.with_buffer(buf, as_f64s)??;
+    let n = values.len();
+    let mut out = Vec::with_capacity(n.div_ceil(frag_rows));
+    let mut seg = Vec::with_capacity(frag_rows);
+    for frag in values.chunks(frag_rows) {
+        seg.clear();
+        for &v in frag {
+            if pred.is_none_or(|p| p(v)) {
+                seg.push(v);
+            }
+        }
+        out.push(tree_sum(&seg));
+    }
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID.min(out.len().max(1) as u32), REDUCE_BLOCK),
+        KernelCost {
+            work_items: n.max(1) as u64,
+            cycles_per_item: if pred.is_some() { 5.0 } else { 4.0 },
+            bytes: (n * 8) as u64,
+        },
+    )?;
+    Ok(out)
+}
+
+/// Per-fragment keyed partials for a scattered group-sum: `keys` holds the
+/// (host-resident) group key of every row in the slice, `buf` the packed
+/// values. Each fragment groups its values by key in row order and reduces
+/// each group's values in tree order; inner vectors are sorted by key.
+/// A gather that, per key, tree-reduces the key's per-fragment partials
+/// concatenated in global fragment order is bit-identical for every
+/// placement. One launch (values + key traffic).
+pub fn keyed_fragment_partials_f64(
+    device: &SimDevice,
+    buf: BufferId,
+    keys: &[i64],
+    frag_rows: usize,
+) -> Result<Vec<Vec<(i64, f64)>>> {
+    if frag_rows == 0 {
+        return Err(Error::Internal("fragment size must be positive".into()));
+    }
+    let ex = Executor::new(device);
+    let values = device.with_buffer(buf, as_f64s)??;
+    let n = values.len();
+    if keys.len() != n {
+        return Err(Error::Internal(format!(
+            "key column has {} rows but value slice has {n}",
+            keys.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(n.div_ceil(frag_rows));
+    for (fi, frag) in values.chunks(frag_rows).enumerate() {
+        // Row order within the fragment, as a shared-memory grouping pass
+        // would see it.
+        let mut groups: std::collections::BTreeMap<i64, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for (i, &v) in frag.iter().enumerate() {
+            groups.entry(keys[fi * frag_rows + i]).or_default().push(v);
+        }
+        out.push(groups.into_iter().map(|(k, vs)| (k, tree_sum(&vs))).collect());
+    }
+    ex.charge_launch(
+        LaunchConfig::new(REDUCE_GRID.min(out.len().max(1) as u32), REDUCE_BLOCK),
+        KernelCost { work_items: n.max(1) as u64, cycles_per_item: 8.0, bytes: (n * 16) as u64 },
+    )?;
+    Ok(out)
+}
+
 /// Sum a packed little-endian `i64` column on the device (same geometry).
 pub fn reduce_sum_i64(device: &SimDevice, buf: BufferId) -> Result<i64> {
     let ex = Executor::new(device);
@@ -585,6 +689,60 @@ mod tests {
         assert!(matches!(err, Error::UnknownRow(9)));
         assert_eq!(d.ledger().snapshot().since(&before).kernel_launches, 0);
         d.free(staging).unwrap();
+    }
+
+    #[test]
+    fn fragment_partials_merge_bit_identically_across_placements() {
+        let d = SimDevice::with_defaults();
+        let values: Vec<f64> = (0..20_000).map(|i| (i as f64).cos() * 3.7).collect();
+        let frag_rows = 1024;
+        // Single "node" holding every fragment.
+        let whole = upload_f64(&d, &values);
+        let single = reduce_fragment_partials_f64(&d, whole, frag_rows).unwrap();
+        // Two nodes, fragments dealt round-robin; merging the per-node
+        // partials back into global fragment order must reproduce the
+        // single-node partials exactly.
+        let frags: Vec<&[f64]> = values.chunks(frag_rows).collect();
+        let mut merged = vec![0.0f64; frags.len()];
+        for node in 0..2 {
+            let slice: Vec<f64> = frags
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == node)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            let buf = upload_f64(&d, &slice);
+            let partials = reduce_fragment_partials_f64(&d, buf, frag_rows).unwrap();
+            for (local, p) in partials.into_iter().enumerate() {
+                merged[local * 2 + node] = p;
+            }
+        }
+        assert_eq!(
+            single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            merged.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // With frag_rows = reduce_seg_len(n), the fragment partials ARE the
+        // canonical pass-1 segments, so the merged tree equals the flat
+        // two-pass reduction bit-for-bit.
+        let n = values.len();
+        let seg = reduce_seg_len(n);
+        let canon = reduce_fragment_partials_f64(&d, whole, seg).unwrap();
+        assert_eq!(tree_sum(&canon).to_bits(), reduce_sum_f64(&d, whole).unwrap().to_bits());
+    }
+
+    #[test]
+    fn keyed_fragment_partials_group_in_row_order() {
+        let d = SimDevice::with_defaults();
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let keys = vec![7i64, 3, 7, 3, 9];
+        let buf = upload_f64(&d, &values);
+        let before = d.ledger().snapshot();
+        let partials = keyed_fragment_partials_f64(&d, buf, &keys, 3).unwrap();
+        assert_eq!(d.ledger().snapshot().since(&before).kernel_launches, 1);
+        assert_eq!(partials.len(), 2);
+        assert_eq!(partials[0], vec![(3, 2.0), (7, 4.0)]);
+        assert_eq!(partials[1], vec![(3, 4.0), (9, 5.0)]);
+        assert!(keyed_fragment_partials_f64(&d, buf, &keys[..3], 3).is_err());
     }
 
     #[test]

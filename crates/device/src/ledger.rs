@@ -42,6 +42,7 @@ pub struct CostLedger {
     cache_evictions: AtomicU64,
     delta_bytes: AtomicU64,
     delta_merges: AtomicU64,
+    network_bytes: AtomicU64,
 }
 
 /// A snapshot of the ledger counters.
@@ -73,6 +74,10 @@ pub struct CostSnapshot {
     /// Delta-merge operations completed (a stale replica brought back to
     /// the current version without a full re-upload).
     pub delta_merges: u64,
+    /// Bytes moved between cluster nodes over the simulated interconnect
+    /// (payloads of `network_ns` charges — the PCIe `bytes_to_device`
+    /// analogue for the `net` category).
+    pub network_bytes: u64,
 }
 
 impl CostSnapshot {
@@ -111,6 +116,7 @@ impl CostSnapshot {
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
             delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
             delta_merges: self.delta_merges.saturating_sub(earlier.delta_merges),
+            network_bytes: self.network_bytes.saturating_sub(earlier.network_bytes),
         }
     }
 }
@@ -165,6 +171,14 @@ impl CostLedger {
         self.wall_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Network-category charge without wall advance: scatter RPCs to
+    /// different nodes fly concurrently, so the caller settles the wall
+    /// with [`advance_wall`](Self::advance_wall) when the gather
+    /// synchronizes (the `max` across shard round trips, not the sum).
+    pub fn charge_network_overlapped(&self, ns: u64) {
+        self.network_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Virtual retry-backoff wait (see `htapg_core::retry`).
     pub fn charge_backoff(&self, ns: u64) {
         self.backoff_ns.fetch_add(ns, Ordering::Relaxed);
@@ -209,6 +223,12 @@ impl CostLedger {
         self.delta_merges.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` payload bytes moved over the cluster interconnect (the
+    /// time is charged separately through the `charge_network*` pair).
+    pub fn record_network_bytes(&self, n: u64) {
+        self.network_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
             transfer_ns: self.transfer_ns.load(Ordering::Relaxed),
@@ -226,6 +246,7 @@ impl CostLedger {
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
             delta_merges: self.delta_merges.load(Ordering::Relaxed),
+            network_bytes: self.network_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -245,6 +266,7 @@ impl CostLedger {
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.delta_bytes.store(0, Ordering::Relaxed);
         self.delta_merges.store(0, Ordering::Relaxed);
+        self.network_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -393,6 +415,22 @@ mod tests {
         assert_eq!(s.transfers, 1);
         assert_eq!(s.kernel_launches, 1);
         assert_eq!(s.bytes_to_device, 64);
+    }
+
+    #[test]
+    fn overlapped_network_charges_track_bytes_but_not_wall() {
+        let l = CostLedger::new();
+        // Two concurrent shard round trips; the gather settles the max.
+        l.charge_network_overlapped(300);
+        l.record_network_bytes(1024);
+        l.charge_network_overlapped(500);
+        l.record_network_bytes(2048);
+        l.advance_wall(500);
+        let s = l.snapshot();
+        assert_eq!(s.network_ns, 800);
+        assert_eq!(s.network_bytes, 3072);
+        assert_eq!(s.wall_ns, 500);
+        assert_eq!(s.total_ns(), 800);
     }
 
     #[test]

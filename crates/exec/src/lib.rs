@@ -35,8 +35,10 @@ pub mod materialize;
 pub mod physical;
 pub mod pool;
 pub mod scan;
+pub mod sharded;
 pub mod threading;
 pub mod volcano;
 
 pub use physical::QueryOutput;
+pub use sharded::ShardedEngine;
 pub use threading::ThreadingPolicy;

@@ -113,6 +113,62 @@ pub fn canonical_filter_sum(values: &[f64], pred: &Predicate) -> f64 {
     kernels::tree_sum(&partials)
 }
 
+/// The *sharded* canonical reduction: one tree-ordered partial per
+/// placement fragment (`partition_rows` consecutive global rows), then a
+/// tree sum of the per-fragment partials in global fragment order.
+/// Fragments — not nodes — are the reduction unit, so the result is
+/// invariant under node count and placement policy: every cluster width
+/// produces exactly these partials, merely computing them on different
+/// nodes. Bit-identical to gathering
+/// [`kernels::reduce_fragment_partials_f64`] across shards.
+pub fn sharded_canonical_sum(values: &[f64], partition_rows: usize) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let partials: Vec<f64> = values.chunks(partition_rows.max(1)).map(kernels::tree_sum).collect();
+    kernels::tree_sum(&partials)
+}
+
+/// Sharded fused filter+sum: per fragment, tree-sum the qualifying values
+/// (the host mirror of [`kernels::filter_fragment_partials_f64`]).
+pub fn sharded_canonical_filter_sum(
+    values: &[f64],
+    pred: &Predicate,
+    partition_rows: usize,
+) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let partials: Vec<f64> = values
+        .chunks(partition_rows.max(1))
+        .map(|c| {
+            let kept: Vec<f64> = c.iter().copied().filter(|&v| pred.matches(v)).collect();
+            kernels::tree_sum(&kept)
+        })
+        .collect();
+    kernels::tree_sum(&partials)
+}
+
+/// Sharded group-sum over collected key/value columns: each fragment
+/// groups its values by key in row order and tree-reduces per key; each
+/// key's final sum is the tree sum of its per-fragment partials in global
+/// fragment order. Returns `(key, sum)` ordered by key — the host mirror
+/// of gathering [`kernels::keyed_fragment_partials_f64`] across shards.
+pub fn sharded_group_sum(keys: &[i64], values: &[f64], partition_rows: usize) -> Vec<(i64, f64)> {
+    let part = partition_rows.max(1);
+    let mut acc: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
+    for (kf, vf) in keys.chunks(part).zip(values.chunks(part)) {
+        let mut frag: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
+        for (&k, &v) in kf.iter().zip(vf) {
+            frag.entry(k).or_default().push(v);
+        }
+        for (k, vs) in frag {
+            acc.entry(k).or_default().push(kernels::tree_sum(&vs));
+        }
+    }
+    acc.into_iter().map(|(k, partials)| (k, kernels::tree_sum(&partials))).collect()
+}
+
 /// Pooled variant of [`canonical_filter_sum`] (same partials, morsel-order
 /// fold).
 pub fn pooled_canonical_filter_sum(
@@ -291,6 +347,47 @@ pub fn volcano_group_sum(
     Ok(groups.into_iter().map(|(k, vs)| (k, canonical_sum(&vs))).collect())
 }
 
+/// Single-node volcano oracle for a *sharded* plan: tuple-at-a-time reads
+/// fed through the fragment-granularity reduction. Every scatter-gather
+/// execution, at any node count, must be bit-identical to this.
+pub fn sharded_volcano_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    attr: AttrId,
+    partition_rows: usize,
+) -> Result<f64> {
+    Ok(sharded_canonical_sum(&volcano_values(engine, rel, attr)?, partition_rows))
+}
+
+/// Sharded volcano oracle for the fused filter+sum shape.
+pub fn sharded_volcano_filter_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    attr: AttrId,
+    pred: &Predicate,
+    partition_rows: usize,
+) -> Result<f64> {
+    Ok(sharded_canonical_filter_sum(&volcano_values(engine, rel, attr)?, pred, partition_rows))
+}
+
+/// Sharded volcano oracle for group-sum.
+pub fn sharded_volcano_group_sum(
+    engine: &dyn StorageEngine,
+    rel: RelationId,
+    key_attr: AttrId,
+    value_attr: AttrId,
+    partition_rows: usize,
+) -> Result<Vec<(i64, f64)>> {
+    let rows = engine.row_count(rel)?;
+    let mut keys = Vec::with_capacity(rows as usize);
+    let mut values = Vec::with_capacity(rows as usize);
+    for row in 0..rows {
+        keys.push(engine.read_field(rel, row, key_attr)?.as_i64()?);
+        values.push(engine.read_field(rel, row, value_attr)?.as_f64()?);
+    }
+    Ok(sharded_group_sum(&keys, &values, partition_rows))
+}
+
 fn volcano_values(engine: &dyn StorageEngine, rel: RelationId, attr: AttrId) -> Result<Vec<f64>> {
     let ty = engine.schema(rel)?.ty(attr)?;
     if !ty.is_numeric() {
@@ -314,6 +411,9 @@ fn node_span(node: &PhysicalNode) -> obs::SpanGuard {
         span.arg("scan", node.strategy.label());
         if node.bytes_to_device > 0 {
             span.arg("bytes_to_device", node.bytes_to_device);
+        }
+        if node.partition_rows > 0 {
+            span.arg("part_rows", node.partition_rows);
         }
         if let Some(m) = node.mirror {
             span.arg("mirror", m);
@@ -461,27 +561,52 @@ fn exec_node(
         PhysicalOp::Filter { .. } => {
             Err(Error::Internal("filter outside an aggregate is not executable".into()))
         }
+        PhysicalOp::Gather { .. } => {
+            Err(Error::Internal("gather is executed by the engine's scatter hook".into()))
+        }
     }
 }
 
 /// Pull `(rel, attr, predicate)` out of an `AggregateSum` node's children.
+/// A scatter root's only child is the `Gather` node; all per-shard
+/// subtrees scan the same `(rel, attr)` with the same predicate, so the
+/// first subtree is descended into as the representative.
 fn sum_input(node: &PhysicalNode) -> Result<(RelationId, AttrId, Option<Predicate>)> {
-    match node.children.first().map(|c| &c.op) {
-        Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr, None)),
-        Some(PhysicalOp::Filter { pred }) => {
-            match node.children[0].children.first().map(|c| &c.op) {
-                Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr, Some(*pred))),
-                _ => Err(Error::Internal("filter without scan input".into())),
-            }
-        }
+    let mut input = node
+        .children
+        .first()
+        .ok_or_else(|| Error::Internal("aggregate without scan input".into()))?;
+    if matches!(input.op, PhysicalOp::Gather { .. }) {
+        input = input
+            .children
+            .first()
+            .and_then(|sub| sub.children.first())
+            .ok_or_else(|| Error::Internal("gather without per-shard subtree".into()))?;
+    }
+    match &input.op {
+        PhysicalOp::Scan { rel, attr } => Ok((*rel, *attr, None)),
+        PhysicalOp::Filter { pred } => match input.children.first().map(|c| &c.op) {
+            Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr, Some(*pred))),
+            _ => Err(Error::Internal("filter without scan input".into())),
+        },
         _ => Err(Error::Internal("aggregate without scan input".into())),
     }
 }
 
 /// Pull `(rel, value_attr)` out of a group-sum node (children are the key
-/// scan then the value scan).
+/// scan then the value scan; for a scatter root, descend through the
+/// `Gather` into the first per-shard subtree first).
 fn group_input(node: &PhysicalNode) -> Result<(RelationId, AttrId)> {
-    match node.children.last().map(|c| &c.op) {
+    let mut holder = node;
+    if let Some(first) = node.children.first() {
+        if matches!(first.op, PhysicalOp::Gather { .. }) {
+            holder = first
+                .children
+                .first()
+                .ok_or_else(|| Error::Internal("gather without per-shard subtree".into()))?;
+        }
+    }
+    match holder.children.last().map(|c| &c.op) {
         Some(PhysicalOp::Scan { rel, attr }) => Ok((*rel, *attr)),
         _ => Err(Error::Internal("group-sum without value scan".into())),
     }
@@ -498,6 +623,22 @@ fn exec_sum(
     span: &mut obs::SpanGuard,
     executed: &mut Route,
 ) -> Result<QueryOutput> {
+    if let Route::Scatter { .. } = node.route {
+        // Sharded placement: the engine fans the aggregate out to the
+        // owning shards and gathers the per-fragment partials in canonical
+        // order. On failure (exhausted retries, no hook) degrade to the
+        // host sharded reduction — same fragment geometry, bit-identical.
+        match engine.scatter_sum(rel, attr, pred.as_ref()) {
+            Ok(sum) => return Ok(QueryOutput::Sum(sum)),
+            Err(e) if !matches!(e, Error::NonNumericAggregate { .. }) => {
+                if span.is_recording() {
+                    span.arg("fallback", "host");
+                }
+                *executed = Route::InlineVolcano;
+            }
+            Err(e) => return Err(e),
+        }
+    }
     if node.route == Route::DevicePipelined {
         let device_result = match pred {
             None => engine.device_sum_column(rel, attr),
@@ -520,6 +661,15 @@ fn exec_sum(
         }
     }
     let values = collect_f64(engine, rel, attr, node.strategy)?;
+    if node.partition_rows > 0 {
+        // Sharded plans reduce at fragment granularity regardless of who
+        // executes them, so the host fallback matches the gathered result.
+        let sum = match pred {
+            None => sharded_canonical_sum(&values, node.partition_rows as usize),
+            Some(ref p) => sharded_canonical_filter_sum(&values, p, node.partition_rows as usize),
+        };
+        return Ok(QueryOutput::Sum(sum));
+    }
     let sum = match (node.route, pred) {
         (Route::HostPooledMorsel, None) => pooled_canonical_sum(&values, policy),
         (Route::HostPooledMorsel, Some(ref p)) => pooled_canonical_filter_sum(&values, p, policy),
@@ -540,6 +690,18 @@ fn exec_group_sum(
     span: &mut obs::SpanGuard,
     executed: &mut Route,
 ) -> Result<QueryOutput> {
+    if let Route::Scatter { .. } = node.route {
+        match engine.scatter_group_sum(rel, key_attr, value_attr) {
+            Ok(groups) => return Ok(QueryOutput::Groups(groups)),
+            Err(e) if !matches!(e, Error::NonNumericAggregate { .. }) => {
+                if span.is_recording() {
+                    span.arg("fallback", "host");
+                }
+                *executed = Route::InlineVolcano;
+            }
+            Err(e) => return Err(e),
+        }
+    }
     if node.route == Route::DevicePipelined {
         match engine.device_group_sum(rel, key_attr, value_attr) {
             Ok(groups) => return Ok(QueryOutput::Groups(groups)),
@@ -551,6 +713,22 @@ fn exec_group_sum(
             }
             Err(e) => return Err(e),
         }
+    }
+    if node.partition_rows > 0 {
+        let keys = collect_keys(engine, rel, key_attr)?;
+        let values = collect_f64(engine, rel, value_attr, node.strategy)?;
+        if keys.len() != values.len() {
+            return Err(Error::Internal(format!(
+                "group-sum column length mismatch: {} keys vs {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        return Ok(QueryOutput::Groups(sharded_group_sum(
+            &keys,
+            &values,
+            node.partition_rows as usize,
+        )));
     }
     let pooled = if node.route == Route::HostPooledMorsel { Some(policy) } else { None };
     Ok(QueryOutput::Groups(group_sum_host(
@@ -704,6 +882,50 @@ mod tests {
         device.write(buf, 0, &bytes).unwrap();
         let dev = kernels::filter_sum_f64(&device, buf, |v| pred.matches(v)).unwrap();
         assert_eq!(host.to_bits(), dev.to_bits());
+    }
+
+    #[test]
+    fn sharded_reduction_is_invariant_to_placement() {
+        // The fragment partials are fixed by partition_rows alone, so any
+        // split of the fragments across nodes gathers to the same bits.
+        let values: Vec<f64> = (0..40_000).map(|i| (i as f64) * 0.7 - 3000.0).collect();
+        let part = 1024usize;
+        let whole = sharded_canonical_sum(&values, part);
+        // Simulate a 3-node round-robin placement: per-fragment partials
+        // computed shard-locally, merged in global fragment order.
+        let frags: Vec<&[f64]> = values.chunks(part).collect();
+        let mut partials = vec![0.0f64; frags.len()];
+        for node in 0..3 {
+            for (f, chunk) in frags.iter().enumerate() {
+                if f % 3 == node {
+                    partials[f] = kernels::tree_sum(chunk);
+                }
+            }
+        }
+        assert_eq!(whole.to_bits(), kernels::tree_sum(&partials).to_bits());
+        // When a fragment is exactly a device reduce segment, the sharded
+        // geometry coincides with the flat canonical reduction.
+        let aligned: Vec<f64> = (0..1024 * 64).map(|i| (i as f64) * 0.3).collect();
+        let seg = kernels::reduce_seg_len(aligned.len());
+        assert_eq!(
+            sharded_canonical_sum(&aligned, seg).to_bits(),
+            canonical_sum(&aligned).to_bits()
+        );
+    }
+
+    #[test]
+    fn sharded_group_sum_merges_fragment_partials_per_key() {
+        let keys = vec![7i64, 3, 7, 3, 9, 3];
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let got = sharded_group_sum(&keys, &values, 3);
+        // Fragment 0: {3: [2.0], 7: [1.0, 3.0]}; fragment 1: {3: [4.0, 6.0], 9: [5.0]}.
+        assert_eq!(got, vec![(3, 12.0), (7, 4.0), (9, 5.0)]);
+        // Filter variant keeps fragment geometry too.
+        let pred = Predicate::Ge(3.0);
+        let fs = sharded_canonical_filter_sum(&values, &pred, 3);
+        let frag0 = kernels::tree_sum(&[3.0]);
+        let frag1 = kernels::tree_sum(&[4.0, 5.0, 6.0]);
+        assert_eq!(fs.to_bits(), kernels::tree_sum(&[frag0, frag1]).to_bits());
     }
 
     #[test]

@@ -15,10 +15,38 @@
 
 use htapg::core::engine::StorageEngine;
 use htapg::core::obs;
+use htapg::core::ShardingKind;
+use htapg::device::cluster::NetSpec;
 use htapg::engines::{all_surveyed_engines, ReferenceEngine};
+use htapg::exec::ShardedEngine;
 use htapg::workload::driver::{load_customers, run_concurrent};
 use htapg::workload::queries::{mixed_stream, MixConfig};
 use htapg::workload::tpcc::Generator;
+
+/// Node count of the sharded scale-out row in the table.
+const SHARD_NODES: u32 = 4;
+
+/// Per-node columns for the sharded engine, read from the metrics
+/// registry (`cluster.node{n}.*`): resident shard rows, interconnect
+/// bytes moved during the run, and the p95 per-op virtual latency.
+fn cluster_panel(delta: &obs::MetricsSnapshot) -> String {
+    let mut out = format!(
+        "\nper-node (SHARDED, {SHARD_NODES} nodes):\n{:<8} {:>12} {:>12} {:>16}\n",
+        "node", "shard rows", "net bytes", "op p95 (vns)"
+    );
+    for n in 0..SHARD_NODES {
+        let rows = delta.gauges.get(format!("cluster.node{n}.rows").as_str()).copied().unwrap_or(0);
+        let bytes =
+            delta.counters.get(format!("cluster.node{n}.net_bytes").as_str()).copied().unwrap_or(0);
+        let p95 = delta
+            .histograms
+            .get(format!("cluster.node{n}.op_ns").as_str())
+            .filter(|h| h.count > 0)
+            .map_or_else(|| "-".to_string(), |h| h.quantile(0.95).to_string());
+        out.push_str(&format!("node{n:<4} {rows:>12} {bytes:>12} {p95:>16}\n"));
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,7 +79,16 @@ fn main() {
 
     let mut engines: Vec<Box<dyn StorageEngine>> = all_surveyed_engines();
     engines.push(Box::new(ReferenceEngine::new()));
+    // The scale-out row: point ops route to the owning shard, analytics
+    // scatter-gather. Small fragments so 20k rows spread over every node.
+    engines.push(Box::new(ShardedEngine::with_config(
+        ShardingKind::Hash,
+        SHARD_NODES,
+        1024,
+        NetSpec::default(),
+    )));
 
+    let mut cluster_detail = None;
     let mut all_spans = Vec::new();
     for engine in engines {
         let rel = match load_customers(engine.as_ref(), &gen, rows) {
@@ -74,6 +111,9 @@ fn main() {
             run_concurrent(engine.as_ref(), rel, &stream, 4, 1)
         };
         let delta = obs::metrics().snapshot().since(&base);
+        if engine.name() == "SHARDED" {
+            cluster_detail = Some(cluster_panel(&delta));
+        }
         if tracer.is_some() {
             obs::uninstall();
         }
@@ -101,6 +141,10 @@ fn main() {
             quantiles("query.oltp.latency_ns"),
             quantiles("query.olap.latency_ns"),
         );
+    }
+
+    if let Some(panel) = cluster_detail {
+        print!("{panel}");
     }
 
     if let Some(path) = trace_path {
